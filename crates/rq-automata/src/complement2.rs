@@ -1,0 +1,345 @@
+//! **Lemma 4**: single-exponential complementation of 2NFAs (Vardi 1989).
+//!
+//! A word `w = w₁…wₙ` is *rejected* by a 2NFA `A = (Σ, S, S₀, ρ, F)` iff
+//! there is a sequence of state sets `T₀, …, Tₙ₊₁` (one per tape cell,
+//! including the endmarkers) such that
+//!
+//! 1. `S₀ ⊆ T₀` (the initial configurations are covered),
+//! 2. the sequence is closed under `ρ`: if `q ∈ Tᵢ` and `(q', d) ∈ ρ(q, σᵢ)`
+//!    then `q' ∈ Tᵢ₊d` (where `σᵢ` is the symbol on cell `i`), and
+//! 3. `Tₙ₊₁ ∩ F = ∅` (no accepting configuration at the right endmarker).
+//!
+//! Soundness: the truly reachable sets are pointwise ⊆ any closed sequence,
+//! so condition 3 excludes acceptance. Completeness: the reachable sets
+//! themselves form such a sequence. A one-way NFA can guess the sequence
+//! left to right while remembering the *pair* `(Tᵢ, Tᵢ₊₁)` — `2^O(n)`
+//! states, matching the lemma's bound.
+//!
+//! This construction is intrinsically exponential (that is the point of
+//! experiment E3); the production containment path uses the lazily
+//! deterministic [`crate::shepherdson`] tables instead, and the two are
+//! cross-validated in the tests below.
+
+use crate::alphabet::Letter;
+use crate::nfa::Nfa;
+use crate::twonfa::{Move, Tape, TwoNfa};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of the Lemma 4 construction, with size statistics for E3.
+#[derive(Debug, Clone)]
+pub struct VardiComplement {
+    /// The complement NFA: `L = letters* − L(m)`.
+    pub nfa: Nfa,
+    /// Number of reachable subset-pair states.
+    pub pairs: usize,
+    /// The theoretical state-space bound `4^n`.
+    pub bound: u128,
+}
+
+type Mask = u32;
+
+/// Per-symbol transition masks of a 2NFA: `req_*[q]` is the set of states
+/// forced into the left/current/right cell's set by `q` being present.
+struct SymbolTable {
+    left: Vec<Mask>,
+    stay: Vec<Mask>,
+    right: Vec<Mask>,
+}
+
+fn symbol_table(m: &TwoNfa, sym: Tape) -> SymbolTable {
+    let n = m.num_states();
+    let mut t = SymbolTable { left: vec![0; n], stay: vec![0; n], right: vec![0; n] };
+    for q in 0..n {
+        for &(to, mv) in m.transitions(q, sym) {
+            let bit = 1 << to;
+            match mv {
+                Move::Left => t.left[q] |= bit,
+                Move::Stay => t.stay[q] |= bit,
+                Move::Right => t.right[q] |= bit,
+            }
+        }
+    }
+    t
+}
+
+fn required(table: &SymbolTable, set: Mask, pick: impl Fn(&SymbolTable, usize) -> Mask) -> Mask {
+    let mut req = 0;
+    let mut rest = set;
+    while rest != 0 {
+        let q = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        req |= pick(table, q);
+    }
+    req
+}
+
+/// Iterate all supersets of `base` within `universe` (base must be ⊆
+/// universe), invoking `f` on each. Count: `2^(|universe| − |base|)`.
+fn for_each_superset(base: Mask, universe: Mask, mut f: impl FnMut(Mask)) {
+    debug_assert_eq!(base & !universe, 0);
+    let free = universe & !base;
+    let mut s = free;
+    loop {
+        f(base | s);
+        if s == 0 {
+            break;
+        }
+        s = (s.wrapping_sub(1)) & free;
+    }
+}
+
+/// Build the Lemma 4 complement of `m` over the alphabet `letters`,
+/// materializing only subset pairs reachable from the initial guesses.
+///
+/// Returns `None` if more than `max_pairs` pair states are discovered
+/// (the construction is exponential by design; callers bound it).
+/// Requires `m.num_states() ≤ 16`.
+pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Option<VardiComplement> {
+    let n = m.num_states();
+    assert!(n <= 16, "bitmask construction supports at most 16 states (got {n})");
+    let full: Mask = if n == 32 { !0 } else { (1 << n) - 1 };
+    let s0: Mask = m.initial_states().fold(0, |acc, q| acc | (1 << q));
+    let f_mask: Mask = m.final_states().iter().fold(0, |acc, &q| acc | (1 << q));
+
+    let t_left = symbol_table(m, Tape::Left);
+    let t_right = symbol_table(m, Tape::Right);
+    let t_letter: Vec<SymbolTable> = letters
+        .iter()
+        .map(|&l| symbol_table(m, Tape::Letter(l)))
+        .collect();
+
+    // Enumerate valid initial pairs (T0, T1): S0 ⊆ T0, T0 closed under
+    // 0-moves on ⊢ (left moves are impossible on ⊢), and the +1 targets of
+    // T0 on ⊢ contained in T1.
+    let mut index: HashMap<(Mask, Mask), usize> = HashMap::new();
+    let mut pairs: Vec<(Mask, Mask)> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut nfa = Nfa::with_states(0);
+    let mut initial_ids = Vec::new();
+
+    let push = |t0: Mask,
+                    t1: Mask,
+                    index: &mut HashMap<(Mask, Mask), usize>,
+                    pairs: &mut Vec<(Mask, Mask)>,
+                    queue: &mut VecDeque<usize>,
+                    nfa: &mut Nfa|
+     -> usize {
+        *index.entry((t0, t1)).or_insert_with(|| {
+            let id = nfa.add_state();
+            debug_assert_eq!(id, pairs.len());
+            pairs.push((t0, t1));
+            queue.push_back(id);
+            id
+        })
+    };
+
+    let mut overflow = false;
+    for_each_superset(s0, full, |t0| {
+        if overflow {
+            return;
+        }
+        let stay_req = required(&t_left, t0, |t, q| t.stay[q]);
+        if stay_req & !t0 != 0 {
+            return; // not closed under 0-moves on ⊢
+        }
+        debug_assert_eq!(required(&t_left, t0, |t, q| t.left[q]), 0);
+        let right_req = required(&t_left, t0, |t, q| t.right[q]);
+        for_each_superset(right_req, full, |t1| {
+            if overflow {
+                return;
+            }
+            let id = push(t0, t1, &mut index, &mut pairs, &mut queue, &mut nfa);
+            initial_ids.push(id);
+            if pairs.len() > max_pairs {
+                overflow = true;
+            }
+        });
+    });
+    if overflow {
+        return None;
+    }
+    initial_ids.sort_unstable();
+    initial_ids.dedup();
+    for &id in &initial_ids {
+        nfa.set_initial(id);
+    }
+
+    // BFS over reachable pairs.
+    while let Some(id) = queue.pop_front() {
+        let (tp, tc) = pairs[id];
+        for (k, table) in t_letter.iter().enumerate() {
+            // Closure checks at the current cell (holding letter k).
+            let left_req = required(table, tc, |t, q| t.left[q]);
+            if left_req & !tp != 0 {
+                continue;
+            }
+            let stay_req = required(table, tc, |t, q| t.stay[q]);
+            if stay_req & !tc != 0 {
+                continue;
+            }
+            let right_req = required(table, tc, |t, q| t.right[q]);
+            let mut targets = Vec::new();
+            let mut over = false;
+            for_each_superset(right_req, full, |tn| {
+                if over {
+                    return;
+                }
+                let tid = push(tc, tn, &mut index, &mut pairs, &mut queue, &mut nfa);
+                targets.push(tid);
+                if pairs.len() > max_pairs {
+                    over = true;
+                }
+            });
+            if over {
+                return None;
+            }
+            for tid in targets {
+                nfa.add_transition(id, letters[k], tid);
+            }
+        }
+    }
+
+    // Final states: the pair (Tn, Tn+1) must satisfy the closure at ⊣ and
+    // exclude accepting states.
+    for (id, &(tp, tc)) in pairs.iter().enumerate() {
+        if tc & f_mask != 0 {
+            continue;
+        }
+        let left_req = required(&t_right, tc, |t, q| t.left[q]);
+        if left_req & !tp != 0 {
+            continue;
+        }
+        let stay_req = required(&t_right, tc, |t, q| t.stay[q]);
+        if stay_req & !tc != 0 {
+            continue;
+        }
+        debug_assert_eq!(required(&t_right, tc, |t, q| t.right[q]), 0);
+        nfa.set_final(id);
+    }
+
+    let count = pairs.len();
+    Some(VardiComplement { nfa, pairs: count, bound: 4u128.pow(n as u32) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::fold::fold_twonfa;
+    use crate::regex::parse;
+    use crate::shepherdson::ShepherdsonDfa;
+
+    fn all_words(sigma: &[Letter], max_len: usize) -> Vec<Vec<Letter>> {
+        let mut all: Vec<Vec<Letter>> = vec![vec![]];
+        let mut frontier = vec![Vec::<Letter>::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &l in sigma {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            all.extend(next.iter().cloned());
+            frontier = next;
+        }
+        all
+    }
+
+    #[test]
+    fn complement_of_one_way_embedding() {
+        let mut al = Alphabet::from_names(["a", "b"]);
+        let sigma: Vec<Letter> = al.sigma().collect();
+        for re in ["a", "(a|b)*a", "ab"] {
+            let e = parse(re, &mut al).unwrap();
+            let n = Nfa::from_regex(&e).eliminate_epsilon().trim();
+            let m = TwoNfa::from_nfa(&n);
+            let comp = vardi_complement(&m, &sigma, 2_000_000)
+                .expect("small instance must not overflow");
+            for w in all_words(&sigma, 4) {
+                assert_eq!(
+                    comp.nfa.accepts(&w),
+                    !m.accepts(&w),
+                    "re={re}, w={w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_of_fold_twonfa_matches_shepherdson() {
+        let mut al = Alphabet::from_names(["a"]);
+        let sigma_pm: Vec<Letter> = al.sigma_pm().collect();
+        // Keep the base NFA tiny: the fold 2NFA has n(|Σ±|+1) states and the
+        // pair construction is 4^that.
+        let e = parse("a", &mut al).unwrap();
+        let n = Nfa::from_regex(&e).eliminate_epsilon().trim();
+        let m = fold_twonfa(&n, &sigma_pm);
+        assert!(m.num_states() <= 16);
+        let comp = vardi_complement(&m, &sigma_pm, 5_000_000).expect("no overflow");
+        let mut det = ShepherdsonDfa::new(&m);
+        for w in all_words(&sigma_pm, 3) {
+            let in_fold = det.accepts(&w);
+            assert_eq!(comp.nfa.accepts(&w), !in_fold, "w={w:?}");
+            assert_eq!(m.accepts(&w), in_fold);
+        }
+    }
+
+    #[test]
+    fn two_way_bouncer_complement() {
+        // 2NFA accepting {a^k : k ≥ 1} with a bounce (see twonfa tests).
+        let al = Alphabet::from_names(["a"]);
+        let a = Letter::forward(al.get("a").unwrap());
+        let mut m = TwoNfa::with_states(5);
+        m.set_initial(0);
+        m.set_final(4);
+        m.add_transition(0, Tape::Left, 0, Move::Right);
+        m.add_transition(0, Tape::Letter(a), 1, Move::Right);
+        m.add_transition(1, Tape::Letter(a), 1, Move::Right);
+        m.add_transition(1, Tape::Right, 2, Move::Left);
+        m.add_transition(2, Tape::Letter(a), 2, Move::Left);
+        m.add_transition(2, Tape::Left, 3, Move::Right);
+        m.add_transition(3, Tape::Letter(a), 3, Move::Right);
+        m.add_transition(3, Tape::Right, 4, Move::Stay);
+        let comp = vardi_complement(&m, &[a], 1_000_000).unwrap();
+        assert!(comp.nfa.accepts(&[]));
+        assert!(!comp.nfa.accepts(&[a]));
+        assert!(!comp.nfa.accepts(&[a, a, a]));
+        // Empty-word edge case: the bouncer rejects ε, so the complement
+        // accepts it — already asserted above.
+    }
+
+    #[test]
+    fn overflow_cap_is_respected() {
+        let mut al = Alphabet::from_names(["a", "b"]);
+        let sigma_pm: Vec<Letter> = al.sigma_pm().collect();
+        let e = parse("(a|b)(a|b)", &mut al).unwrap();
+        let n = Nfa::from_regex(&e).eliminate_epsilon().trim();
+        let m = fold_twonfa(&n, &sigma_pm);
+        if m.num_states() <= 16 {
+            assert!(vardi_complement(&m, &sigma_pm, 8).is_none());
+        }
+    }
+
+    #[test]
+    fn pair_count_grows_with_states() {
+        // The E3 shape at unit-test scale: more 2NFA states, more pairs.
+        let al = Alphabet::from_names(["a"]);
+        let a = Letter::forward(al.get("a").unwrap());
+        let mut counts = Vec::new();
+        for k in 1..=3usize {
+            // One-way chain automaton for a^k.
+            let mut n = Nfa::with_states(k + 1);
+            n.set_initial(0);
+            n.set_final(k);
+            for i in 0..k {
+                n.add_transition(i, a, i + 1);
+            }
+            let m = TwoNfa::from_nfa(&n);
+            let comp = vardi_complement(&m, &[a], 5_000_000).unwrap();
+            counts.push(comp.pairs);
+        }
+        assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Seeded random generators for regexes and automata.
+//!
+//! Benches and property tests need reproducible instances across platforms,
+//! so this module ships a tiny self-contained SplitMix64 PRNG
+//! ([`SplitMix64`]) rather than depending on a specific `rand` version:
+//! identical seeds produce identical instances everywhere, which keeps the
+//! EXPERIMENTS.md tables stable.
+
+use crate::alphabet::{Alphabet, LabelId, Letter};
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// SplitMix64: a tiny, high-quality, reproducible PRNG (public domain
+/// algorithm by Sebastiano Vigna).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly random element of `items`.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+/// Configuration for [`random_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexConfig {
+    /// Number of base labels to draw letters from.
+    pub num_labels: usize,
+    /// Probability that a generated letter is an inverse (0.0 ⇒ RPQ).
+    pub inverse_prob: f64,
+    /// Target number of leaf letters.
+    pub leaves: usize,
+    /// Probability of star/plus/optional wrapping at each internal node.
+    pub repeat_prob: f64,
+}
+
+impl Default for RegexConfig {
+    fn default() -> Self {
+        RegexConfig { num_labels: 2, inverse_prob: 0.0, leaves: 6, repeat_prob: 0.3 }
+    }
+}
+
+/// Generate a random regex with roughly `cfg.leaves` letter occurrences.
+///
+/// The shape is a random binary combination of concatenations and unions
+/// with occasional repetition operators — a workload generator for the
+/// containment benches (E1, E4).
+pub fn random_regex(rng: &mut SplitMix64, cfg: &RegexConfig) -> Regex {
+    let e = gen_with_leaves(rng, cfg, cfg.leaves.max(1));
+    if e.is_empty_language() {
+        // Extremely unlikely (we never generate ∅), but keep the contract.
+        Regex::Epsilon
+    } else {
+        e
+    }
+}
+
+fn random_letter(rng: &mut SplitMix64, cfg: &RegexConfig) -> Letter {
+    let label = LabelId(rng.below(cfg.num_labels) as u32);
+    if rng.chance(cfg.inverse_prob) {
+        Letter::backward(label)
+    } else {
+        Letter::forward(label)
+    }
+}
+
+fn gen_with_leaves(rng: &mut SplitMix64, cfg: &RegexConfig, leaves: usize) -> Regex {
+    let base = if leaves <= 1 {
+        Regex::Letter(random_letter(rng, cfg))
+    } else {
+        let left = rng.range(1, leaves - 1);
+        let l = gen_with_leaves(rng, cfg, left);
+        let r = gen_with_leaves(rng, cfg, leaves - left);
+        if rng.chance(0.5) {
+            l.then(r)
+        } else {
+            l.or(r)
+        }
+    };
+    if rng.chance(cfg.repeat_prob) {
+        match rng.below(3) {
+            0 => base.star(),
+            1 => base.plus(),
+            _ => base.optional(),
+        }
+    } else {
+        base
+    }
+}
+
+/// Generate a random trim ε-free NFA with `states` states over
+/// `num_labels` labels (inverse letters with probability `inverse_prob`).
+///
+/// Density is edges-per-state; the automaton is guaranteed nonempty (a
+/// random accepting path is planted first).
+pub fn random_nfa(
+    rng: &mut SplitMix64,
+    states: usize,
+    num_labels: usize,
+    inverse_prob: f64,
+    density: f64,
+) -> Nfa {
+    assert!(states >= 1 && num_labels >= 1);
+    let mut nfa = Nfa::with_states(states);
+    let cfg = RegexConfig { num_labels, inverse_prob, ..RegexConfig::default() };
+    nfa.set_initial(0);
+    nfa.set_final(states - 1);
+    // Plant an accepting path through all states so the language is
+    // nonempty and every state is useful.
+    for s in 0..states.saturating_sub(1) {
+        let l = random_letter(rng, &cfg);
+        nfa.add_transition(s, l, s + 1);
+    }
+    // Random extra edges.
+    let extra = ((states as f64) * density) as usize;
+    for _ in 0..extra {
+        let from = rng.below(states);
+        let to = rng.below(states);
+        let l = random_letter(rng, &cfg);
+        nfa.add_transition(from, l, to);
+    }
+    nfa
+}
+
+/// An alphabet with `n` single-character labels `a, b, c, …`.
+pub fn small_alphabet(n: usize) -> Alphabet {
+    assert!(n <= 26);
+    Alphabet::from_names((0..n).map(|i| ((b'a' + i as u8) as char).to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_regex_has_requested_shape() {
+        let mut rng = SplitMix64::new(1);
+        let cfg = RegexConfig { leaves: 8, ..RegexConfig::default() };
+        for _ in 0..50 {
+            let e = random_regex(&mut rng, &cfg);
+            assert!(!e.is_empty_language());
+            assert!(e.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn forward_only_config_generates_rpqs() {
+        let mut rng = SplitMix64::new(2);
+        let cfg = RegexConfig { inverse_prob: 0.0, leaves: 10, ..RegexConfig::default() };
+        for _ in 0..20 {
+            assert!(random_regex(&mut rng, &cfg).is_forward_only());
+        }
+    }
+
+    #[test]
+    fn random_nfa_is_nonempty() {
+        let mut rng = SplitMix64::new(3);
+        for states in [1, 2, 5, 12] {
+            let nfa = random_nfa(&mut rng, states, 2, 0.2, 1.5);
+            assert!(!nfa.is_empty(), "states={states}");
+            assert_eq!(nfa.num_states(), states);
+        }
+    }
+
+    #[test]
+    fn small_alphabet_names() {
+        let a = small_alphabet(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.name(LabelId(2)), "c");
+    }
+}

@@ -1,0 +1,220 @@
+//! Language-preserving regex simplification.
+//!
+//! Bottom-up rewriting with rules verified by the exact containment
+//! checker, so every simplification is an *equivalence*, never an
+//! approximation. The optimizer example uses this to shrink 2RPQs before
+//! shipping them to an evaluator.
+//!
+//! Rules beyond the smart-constructor normal form:
+//! * union absorption: drop alternatives whose language is contained in a
+//!   sibling (`a|a*  →  a*`, decided semantically, not syntactically);
+//! * adjacent-star fusion: `e* e* → e*`, `e e* → e+`, `e* e → e+`,
+//!   `e* e+ → e+`, `e+ e* → e+`;
+//! * nullable tightening: `(e)+ → e*`-style rewrites where `ε ∈ L(e)`
+//!   already makes the languages equal;
+//! * star-of-union ε-elimination: `(ε|e)* → e*`.
+
+use crate::containment::check_on_the_fly;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// Whether `L(a) ⊆ L(b)` (exact).
+fn lang_contained(a: &Regex, b: &Regex) -> bool {
+    check_on_the_fly(&Nfa::from_regex(a), &Nfa::from_regex(b)).contained
+}
+
+/// Simplify `e` into an equivalent, usually smaller expression.
+pub fn simplify(e: &Regex) -> Regex {
+    let out = simplify_inner(e);
+    debug_assert!(
+        lang_contained(e, &out) && lang_contained(&out, e),
+        "simplify must preserve the language"
+    );
+    out
+}
+
+fn simplify_inner(e: &Regex) -> Regex {
+    match e {
+        Regex::Empty | Regex::Epsilon | Regex::Letter(_) => e.clone(),
+        Regex::Concat(parts) => {
+            let parts: Vec<Regex> = parts.iter().map(simplify_inner).collect();
+            fuse_concat(parts)
+        }
+        Regex::Union(parts) => {
+            let parts: Vec<Regex> = parts.iter().map(simplify_inner).collect();
+            absorb_union(parts)
+        }
+        Regex::Star(inner) => {
+            let inner = simplify_inner(inner);
+            // (ε|e)* = e*; (e*)* handled by the smart constructor.
+            strip_epsilon(inner).star()
+        }
+        Regex::Plus(inner) => {
+            let inner = simplify_inner(inner);
+            if inner.nullable() {
+                // ε ∈ L(e) makes e+ = e*.
+                strip_epsilon(inner).star()
+            } else {
+                inner.plus()
+            }
+        }
+        Regex::Optional(inner) => {
+            let inner = simplify_inner(inner);
+            if inner.nullable() {
+                inner
+            } else {
+                inner.optional()
+            }
+        }
+    }
+}
+
+/// Remove an `ε` alternative from a union (used under `*`/nullable `+`,
+/// where it is redundant).
+fn strip_epsilon(e: Regex) -> Regex {
+    match e {
+        Regex::Union(parts) => {
+            Regex::union(parts.into_iter().filter(|p| *p != Regex::Epsilon))
+        }
+        other => other,
+    }
+}
+
+/// Fuse adjacent repetition factors in a concatenation.
+fn fuse_concat(parts: Vec<Regex>) -> Regex {
+    let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+    for p in parts {
+        let fused = match (out.pop(), p) {
+            (None, p) => {
+                out.push(p);
+                continue;
+            }
+            (Some(prev), p) => match (&prev, &p) {
+                // e* e* = e*, e* e+ = e+, e+ e* = e+.
+                (Regex::Star(a), Regex::Star(b)) if a == b => Some(a.as_ref().clone().star()),
+                (Regex::Star(a), Regex::Plus(b)) if a == b => Some(a.as_ref().clone().plus()),
+                (Regex::Plus(a), Regex::Star(b)) if a == b => Some(a.as_ref().clone().plus()),
+                // e e* = e+ and e* e = e+.
+                (Regex::Star(a), b) if a.as_ref() == b => Some(a.as_ref().clone().plus()),
+                (a, Regex::Star(b)) if b.as_ref() == a => Some(b.as_ref().clone().plus()),
+                _ => None,
+            }
+            .map_or_else(
+                || {
+                    out.push(prev.clone());
+                    p.clone()
+                },
+                |f| f,
+            ),
+        };
+        out.push(fused);
+    }
+    Regex::concat(out)
+}
+
+/// Drop union alternatives contained in a sibling alternative.
+fn absorb_union(parts: Vec<Regex>) -> Regex {
+    let mut kept: Vec<Regex> = Vec::new();
+    'outer: for (i, p) in parts.iter().enumerate() {
+        // Absorbed by an already-kept sibling?
+        for k in &kept {
+            if lang_contained(p, k) {
+                continue 'outer;
+            }
+        }
+        // Absorbed by a later sibling (strictly larger, or equal with a
+        // later index — keep the earlier of equals, so only strict checks
+        // forward)?
+        for q in parts.iter().skip(i + 1) {
+            if lang_contained(p, q) && !lang_contained(q, p) {
+                continue 'outer;
+            }
+        }
+        kept.push(p.clone());
+    }
+    Regex::union(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::containment::equivalent;
+    use crate::regex::parse;
+
+    fn simp(s: &str) -> (Regex, Regex) {
+        // Pre-seed so label ids match the display alphabet below.
+        let mut al = Alphabet::from_names(["a", "b", "c"]);
+        let e = parse(s, &mut al).unwrap();
+        let out = simplify(&e);
+        assert!(
+            equivalent(&Nfa::from_regex(&e), &Nfa::from_regex(&out)),
+            "{s} simplified to a different language"
+        );
+        (e, out)
+    }
+
+    fn display(e: &Regex) -> String {
+        let al = Alphabet::from_names(["a", "b", "c"]);
+        e.display(&al).to_string()
+    }
+
+    #[test]
+    fn union_absorption() {
+        let (_, out) = simp("a|a*");
+        assert_eq!(display(&out), "a*");
+        let (_, out) = simp("a a|a(a|b)|b");
+        assert_eq!(display(&out), "a(a|b)|b");
+        let (_, out) = simp("(a|b)*|a*|b");
+        assert_eq!(display(&out), "(a|b)*");
+    }
+
+    #[test]
+    fn star_fusion() {
+        let (_, out) = simp("a* a*");
+        assert_eq!(display(&out), "a*");
+        let (_, out) = simp("a a*");
+        assert_eq!(display(&out), "a+");
+        let (_, out) = simp("a* a");
+        assert_eq!(display(&out), "a+");
+        let (_, out) = simp("a* a+");
+        assert_eq!(display(&out), "a+");
+        let (_, out) = simp("b a* a* c");
+        assert_eq!(display(&out), "b.a*c");
+    }
+
+    #[test]
+    fn nullable_tightening() {
+        let (_, out) = simp("(a?)+");
+        assert_eq!(display(&out), "a*");
+        let (_, out) = simp("(a|ε)*");
+        assert_eq!(display(&out), "a*");
+        let (_, out) = simp("(a*)?");
+        assert_eq!(display(&out), "a*");
+    }
+
+    #[test]
+    fn fixed_points_stay_put() {
+        for s in ["a", "a b", "a|b", "a*", "(a b)+", "a-b|c"] {
+            let (e, out) = simp(s);
+            assert_eq!(e, out, "{s} is already minimal");
+        }
+    }
+
+    #[test]
+    fn size_never_grows() {
+        let mut rng = crate::random::SplitMix64::new(11);
+        let cfg = crate::random::RegexConfig {
+            num_labels: 2,
+            inverse_prob: 0.2,
+            leaves: 8,
+            repeat_prob: 0.4,
+        };
+        for _ in 0..40 {
+            let e = crate::random::random_regex(&mut rng, &cfg);
+            let out = simplify(&e);
+            assert!(out.size() <= e.size(), "simplify grew {e:?} to {out:?}");
+            assert!(equivalent(&Nfa::from_regex(&e), &Nfa::from_regex(&out)));
+        }
+    }
+}

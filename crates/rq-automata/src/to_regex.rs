@@ -1,0 +1,149 @@
+//! NFA → regular expression conversion by state elimination.
+//!
+//! "Regular languages have robust definability properties … different means
+//! of defining regular languages, e.g., regular expressions vs. automata,
+//! have the same expressive power" (§1). [`Nfa::from_regex`] provides one
+//! direction; this module provides the other via the classic GNFA
+//! (generalized NFA) state-elimination algorithm, closing the loop. The
+//! output is equivalent (asserted by property tests), though not minimal —
+//! state elimination can blow up syntactically.
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use std::collections::BTreeMap;
+
+/// Convert `nfa` into an equivalent regular expression.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    let nfa = nfa.eliminate_epsilon().trim();
+    let n = nfa.num_states();
+    if n == 0 {
+        return Regex::Empty;
+    }
+    // GNFA over states 0..n plus fresh start `n` and accept `n+1`.
+    // edges[(i, j)] = regex labeling the transition i → j.
+    let start = n;
+    let accept = n + 1;
+    let mut edges: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
+    let add = |edges: &mut BTreeMap<(usize, usize), Regex>, i: usize, j: usize, e: Regex| {
+        let entry = edges.remove(&(i, j));
+        let combined = match entry {
+            Some(prev) => prev.or(e),
+            None => e,
+        };
+        if combined != Regex::Empty {
+            edges.insert((i, j), combined);
+        }
+    };
+    for s in 0..n {
+        for &(l, t) in nfa.transitions_from(s) {
+            add(&mut edges, s, t, Regex::Letter(l));
+        }
+    }
+    for s in nfa.initial_states() {
+        add(&mut edges, start, s, Regex::Epsilon);
+    }
+    for s in 0..n {
+        if nfa.is_final(s) {
+            add(&mut edges, s, accept, Regex::Epsilon);
+        }
+    }
+
+    // Eliminate the original states one by one.
+    for victim in 0..n {
+        let self_loop = edges.remove(&(victim, victim));
+        let loop_star = match self_loop {
+            Some(e) => e.star(),
+            None => Regex::Epsilon,
+        };
+        let incoming: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|((_, j), _)| *j == victim)
+            .map(|((i, _), e)| (*i, e.clone()))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|((i, _), _)| *i == victim)
+            .map(|((_, j), e)| (*j, e.clone()))
+            .collect();
+        edges.retain(|(i, j), _| *i != victim && *j != victim);
+        for (i, ein) in &incoming {
+            for (j, eout) in &outgoing {
+                let path = ein
+                    .clone()
+                    .then(loop_star.clone())
+                    .then(eout.clone());
+                add(&mut edges, *i, *j, path);
+            }
+        }
+    }
+    edges.remove(&(start, accept)).unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::containment::equivalent;
+    use crate::random::{random_regex, RegexConfig, SplitMix64};
+    use crate::regex::parse;
+
+    fn roundtrip(e: &Regex) {
+        let n = Nfa::from_regex(e);
+        let back = nfa_to_regex(&n);
+        assert!(
+            equivalent(&n, &Nfa::from_regex(&back)),
+            "roundtrip changed the language of {e:?} (got {back:?})"
+        );
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        let mut al = Alphabet::new();
+        for s in ["a", "a b", "a|b", "a*", "(a|b)* a b b", "a b- | c+", "ε", "∅"] {
+            let e = parse(s, &mut al).unwrap();
+            roundtrip(&e);
+        }
+    }
+
+    #[test]
+    fn empty_automaton_gives_empty_regex() {
+        let n = Nfa::with_states(0);
+        assert_eq!(nfa_to_regex(&n), Regex::Empty);
+        // Non-empty automaton with no accepting path.
+        let mut n = Nfa::with_states(2);
+        n.set_initial(0);
+        assert_eq!(nfa_to_regex(&n), Regex::Empty);
+    }
+
+    #[test]
+    fn epsilon_automaton() {
+        let mut n = Nfa::with_states(1);
+        n.set_initial(0);
+        n.set_final(0);
+        let e = nfa_to_regex(&n);
+        assert!(Nfa::from_regex(&e).accepts(&[]));
+    }
+
+    #[test]
+    fn random_roundtrips() {
+        let mut rng = SplitMix64::new(2026);
+        let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves: 6, repeat_prob: 0.35 };
+        for _ in 0..30 {
+            let e = random_regex(&mut rng, &cfg);
+            roundtrip(&e);
+        }
+    }
+
+    #[test]
+    fn random_nfa_roundtrips() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..15 {
+            let n = crate::random::random_nfa(&mut rng, 5, 2, 0.3, 1.2);
+            let e = nfa_to_regex(&n);
+            assert!(
+                equivalent(&n, &Nfa::from_regex(&e)),
+                "language changed for a random NFA"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! E10 — §3.1: RPQ/2RPQ evaluation scaling on random and social graphs.
+//!
+//! Product-graph BFS evaluation: all-pairs and single-source, forward-only
+//! vs two-way queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{e10_graph, e10_social};
+use rq_core::rpq::TwoRpq;
+use rq_graph::NodeId;
+use std::hint::black_box;
+
+fn bench_random_graphs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10/random_all_pairs");
+    g.sample_size(10);
+    for nodes in [50usize, 100, 200] {
+        let db = e10_graph(nodes, 3);
+        let mut al = db.alphabet().clone();
+        let q = TwoRpq::parse("a(b|a)*", &mut al).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(q.evaluate(&db).len()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e10/random_single_source");
+    for nodes in [100usize, 400, 1600] {
+        let db = e10_graph(nodes, 3);
+        let mut al = db.alphabet().clone();
+        let q = TwoRpq::parse("a(b|a)*", &mut al).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(q.evaluate_from(&db, NodeId(0)).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_social(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10/social");
+    g.sample_size(10);
+    for nodes in [100usize, 300, 1000] {
+        let db = e10_social(nodes, 5);
+        let mut al = db.alphabet().clone();
+        let fwd = TwoRpq::parse("knows+", &mut al).unwrap();
+        let two_way = TwoRpq::parse("knows- (knows-|follows-)*", &mut al).unwrap();
+        let src = db.nodes().max_by_key(|&n| db.degree(n)).expect("nonempty");
+        g.bench_with_input(BenchmarkId::new("forward_all_pairs", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(fwd.evaluate(&db).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("two_way_from_hub", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(two_way.evaluate_from(&db, src).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e10, bench_random_graphs, bench_social);
+criterion_main!(e10);

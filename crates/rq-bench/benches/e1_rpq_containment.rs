@@ -1,0 +1,67 @@
+//! E1 — Lemma 1 / §3.2: RPQ containment, on-the-fly vs explicit.
+//!
+//! Measures (a) containment time vs query size for contained, refuted, and
+//! random families, and (b) the on-the-fly product against the explicit
+//! (eager complement) construction on the adversarial `2^n` family — the
+//! paper's point that constructing `A` on the fly is what keeps the
+//! algorithm in polynomial space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_automata::containment::{check_explicit, check_on_the_fly};
+use rq_bench::{ab_alphabet, e1_contained_pair, e1_exponential_pair, e1_random_pair, e1_refuted_pair};
+use rq_core::containment::rpq;
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let al = ab_alphabet();
+    let mut g = c.benchmark_group("e1/contained");
+    for n in [2usize, 4, 8, 16, 32] {
+        let (q1, q2) = e1_contained_pair(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(rpq::check(&q1, &q2, &al).is_contained()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e1/refuted");
+    for n in [2usize, 4, 8, 16, 32] {
+        let (q1, q2) = e1_refuted_pair(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(rpq::check(&q1, &q2, &al).is_not_contained()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e1/random");
+    for leaves in [4usize, 8, 16] {
+        let pairs: Vec<_> = (0..8).map(|s| e1_random_pair(leaves, s)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            b.iter(|| {
+                for (q1, q2) in &pairs {
+                    black_box(rpq::check(q1, q2, &al).decided());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_on_the_fly_vs_explicit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1/fly_vs_explicit");
+    g.sample_size(20);
+    for n in [4usize, 8, 12] {
+        let (q1, q2) = e1_exponential_pair(n);
+        let (n1, n2) = (q1.as_two_rpq().nfa().clone(), q2.as_two_rpq().nfa().clone());
+        let letters: Vec<_> = ab_alphabet().sigma().collect();
+        g.bench_with_input(BenchmarkId::new("on_the_fly", n), &n, |b, _| {
+            b.iter(|| black_box(check_on_the_fly(&n1, &n2).states_explored))
+        });
+        g.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
+            b.iter(|| black_box(check_explicit(&n1, &n2, &letters).states_explored))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e1, bench_families, bench_on_the_fly_vs_explicit);
+criterion_main!(e1);

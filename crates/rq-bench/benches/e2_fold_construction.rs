@@ -1,0 +1,41 @@
+//! E2 — Lemma 3: the fold 2NFA has exactly `n·(|Σ±|+1)` states.
+//!
+//! Benchmarks the construction time as the NFA grows (the state count
+//! itself is asserted to match the bound; the `report` binary prints the
+//! size table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_automata::fold::{fold_twonfa, lemma3_state_bound};
+use rq_bench::{e2_nfa, sigma_pm};
+use std::hint::black_box;
+
+fn bench_fold_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2/fold_construction");
+    for states in [4usize, 8, 16, 32, 64, 128] {
+        let nfa = e2_nfa(states, 2, 7);
+        let letters = sigma_pm(2);
+        // The Lemma 3 bound must hold exactly.
+        let m = fold_twonfa(&nfa, &letters);
+        assert_eq!(
+            m.num_states(),
+            lemma3_state_bound(nfa.num_states(), letters.len())
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| black_box(fold_twonfa(&nfa, &letters).num_states()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e2/by_alphabet");
+    for labels in [1usize, 2, 4, 8] {
+        let nfa = e2_nfa(16, labels, 11);
+        let letters = sigma_pm(labels);
+        g.bench_with_input(BenchmarkId::from_parameter(labels), &labels, |b, _| {
+            b.iter(|| black_box(fold_twonfa(&nfa, &letters).num_states()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e2, bench_fold_construction);
+criterion_main!(e2);

@@ -1,0 +1,64 @@
+//! E3 — Lemma 4: 2NFA complementation with a `2^O(n)` state blow-up.
+//!
+//! Benchmarks the Vardi-1989 subset-pair construction on small chain
+//! automata (the blow-up is the *point* of the lemma, so inputs are tiny)
+//! and compares it with the Shepherdson-table path used in production.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_automata::complement2::vardi_complement;
+use rq_automata::shepherdson::ShepherdsonDfa;
+use rq_automata::twonfa::TwoNfa;
+use rq_automata::{LabelId, Letter, Nfa};
+use std::hint::black_box;
+
+/// The chain 2NFA for a^k (k+1 states).
+fn chain_twonfa(k: usize) -> TwoNfa {
+    let a = Letter::forward(LabelId(0));
+    let mut n = Nfa::with_states(k + 1);
+    n.set_initial(0);
+    n.set_final(k);
+    for i in 0..k {
+        n.add_transition(i, a, i + 1);
+    }
+    TwoNfa::from_nfa(&n)
+}
+
+fn bench_complement(c: &mut Criterion) {
+    let a = Letter::forward(LabelId(0));
+    let mut g = c.benchmark_group("e3/vardi_complement");
+    g.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        let m = chain_twonfa(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    vardi_complement(&m, &[a], 10_000_000)
+                        .expect("within cap")
+                        .pairs,
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // Shepherdson tables explore far fewer states on the same inputs.
+    let mut g = c.benchmark_group("e3/shepherdson");
+    for k in [1usize, 2, 3, 4, 8] {
+        let m = chain_twonfa(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut det = ShepherdsonDfa::new(&m);
+                // Drive it over a few words to materialize tables.
+                for len in 0..=k + 1 {
+                    let w = vec![a; len];
+                    black_box(det.accepts(&w));
+                }
+                black_box(det.discovered())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e3, bench_complement);
+criterion_main!(e3);

@@ -1,0 +1,49 @@
+//! E4 — Theorem 5: 2RPQ containment through fold + two-way machinery.
+//!
+//! Sweeps the paper's folding family `p ⊑ (p p⁻)^k p`, a refuted family
+//! with growing counterexamples, and random 2RPQ pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{e4_paper_family, e4_random_pair, e4_refuted_family};
+use rq_core::containment::two_rpq;
+use std::hint::black_box;
+
+fn bench_paper_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/paper_family");
+    for k in [1usize, 2, 4, 8] {
+        let (q1, q2, al) = e4_paper_family(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(two_rpq::check(&q1, &q2, &al).is_contained()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_refuted_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/refuted");
+    for n in [2usize, 4, 8, 16] {
+        let (q1, q2, al) = e4_refuted_family(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(two_rpq::check(&q1, &q2, &al).is_not_contained()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/random");
+    for leaves in [4usize, 8, 12] {
+        let pairs: Vec<_> = (0..6).map(|s| e4_random_pair(leaves, s)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            b.iter(|| {
+                for (q1, q2, al) in &pairs {
+                    black_box(two_rpq::check(q1, q2, al).decided());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e4, bench_paper_family, bench_refuted_family, bench_random);
+criterion_main!(e4);

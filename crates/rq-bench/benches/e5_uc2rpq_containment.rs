@@ -1,0 +1,51 @@
+//! E5 — Theorem 6 territory: UC2RPQ containment families.
+//!
+//! Sweeps chain-shaped conjuncts (exact path), branching conjuncts
+//! (homomorphism prover), and refuted pairs with growing counterexample
+//! word lengths (expansion search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{e5_branching_pair, e5_chain_pair, e5_refuted_pair};
+use rq_core::containment::{uc2rpq, Config};
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e5/chain_contained");
+    for k in [1usize, 2, 4, 8] {
+        let (q1, q2, al) = e5_chain_pair(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(uc2rpq::check(&q1, &q2, &al, &cfg).is_contained()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_branching(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e5/branching_contained");
+    g.sample_size(30);
+    for k in [1usize, 2, 3, 4] {
+        let (q1, q2, al) = e5_branching_pair(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(uc2rpq::check(&q1, &q2, &al, &cfg).is_contained()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_refuted(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e5/refuted");
+    g.sample_size(20);
+    for n in [1usize, 2, 3, 4] {
+        let (q1, q2, al) = e5_refuted_pair(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(uc2rpq::check(&q1, &q2, &al, &cfg).is_not_contained()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e5, bench_chain, bench_branching, bench_refuted);
+criterion_main!(e5);

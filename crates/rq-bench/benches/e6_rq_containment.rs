@@ -1,0 +1,54 @@
+//! E6 — Theorem 7 territory: RQ containment.
+//!
+//! Sweeps collapsible closures (exact elimination), the paper's triangle
+//! closure (inductive prover), and a refuted pair (unrolling + expansion
+//! search against semantic evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{e6_collapsible_pair, e6_refuted_pair, e6_triangle_pair};
+use rq_core::containment::{rq, Config};
+use std::hint::black_box;
+
+fn bench_collapsible(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e6/collapsible");
+    for k in [1usize, 2, 3, 4] {
+        let (q1, q2, al) = e6_collapsible_pair(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(rq::check(&q1, &q2, &al, &cfg).is_contained()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_triangle(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e6/triangle");
+    g.sample_size(10);
+    let (q1, q2, al) = e6_triangle_pair();
+    g.bench_function("induction_proof", |b| {
+        b.iter(|| black_box(rq::check(&q1, &q2, &al, &cfg).is_contained()))
+    });
+    let (q1, q2, al) = e6_refuted_pair();
+    g.bench_function("refutation", |b| {
+        b.iter(|| black_box(rq::check(&q1, &q2, &al, &cfg).is_not_contained()))
+    });
+    g.finish();
+}
+
+fn bench_unfold_depth(c: &mut Criterion) {
+    // Ablation: refutation cost vs unrolling depth.
+    let mut g = c.benchmark_group("e6/unfold_depth");
+    g.sample_size(10);
+    let (q1, q2, al) = e6_refuted_pair();
+    for depth in [1usize, 2, 3] {
+        let cfg = Config { unfold_depth: depth, ..Config::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(rq::check(&q1, &q2, &al, &cfg).decided()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e6, bench_collapsible, bench_triangle, bench_unfold_depth);
+criterion_main!(e6);

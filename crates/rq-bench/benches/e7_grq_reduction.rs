@@ -1,0 +1,48 @@
+//! E7 — Theorem 8: GRQ containment via the arity encoding and the GRQ→RQ
+//! translation.
+//!
+//! Sweeps the EDB arity `k` of a reachability query: measures the
+//! translation pipeline alone and the end-to-end containment decision
+//! (hop ⊑ reach, reach ⋢ hop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_automata::Alphabet;
+use rq_bench::{e7_kary_hop, e7_kary_reachability};
+use rq_core::containment::Config;
+use rq_core::translate::{encode_query, grq_containment, grq_to_rq};
+use std::hint::black_box;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/translate");
+    for k in [2usize, 3, 4, 6] {
+        let q = e7_kary_reachability(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let e = encode_query(&q);
+                let mut al = Alphabet::new();
+                black_box(grq_to_rq(&e, &mut al).expect("GRQ translates"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let cfg = Config::default();
+    let mut g = c.benchmark_group("e7/containment");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let reach = e7_kary_reachability(k);
+        let hop = e7_kary_hop(k);
+        g.bench_with_input(BenchmarkId::new("hop_in_reach", k), &k, |b, _| {
+            b.iter(|| black_box(grq_containment(&hop, &reach, &cfg).is_contained()))
+        });
+        g.bench_with_input(BenchmarkId::new("reach_not_in_hop", k), &k, |b, _| {
+            b.iter(|| black_box(grq_containment(&reach, &hop, &cfg).is_not_contained()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e7, bench_translation, bench_containment);
+criterion_main!(e7);

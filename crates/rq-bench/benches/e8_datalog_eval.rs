@@ -1,0 +1,45 @@
+//! E8 — substrate ablation: naive vs semi-naive Datalog evaluation.
+//!
+//! Transitive closure on chains and random graphs; the semi-naive engine's
+//! rule firings grow linearly per round while the naive engine refires the
+//! whole program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{chain_factdb, random_factdb, tc_query};
+use rq_datalog::eval::{evaluate_program, evaluate_program_naive};
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let q = tc_query();
+    let mut g = c.benchmark_group("e8/chain");
+    g.sample_size(10);
+    for n in [25usize, 50, 100, 200] {
+        let edb = chain_factdb(n);
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_program(&q.program, &edb).1.facts_derived))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_program_naive(&q.program, &edb).1.facts_derived))
+        });
+    }
+    g.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let q = tc_query();
+    let mut g = c.benchmark_group("e8/random");
+    g.sample_size(10);
+    for n in [30usize, 60, 120] {
+        let edb = random_factdb(n, 2 * n, 0, 5);
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_program(&q.program, &edb).1.facts_derived))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(evaluate_program_naive(&q.program, &edb).1.facts_derived))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e8, bench_chain, bench_random);
+criterion_main!(e8);

@@ -1,0 +1,16 @@
+//! # rq-bench
+//!
+//! Workload generators and measurement helpers shared by the Criterion
+//! benches (`benches/e*.rs`) and the `report` binary that regenerates the
+//! EXPERIMENTS.md tables.
+//!
+//! The source paper (Vardi, *A Theory of Regular Queries*, PODS 2016) is an
+//! overview paper with no empirical tables; the experiment suite instead
+//! measures the paper's *quantitative claims* — construction sizes
+//! (Lemmas 3–4) and the scaling shape of each containment procedure
+//! (Lemma 1, Theorems 5–8) plus substrate ablations (naive vs semi-naive
+//! Datalog, monadic reachability). See `DESIGN.md` for the index.
+
+pub mod workloads;
+
+pub use workloads::*;

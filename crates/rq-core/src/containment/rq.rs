@@ -1,0 +1,305 @@
+//! RQ containment (Theorem 7 territory — 2EXPSPACE-complete).
+//!
+//! The hybrid procedure layers, from cheapest to most speculative:
+//!
+//! 1. **exact closure elimination** — when every transitive closure on
+//!    both sides has a chain-shaped body, both queries collapse to
+//!    UC2RPQs and the [`super::uc2rpq`] checker takes over (itself exact
+//!    when those collapse further to 2RPQs, Theorem 5);
+//! 2. **refutation** — unroll the left query's closures to a depth (a
+//!    *sound under-approximation*: every unfolding is contained in the
+//!    query) and search its canonical expansions; the right query is
+//!    evaluated *semantically* — transitive closure and all — so any
+//!    missing head tuple is a genuine counterexample database;
+//! 3. **proof by induction** — for a left query `P⁺`: if `P ⊑ R` and
+//!    `R ∘ P ⊑ R` then `P⁺ ⊑ R` (induction on the number of `P`-steps);
+//!    the side conditions recurse into this checker with a depth guard;
+//! 4. **proof by under-approximating the right side** — if the left
+//!    query is exactly a UC2RPQ, proving it contained in an *unfolding*
+//!    of the right query is sound (`unfold(Q2) ⊑ Q2`);
+//! 5. otherwise **Unknown** with the exhausted budget.
+
+use super::{Certificate, Config, Outcome};
+use crate::rq::{RqExpr, RqQuery};
+use rq_automata::Alphabet;
+
+/// Decide `q1 ⊑ q2` (same head arity; positional comparison of answers).
+pub fn check(q1: &RqQuery, q2: &RqQuery, alphabet: &Alphabet, cfg: &Config) -> Outcome {
+    check_depth(q1, q2, alphabet, cfg, cfg.induction_depth)
+}
+
+fn check_depth(
+    q1: &RqQuery,
+    q2: &RqQuery,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    depth: usize,
+) -> Outcome {
+    if q1.head.len() != q2.head.len() {
+        return Outcome::Unknown {
+            reason: format!(
+                "head arities differ ({} vs {}); the queries are incomparable",
+                q1.head.len(),
+                q2.head.len()
+            ),
+        };
+    }
+    // 0. Syntactic identity (common for reflexivity checks).
+    if q1.head == q2.head && q1.expr == q2.expr {
+        return Outcome::Contained(Certificate::Homomorphism {
+            description: "syntactically identical queries".into(),
+        });
+    }
+    // 1. Exact closure elimination on both sides.
+    let c1 = q1.collapse_exact();
+    let c2 = q2.collapse_exact();
+    if let (Some(u1), Some(u2)) = (&c1, &c2) {
+        return super::uc2rpq::check(u1, u2, alphabet, cfg);
+    }
+
+    // 2. Refutation: expansions of a sound under-approximation of q1,
+    // against the semantic evaluation of q2.
+    let u1_under = match &c1 {
+        Some(u1) => Some(u1.clone()),
+        None => q1.unfold(cfg.unfold_depth, cfg.unfold_budget).ok(),
+    };
+    if let Some(u1) = &u1_under {
+        if let Some(w) = super::uc2rpq::refute(u1, alphabet, cfg, |db| q2.evaluate(db)) {
+            return Outcome::NotContained(Box::new(w));
+        }
+    }
+
+    // 3. Induction for a top-level closure on the left.
+    if depth > 0 && !cfg.disable_induction {
+        if let RqExpr::Closure { inner, from, to } = &q1.expr {
+            if let Ok(p) = RqQuery::new(
+                vec![from.clone(), to.clone()],
+                inner.as_ref().clone(),
+            ) {
+                // Heads must be aligned with q1's output order.
+                let p = align_head(&p, &q1.head, from, to);
+                let base = check_depth(&p, q2, alphabet, cfg, depth - 1);
+                if base.is_contained() {
+                    let comp = compose(q2, &p);
+                    let step = check_depth(&comp, q2, alphabet, cfg, depth - 1);
+                    if step.is_contained() {
+                        return Outcome::Contained(Certificate::Induction {
+                            description:
+                                "P ⊑ R and R∘P ⊑ R, hence P⁺ ⊑ R by induction on path length"
+                                    .into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Left exactly a UC2RPQ: prove against an under-approximation of q2.
+    if let Some(u1) = &c1 {
+        if let Ok(u2_under) = q2.unfold(cfg.unfold_depth, cfg.unfold_budget) {
+            if super::uc2rpq::prove(u1, &u2_under, alphabet, cfg) {
+                return Outcome::Contained(Certificate::Homomorphism {
+                    description: format!(
+                        "left side contained in the depth-{} unfolding of the right side",
+                        cfg.unfold_depth
+                    ),
+                });
+            }
+        }
+    }
+
+    Outcome::Unknown {
+        reason: format!(
+            "closure bodies are genuinely conjunctive; no counterexample among depth-{} \
+             unfoldings and no inductive certificate within depth {}",
+            cfg.unfold_depth, cfg.induction_depth
+        ),
+    }
+}
+
+/// Reorder a binary query's head to match `target` (which is a permutation
+/// of `{from, to}`).
+fn align_head(p: &RqQuery, target: &[String], from: &str, to: &str) -> RqQuery {
+    if target.len() == 2 && target[0] == to && target[1] == from {
+        RqQuery { head: vec![to.to_owned(), from.to_owned()], expr: p.expr.clone() }
+    } else {
+        p.clone()
+    }
+}
+
+/// The composition `R ∘ P` for binary queries `R(a, b)` and `P(x, y)`:
+/// `∃m. R(a, m) ∧ P(m, y)`, with head `(a, y)`. Variable spaces are made
+/// disjoint by prefixing.
+fn compose(r: &RqQuery, p: &RqQuery) -> RqQuery {
+    assert_eq!(r.head.len(), 2);
+    assert_eq!(p.head.len(), 2);
+    let lrename = |v: &str| format!("L_{v}");
+    let rrename = |v: &str| format!("R_{v}");
+    let left = r.expr.rename_all(&lrename);
+    let right = p.expr.rename_all(&rrename);
+    let l_out = lrename(&r.head[1]); // R's target = junction
+    let r_in = rrename(&p.head[0]); // P's source = junction
+    let expr = left
+        .and(right)
+        .select_eq(l_out.clone(), r_in.clone())
+        .project(l_out)
+        .project(r_in);
+    RqQuery::new(vec![lrename(&r.head[0]), rrename(&p.head[1])], expr)
+        .expect("composition of valid binary queries is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_automata::LabelId;
+    use rq_graph::generate;
+    use std::collections::BTreeSet;
+
+    fn edge_closure(r: LabelId) -> RqQuery {
+        RqQuery::new(
+            vec!["x".into(), "y".into()],
+            RqExpr::edge(r, "x", "y").closure("x", "y"),
+        )
+        .unwrap()
+    }
+
+    fn rel2_query(re: &str, al: &mut Alphabet) -> RqQuery {
+        crate::rq::rq_from_two_rpq(re, al).unwrap()
+    }
+
+    fn triangle_closure(r: LabelId) -> RqQuery {
+        let body = RqExpr::edge(r, "x", "y")
+            .and(RqExpr::edge(r, "y", "z"))
+            .and(RqExpr::edge(r, "z", "x"))
+            .project("z");
+        RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).unwrap()
+    }
+
+    #[test]
+    fn collapsible_closures_are_exact() {
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let q1 = edge_closure(r);
+        let q2 = rel2_query("r+", &mut al);
+        let cfg = Config::default();
+        assert!(check(&q1, &q2, &al, &cfg).is_contained());
+        assert!(check(&q2, &q1, &al, &cfg).is_contained());
+        // r+ ⋢ r with a length-2 witness.
+        let q3 = rel2_query("r", &mut al);
+        let out = check(&q1, &q3, &al, &cfg);
+        let w = out.witness().expect("r+ ⋢ r");
+        assert_eq!(w.db.num_edges(), 2);
+    }
+
+    #[test]
+    fn even_closure_in_full_closure() {
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        // TC(r·r) ⊑ TC(r) but not conversely.
+        let hop2 = RqExpr::edge(r, "x", "m")
+            .and(RqExpr::edge(r, "m", "y"))
+            .project("m");
+        let q1 = RqQuery::new(
+            vec!["x".into(), "y".into()],
+            hop2.closure("x", "y"),
+        )
+        .unwrap();
+        let q2 = edge_closure(r);
+        let cfg = Config::default();
+        assert!(check(&q1, &q2, &al, &cfg).is_contained());
+        let out = check(&q2, &q1, &al, &cfg);
+        let w = out.witness().expect("TC(r) ⋢ TC(rr)");
+        // Shortest counterexample: a single edge.
+        assert_eq!(w.db.num_edges(), 1);
+    }
+
+    #[test]
+    fn triangle_closure_contained_in_reachability_by_induction() {
+        // TC(triangle) ⊑ r⁺: the closure body is genuinely conjunctive
+        // (not UC2RPQ-collapsible), so this exercises the inductive prover.
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let q1 = triangle_closure(r);
+        let q2 = rel2_query("r+", &mut al);
+        let cfg = Config::default();
+        let out = check(&q1, &q2, &al, &cfg);
+        assert!(
+            matches!(&out, Outcome::Contained(Certificate::Induction { .. })),
+            "expected induction certificate, got {out}"
+        );
+    }
+
+    #[test]
+    fn triangle_closure_not_contained_in_triangle() {
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let q1 = triangle_closure(r);
+        // Base triangle query (no closure).
+        let body = RqExpr::edge(r, "x", "y")
+            .and(RqExpr::edge(r, "y", "z"))
+            .and(RqExpr::edge(r, "z", "x"))
+            .project("z");
+        let q2 = RqQuery::new(vec!["x".into(), "y".into()], body).unwrap();
+        let cfg = Config::default();
+        let out = check(&q1, &q2, &al, &cfg);
+        let w = out.witness().expect("TC(triangle) ⋢ triangle");
+        // Verify the witness semantically.
+        assert!(q1.evaluate(&w.db).contains(&w.tuple));
+        assert!(!q2.evaluate(&w.db).contains(&w.tuple));
+        // And the base is contained in its closure, of course.
+        let out = check(&q2, &q1, &al, &cfg);
+        assert!(out.is_contained(), "{out}");
+    }
+
+    #[test]
+    fn definite_verdicts_match_random_semantics() {
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let queries = vec![
+            edge_closure(r),
+            rel2_query("r+", &mut al),
+            rel2_query("r", &mut al),
+            rel2_query("r r", &mut al),
+            triangle_closure(r),
+        ];
+        let cfg = Config::default();
+        for q1 in &queries {
+            for q2 in &queries {
+                let out = check(q1, q2, &al, &cfg);
+                match out.decided() {
+                    Some(true) => {
+                        for seed in 0..20u64 {
+                            let db = generate::random_gnm(5, 9, &["r"], seed);
+                            let a1: BTreeSet<_> = q1.evaluate(&db);
+                            let a2: BTreeSet<_> = q2.evaluate(&db);
+                            assert!(
+                                a1.is_subset(&a2),
+                                "claimed contained but seed {seed} refutes"
+                            );
+                        }
+                    }
+                    Some(false) => {
+                        let w = out.witness().unwrap();
+                        assert!(q1.evaluate(&w.db).contains(&w.tuple));
+                        assert!(!q2.evaluate(&w.db).contains(&w.tuple));
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_is_reported_for_hard_instances() {
+        // TC(two-triangles-pattern) ⊑ TC(triangle): plausibly true but
+        // beyond the prover's reach — must NOT return a definite wrong
+        // answer. (Either Unknown or a verified definite verdict.)
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let q1 = triangle_closure(r);
+        let q2 = triangle_closure(r);
+        let out = check(&q1, &q2, &al, &Config::default());
+        // Reflexive containment: a definite `false` here would be unsound.
+        assert!(!out.is_not_contained(), "{out}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # rq-core
+//!
+//! The query classes of Vardi's *A Theory of Regular Queries* (PODS 2016)
+//! over graph databases, with evaluation and containment:
+//!
+//! | class | module | containment |
+//! |---|---|---|
+//! | RPQ — regular path queries (§3.1) | [`rpq`] | exact, PSPACE (Lemma 1) |
+//! | 2RPQ — two-way RPQs (§3.1) | [`rpq`] | exact, PSPACE (Lemmas 2–4, Thm 5) |
+//! | C2RPQ / UC2RPQ — (unions of) conjunctive 2RPQs (§3.3) | [`crpq`] | hybrid, EXPSPACE-complete problem (Thm 6) |
+//! | RQ — regular queries (§3.4) | [`rq`] | hybrid, 2EXPSPACE-complete problem (Thm 7) |
+//! | GRQ — generalized regular queries (§4) | [`translate`] | by reduction to RQ (Thm 8) |
+//!
+//! "Hybrid" checkers (see `DESIGN.md`) are sound in both directions —
+//! `Contained` answers carry a certificate and `NotContained` answers carry
+//! a concrete counterexample database — and report `Unknown` when the
+//! configured search budget runs out before either is found (the underlying
+//! problems are EXPSPACE/2EXPSPACE-complete, so budgets are unavoidable for
+//! adversarial inputs).
+//!
+//! Submodules:
+//! * [`rpq`] — [`Rpq`] and [`TwoRpq`] with product-graph evaluation;
+//! * [`crpq`] — [`C2Rpq`] and [`Uc2Rpq`], join-based evaluation, chain
+//!   collapsing;
+//! * [`rq`] — the [`RqQuery`] algebra (selection, projection, union,
+//!   conjunction, transitive closure), semi-naive TC evaluation, bounded
+//!   unfolding, exact closure elimination;
+//! * [`expansion`] — canonical databases / expansions (the database-theoretic
+//!   half of the containment machinery);
+//! * [`containment`] — the checker suite and its witnesses;
+//! * [`minimize`] — containment-driven UC2RPQ minimization (drop absorbed
+//!   disjuncts and redundant atoms, simplify atom regexes);
+//! * [`translate`] — RQ → Datalog (§4.1), GRQ → RQ, GraphDb ↔ FactDb
+//!   bridges, and the arity-reduction encoding behind Theorem 8;
+//! * [`query_text`] — a textual rule syntax for UC2RPQs
+//!   (`Q(x,y) :- [a+](x,m), [b](m,y).`);
+//! * [`rq_text`] — the full-RQ rule syntax with explicit `tc[Pred]`
+//!   transitive-closure atoms.
+
+pub mod containment;
+pub mod crpq;
+pub mod expansion;
+pub mod minimize;
+pub mod query_text;
+pub mod rq_text;
+pub mod rpq;
+pub mod rq;
+pub mod translate;
+
+pub use crpq::{C2Rpq, C2RpqAtom, Uc2Rpq};
+pub use rpq::{Rpq, TwoRpq};
+pub use rq::{RqExpr, RqQuery};

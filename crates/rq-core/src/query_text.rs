@@ -1,0 +1,203 @@
+//! Textual syntax for (unions of) conjunctive 2RPQs.
+//!
+//! One rule per line; rules with the same head predicate form a union:
+//!
+//! ```text
+//! Q(x, y) :- [a+](x, m), [b c-](m, y).
+//! Q(x, y) :- [d](x, y).
+//! # comments and blank lines are skipped
+//! ```
+//!
+//! Atom bodies are regular expressions over Σ± in square brackets (the
+//! same syntax as [`rq_automata::regex::parse`]); variables are plain
+//! identifiers. The head's variable list fixes the answer-tuple order.
+
+use crate::crpq::{C2Rpq, C2RpqAtom, Uc2Rpq};
+use crate::rpq::TwoRpq;
+use rq_automata::Alphabet;
+use std::fmt;
+
+/// Error raised by [`parse_uc2rpq`], with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTextError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for QueryTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QueryTextError {}
+
+/// Parse a UC2RPQ from the rule syntax above, interning labels into
+/// `alphabet`. All rules must share the same head predicate and arity.
+pub fn parse_uc2rpq(input: &str, alphabet: &mut Alphabet) -> Result<Uc2Rpq, QueryTextError> {
+    let mut head_name: Option<String> = None;
+    let mut disjuncts = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let err = |message: String| QueryTextError { line: lineno + 1, message };
+        let line = line
+            .strip_suffix('.')
+            .ok_or_else(|| err("rules must end with '.'".into()))?;
+        let (head, body) = line
+            .split_once(":-")
+            .ok_or_else(|| err("expected `Head(vars) :- body`".into()))?;
+        // Head: Name(v1, ..., vk).
+        let head = head.trim();
+        let (name, rest) = head
+            .split_once('(')
+            .ok_or_else(|| err("head must be `Name(vars)`".into()))?;
+        let name = name.trim();
+        let vars_str = rest
+            .strip_suffix(')')
+            .ok_or_else(|| err("unclosed head variable list".into()))?;
+        let head_vars: Vec<String> = vars_str
+            .split(',')
+            .map(|v| v.trim().to_owned())
+            .filter(|v| !v.is_empty())
+            .collect();
+        match &head_name {
+            None => head_name = Some(name.to_owned()),
+            Some(prev) if prev != name => {
+                return Err(err(format!(
+                    "all rules must share one head predicate (saw {prev} and {name})"
+                )))
+            }
+            _ => {}
+        }
+        // Body: comma-separated atoms [regex](v1, v2); commas inside the
+        // brackets belong to the regex (none in our syntax, but parentheses
+        // do occur), so split carefully.
+        let mut atoms = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            rest = rest.trim_start_matches(',').trim();
+            if rest.is_empty() {
+                break;
+            }
+            if !rest.starts_with('[') {
+                return Err(err(format!("expected `[regex](x, y)` atom at: {rest}")));
+            }
+            let close = rest
+                .find(']')
+                .ok_or_else(|| err("unclosed regex bracket".into()))?;
+            let regex_src = &rest[1..close];
+            let after = rest[close + 1..].trim_start();
+            if !after.starts_with('(') {
+                return Err(err("atom needs a variable pair `(x, y)`".into()));
+            }
+            let vclose = after
+                .find(')')
+                .ok_or_else(|| err("unclosed atom variable list".into()))?;
+            let pair: Vec<&str> = after[1..vclose].split(',').map(str::trim).collect();
+            let [from, to] = pair.as_slice() else {
+                return Err(err("atoms take exactly two variables".into()));
+            };
+            let rel = TwoRpq::parse(regex_src, alphabet)
+                .map_err(|e| err(format!("bad regex {regex_src:?}: {e}")))?;
+            atoms.push(C2RpqAtom::new(rel, *from, *to));
+            rest = after[vclose + 1..].trim_start();
+        }
+        let conj = C2Rpq::new(head_vars, atoms).map_err(|e| err(e.to_string()))?;
+        disjuncts.push(conj);
+    }
+    if disjuncts.is_empty() {
+        return Err(QueryTextError { line: 0, message: "no rules found".into() });
+    }
+    Uc2Rpq::new(disjuncts).map_err(|e| QueryTextError { line: 0, message: e.to_string() })
+}
+
+/// Render a UC2RPQ back to the rule syntax (parse ∘ render = id up to
+/// whitespace).
+pub fn render_uc2rpq(q: &Uc2Rpq, name: &str, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    for d in &q.disjuncts {
+        out.push_str(name);
+        out.push('(');
+        out.push_str(&d.head.join(", "));
+        out.push_str(") :- ");
+        for (i, a) in d.atoms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            out.push_str(&a.rel.regex().display(alphabet).to_string());
+            out.push_str("](");
+            out.push_str(&a.from);
+            out.push_str(", ");
+            out.push_str(&a.to);
+            out.push(')');
+        }
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_graph::generate;
+
+    #[test]
+    fn parses_union_of_rules() {
+        let mut al = Alphabet::new();
+        let q = parse_uc2rpq(
+            "Q(x, y) :- [a+](x, m), [b c-](m, y).\n\
+             # second disjunct\n\
+             Q(x, y) :- [d](x, y).\n",
+            &mut al,
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(q.disjuncts[0].atoms.len(), 2);
+        assert_eq!(q.disjuncts[0].head, vec!["x", "y"]);
+        assert_eq!(q.disjuncts[1].atoms.len(), 1);
+    }
+
+    #[test]
+    fn regex_with_parens_and_unions() {
+        let mut al = Alphabet::new();
+        let q = parse_uc2rpq("P(v) :- [(a|b)* c](v, w).", &mut al).unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let mut al = Alphabet::new();
+        let text = "Q(x, y) :- [a+](x, m), [b](m, y).\nQ(x, y) :- [c-](x, y).\n";
+        let q = parse_uc2rpq(text, &mut al).unwrap();
+        let rendered = render_uc2rpq(&q, "Q", &al);
+        let mut al2 = al.clone();
+        let q2 = parse_uc2rpq(&rendered, &mut al2).unwrap();
+        assert_eq!(q, q2);
+        // And they evaluate identically.
+        let db = generate::random_gnm(6, 14, &["a", "b", "c"], 3);
+        assert_eq!(q.evaluate(&db), q2.evaluate(&db));
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut al = Alphabet::new();
+        let err = parse_uc2rpq("Q(x) :- [a](x, y)", &mut al).unwrap_err();
+        assert_eq!(err.line, 1); // missing period
+        let err = parse_uc2rpq("Q(x) :- [a](x, y).\nR(x) :- [a](x, y).", &mut al).unwrap_err();
+        assert_eq!(err.line, 2); // mixed head predicates
+        let err = parse_uc2rpq("Q(x) :- [a(x, y).", &mut al).unwrap_err();
+        assert_eq!(err.line, 1); // unclosed bracket
+        assert!(parse_uc2rpq("", &mut al).is_err());
+    }
+
+    #[test]
+    fn head_safety_is_enforced() {
+        let mut al = Alphabet::new();
+        let err = parse_uc2rpq("Q(z) :- [a](x, y).", &mut al).unwrap_err();
+        assert!(err.message.contains("head variable"));
+    }
+}

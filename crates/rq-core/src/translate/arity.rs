@@ -1,0 +1,158 @@
+//! Arity reduction: encoding k-ary EDB relations by binary ones.
+//!
+//! "It is possible to encode relations of arbitrary arity by binary
+//! relations [48]" (§4.1) — this is what lifts the RQ containment result
+//! from graph Datalog to full GRQ (Theorem 8). A fact `p(a₁, …, aₖ)` with
+//! `k ≠ 2` becomes a fresh *tuple object* `e` with binary projection edges
+//! `p__i(e, aᵢ)`; a body atom `p(t₁, …, tₖ)` becomes
+//! `∃e. p__1(e, t₁) ∧ … ∧ p__k(e, tₖ)`.
+//!
+//! The encoding is *compositional*: on any graph database `G` the encoded
+//! query computes exactly the original query over the decoded relations
+//! `p = {(a₁…aₖ) : ∃e. p__i(e, aᵢ)}`, so containment is preserved in both
+//! directions.
+
+use rq_datalog::ast::{Atom, Program, Query, Rule, Term};
+use rq_datalog::relation::FactDb;
+use std::collections::BTreeMap;
+
+/// The binary projection predicate for position `i` (1-based) of `pred`.
+pub fn projection_pred(pred: &str, i: usize) -> String {
+    format!("{pred}__{i}")
+}
+
+/// Rewrite every *EDB* atom of non-binary arity into its binary encoding.
+/// Binary EDB atoms and all IDB atoms are left untouched (the RQ algebra
+/// handles k-ary IDB predicates natively). Zero-ary EDB atoms are not
+/// supported and are left unchanged.
+pub fn encode_query(q: &Query) -> Query {
+    let idb = q.program.idb_predicates();
+    let idb: std::collections::BTreeSet<String> =
+        idb.into_iter().map(str::to_owned).collect();
+    let mut counter = 0usize;
+    let rules = q
+        .program
+        .rules
+        .iter()
+        .map(|r| {
+            let mut body = Vec::new();
+            for a in &r.body {
+                let arity = a.arity();
+                if idb.contains(&a.predicate) || arity == 2 || arity == 0 {
+                    body.push(a.clone());
+                    continue;
+                }
+                counter += 1;
+                let e = Term::Var(format!("Enc{counter}"));
+                for (i, t) in a.terms.iter().enumerate() {
+                    body.push(Atom {
+                        predicate: projection_pred(&a.predicate, i + 1),
+                        terms: vec![e.clone(), t.clone()],
+                    });
+                }
+            }
+            Rule::new(r.head.clone(), body)
+        })
+        .collect();
+    Query::new(Program::new(rules), q.goal.clone())
+}
+
+/// Encode the facts of every non-binary relation accordingly, introducing
+/// one fresh tuple constant per fact. Binary relations pass through.
+pub fn encode_factdb(db: &FactDb) -> FactDb {
+    let mut out = FactDb::new();
+    // Preserve the constant interning order for stable names.
+    for v in db.domain() {
+        out.value(db.value_name(v));
+    }
+    let mut fact_counter: BTreeMap<String, usize> = BTreeMap::new();
+    for (pred, rel) in db.relations() {
+        if rel.arity() == 2 || rel.arity() == 0 {
+            for t in rel.iter() {
+                let named: Vec<&str> = t.iter().map(|&v| db.value_name(v)).collect();
+                out.add_fact(pred, &named);
+            }
+            continue;
+        }
+        for t in rel.iter() {
+            let n = fact_counter.entry(pred.to_owned()).or_insert(0);
+            *n += 1;
+            let tuple_obj = format!("__t_{pred}_{n}");
+            for (i, &v) in t.iter().enumerate() {
+                out.add_fact(
+                    &projection_pred(pred, i + 1),
+                    &[&tuple_obj, db.value_name(v)],
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parser::parse_program;
+    use rq_datalog::{evaluate, grq::is_grq};
+
+    #[test]
+    fn ternary_reachability_is_preserved() {
+        // Flights with a carrier column: reachable(x,y) via any carrier.
+        let p = parse_program(
+            "Hop(X, Y) :- Flight(X, C, Y).\n\
+             Reach(X, Y) :- Hop(X, Y).\n\
+             Reach(X, Z) :- Reach(X, Y), Hop(Y, Z).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Reach");
+        assert!(is_grq(&q.program));
+        let mut db = FactDb::new();
+        db.add_fact("Flight", &["jfk", "aa", "lhr"]);
+        db.add_fact("Flight", &["lhr", "ba", "cdg"]);
+        db.add_fact("Flight", &["cdg", "af", "fra"]);
+
+        let plain = evaluate(&q, &db);
+        let eq = encode_query(&q);
+        assert!(is_grq(&eq.program), "encoding must stay in GRQ");
+        let edb = encode_factdb(&db);
+        let encoded = evaluate(&eq, &edb);
+        // Compare by constant names (ids differ between databases).
+        let names = |db: &FactDb, rel: &rq_datalog::Relation| -> std::collections::BTreeSet<Vec<String>> {
+            rel.iter()
+                .map(|t| t.iter().map(|&v| db.value_name(v).to_owned()).collect())
+                .collect()
+        };
+        assert_eq!(names(&db, &plain), names(&edb, &encoded));
+        assert_eq!(plain.len(), 6);
+    }
+
+    #[test]
+    fn binary_and_idb_atoms_pass_through() {
+        let p = parse_program("P(X, Y) :- E(X, Y), Q3(X, Y, Z).\nQ3(X, Y, Z) :- T(X, Y, Z).").unwrap();
+        let q = Query::new(p, "P");
+        let eq = encode_query(&q);
+        // E stays; Q3 (an IDB) stays; T (ternary EDB) is encoded.
+        let body0 = &eq.program.rules[0].body;
+        assert!(body0.iter().any(|a| a.predicate == "E"));
+        assert!(body0.iter().any(|a| a.predicate == "Q3"));
+        let body1 = &eq.program.rules[1].body;
+        assert_eq!(body1.len(), 3);
+        assert!(body1.iter().all(|a| a.predicate.starts_with("T__")));
+        assert!(body1.iter().all(|a| a.arity() == 2));
+    }
+
+    #[test]
+    fn unary_relations_are_encoded() {
+        let p = parse_program("P(X) :- Color(X), E(X, Y).").unwrap();
+        let q = Query::new(p, "P");
+        let eq = encode_query(&q);
+        let mut db = FactDb::new();
+        db.add_fact("Color", &["a"]);
+        db.add_fact("E", &["a", "b"]);
+        db.add_fact("E", &["c", "d"]);
+        let plain = evaluate(&q, &db);
+        let encoded = evaluate(&eq, &encode_factdb(&db));
+        assert_eq!(plain.len(), 1);
+        assert_eq!(encoded.len(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! GRQ → RQ translation and GRQ containment (Theorem 8).
+//!
+//! A GRQ program's recursion is exactly transitive closure, so it maps
+//! back into the RQ algebra: nonrecursive predicates become
+//! union-of-conjunction expressions, each TC pair becomes a `Closure`
+//! node. Combined with the arity encoding ([`super::arity`]) this gives
+//! the paper's Theorem 8 reduction: "the query-containment problem for
+//! GRQ is 2EXPSPACE-complete", decided through the RQ checker.
+
+use super::arity::encode_query;
+use crate::containment::{Config, Outcome};
+use crate::rq::{RqExpr, RqQuery};
+use crate::rpq::TwoRpq;
+use rq_automata::{Alphabet, Regex};
+use rq_datalog::ast::{Query, Rule, Term};
+use rq_datalog::depgraph::DepGraph;
+use rq_datalog::grq::{analyze_grq, GrqViolation};
+use rq_datalog::validate::{validate_query, ValidationError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors of the GRQ → RQ translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrqToRqError {
+    /// The program fails Datalog validation.
+    Invalid(ValidationError),
+    /// The program is not in the GRQ fragment.
+    NotGrq(GrqViolation),
+    /// An EDB predicate is not binary (apply [`encode_query`] first).
+    NonBinaryEdb { predicate: String, arity: usize },
+    /// Rules with constants are outside the RQ algebra.
+    ConstantsUnsupported { constant: String },
+    /// The goal predicate has no definition.
+    UnknownGoal { goal: String },
+}
+
+impl fmt::Display for GrqToRqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrqToRqError::Invalid(e) => write!(f, "invalid program: {e}"),
+            GrqToRqError::NotGrq(v) => write!(f, "not a GRQ program: {v}"),
+            GrqToRqError::NonBinaryEdb { predicate, arity } => write!(
+                f,
+                "EDB predicate {predicate} has arity {arity}; apply the arity encoding first"
+            ),
+            GrqToRqError::ConstantsUnsupported { constant } => {
+                write!(f, "constant \"{constant}\" cannot be expressed in the RQ algebra")
+            }
+            GrqToRqError::UnknownGoal { goal } => write!(f, "unknown goal {goal}"),
+        }
+    }
+}
+
+impl std::error::Error for GrqToRqError {}
+
+struct FromGrq<'a> {
+    alphabet: &'a mut Alphabet,
+    defs: BTreeMap<String, RqQuery>,
+    counter: usize,
+}
+
+impl<'a> FromGrq<'a> {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.counter += 1;
+        format!("_{tag}{}", self.counter)
+    }
+
+    /// The expression for `pred(args)`.
+    fn atom_expr(&mut self, pred: &str, args: &[String]) -> Result<RqExpr, GrqToRqError> {
+        if let Some(def) = self.defs.get(pred).cloned() {
+            return Ok(self.instantiate(&def, args));
+        }
+        // EDB: must be binary.
+        if args.len() != 2 {
+            return Err(GrqToRqError::NonBinaryEdb {
+                predicate: pred.to_owned(),
+                arity: args.len(),
+            });
+        }
+        let label = self.alphabet.intern(pred);
+        Ok(RqExpr::edge(label, args[0].clone(), args[1].clone()))
+    }
+
+    /// Instantiate a predicate definition at the given argument names.
+    fn instantiate(&mut self, def: &RqQuery, args: &[String]) -> RqExpr {
+        debug_assert_eq!(def.head.len(), args.len());
+        // α-rename the definition into a private variable space.
+        self.counter += 1;
+        let tag = self.counter;
+        let prefixed = |v: &str| format!("_i{tag}_{v}");
+        let mut expr = def.expr.rename_all(&prefixed);
+        let heads: Vec<String> = def.head.iter().map(|h| prefixed(h)).collect();
+        // First occurrence of each arg: plain rename; duplicates: equate
+        // by selection and project the extra column away.
+        let mut assigned: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut dup_cols: Vec<String> = Vec::new();
+        for (i, arg) in args.iter().enumerate() {
+            if let Some(&_first) = assigned.get(arg.as_str()) {
+                dup_cols.push(heads[i].clone());
+            } else {
+                assigned.insert(arg, i);
+                let from = heads[i].clone();
+                let to = arg.clone();
+                expr = expr.rename_all(&move |v: &str| {
+                    if v == from {
+                        to.clone()
+                    } else {
+                        v.to_owned()
+                    }
+                });
+            }
+        }
+        for (i, arg) in args.iter().enumerate() {
+            if heads[i] != args[i] && dup_cols.contains(&heads[i]) {
+                expr = expr.select_eq(arg.clone(), heads[i].clone()).project(heads[i].clone());
+            }
+        }
+        expr
+    }
+
+    /// The expression of one rule body, projected to the rule's head
+    /// variables renamed to the canonical `g0..gk-1`.
+    fn rule_expr(&mut self, rule: &Rule, canon: &[String]) -> Result<RqExpr, GrqToRqError> {
+        // Reject constants.
+        for atom in std::iter::once(&rule.head).chain(&rule.body) {
+            for t in &atom.terms {
+                if let Term::Const(c) = t {
+                    return Err(GrqToRqError::ConstantsUnsupported { constant: c.clone() });
+                }
+            }
+        }
+        // Private variable space for this rule.
+        let tag = self.fresh("r");
+        let rv = |v: &str| format!("{tag}_{v}");
+        // Conjunction of body atoms.
+        let mut expr: Option<RqExpr> = None;
+        for atom in &rule.body {
+            let args: Vec<String> = atom
+                .terms
+                .iter()
+                .map(|t| rv(t.as_var().expect("constants rejected above")))
+                .collect();
+            let a = self.atom_expr(&atom.predicate, &args)?;
+            expr = Some(match expr {
+                None => a,
+                Some(e) => e.and(a),
+            });
+        }
+        let mut expr = expr.expect("validated rules have nonempty bodies");
+        // Project out existential variables.
+        let head_vars: Vec<String> = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| rv(t.as_var().expect("constants rejected above")))
+            .collect();
+        for v in rule
+            .body
+            .iter()
+            .flat_map(|a| a.variables())
+            .map(|v| rv(v))
+            .collect::<std::collections::BTreeSet<String>>()
+        {
+            if !head_vars.contains(&v) {
+                expr = expr.project(v);
+            }
+        }
+        // Rename head variables to the canonical names; duplicates get an
+        // ε-atom to materialize the extra equal column.
+        let mut named: BTreeMap<String, String> = BTreeMap::new();
+        for (i, hv) in head_vars.iter().enumerate() {
+            if let Some(first_canon) = named.get(hv) {
+                // hv already bound to a canonical name: add an ε-atom tying
+                // the new canonical column to the first.
+                let eps = TwoRpq::new(Regex::Epsilon);
+                expr = expr.and(RqExpr::rel2(eps, first_canon.clone(), canon[i].clone()));
+            } else {
+                let from = hv.clone();
+                let to = canon[i].clone();
+                expr = expr.rename_all(&move |v: &str| {
+                    if v == from {
+                        to.clone()
+                    } else {
+                        v.to_owned()
+                    }
+                });
+                named.insert(hv.clone(), canon[i].clone());
+            }
+        }
+        Ok(expr)
+    }
+}
+
+/// Translate a GRQ query over binary EDB relations into the RQ algebra.
+///
+/// Labels are interned into `alphabet`; the resulting query has canonical
+/// head variables `g0..gk-1` and answers exactly the Datalog query's goal
+/// relation on the corresponding graph database
+/// ([`super::bridge::factdb_to_graphdb`]).
+pub fn grq_to_rq(query: &Query, alphabet: &mut Alphabet) -> Result<RqQuery, GrqToRqError> {
+    validate_query(query).map_err(GrqToRqError::Invalid)?;
+    let analysis = analyze_grq(&query.program).map_err(GrqToRqError::NotGrq)?;
+    let tc_of: BTreeMap<&str, &rq_datalog::grq::TcDef> = analysis
+        .tc_defs
+        .iter()
+        .map(|d| (d.tc_pred.as_str(), d))
+        .collect();
+    let dg = DepGraph::new(&query.program);
+    let arities = query.program.predicate_arities();
+    let idb = query.program.idb_predicates();
+    let mut tr = FromGrq { alphabet, defs: BTreeMap::new(), counter: 0 };
+
+    for scc in &dg.sccs {
+        for &pi in scc {
+            let pred = dg.predicates[pi].clone();
+            if !idb.contains(pred.as_str()) {
+                continue;
+            }
+            let k = arities[pred.as_str()];
+            let canon: Vec<String> = (0..k).map(|i| format!("g{i}")).collect();
+            let def = if let Some(tc) = tc_of.get(pred.as_str()) {
+                // Closure over the base predicate.
+                let from = tr.fresh("tcx");
+                let to = tr.fresh("tcy");
+                let base = tr.atom_expr(&tc.base_pred.clone(), &[from.clone(), to.clone()])?;
+                let expr = base.closure(from.clone(), to.clone());
+                // Canonicalize head names.
+                let expr = expr.rename_all(&{
+                    let (f, t) = (from.clone(), to.clone());
+                    let (c0, c1) = (canon[0].clone(), canon[1].clone());
+                    move |v: &str| {
+                        if v == f {
+                            c0.clone()
+                        } else if v == t {
+                            c1.clone()
+                        } else {
+                            v.to_owned()
+                        }
+                    }
+                });
+                RqQuery::new(canon.clone(), expr).expect("closure definition is well-formed")
+            } else {
+                let mut branches = Vec::new();
+                for rule in query.program.rules_for(&pred) {
+                    branches.push(tr.rule_expr(rule, &canon)?);
+                }
+                let expr = branches
+                    .into_iter()
+                    .reduce(RqExpr::or)
+                    .expect("IDB predicates have at least one rule");
+                RqQuery::new(canon.clone(), expr).map_err(|e| {
+                    GrqToRqError::Invalid(ValidationError::UnsafeRule {
+                        rule: format!("definition of {pred}"),
+                        variable: e.to_string(),
+                    })
+                })?
+            };
+            tr.defs.insert(pred, def);
+        }
+    }
+
+    match tr.defs.get(query.goal.as_str()) {
+        Some(def) => Ok(def.clone()),
+        None => {
+            // EDB goal: the identity query.
+            let k = arities
+                .get(query.goal.as_str())
+                .copied()
+                .ok_or_else(|| GrqToRqError::UnknownGoal { goal: query.goal.clone() })?;
+            if k != 2 {
+                return Err(GrqToRqError::NonBinaryEdb { predicate: query.goal.clone(), arity: k });
+            }
+            let label = tr.alphabet.intern(&query.goal);
+            Ok(RqQuery::new(
+                vec!["g0".into(), "g1".into()],
+                RqExpr::edge(label, "g0", "g1"),
+            )
+            .expect("edge query is well-formed"))
+        }
+    }
+}
+
+/// Decide containment of two GRQ queries (Theorem 8): apply the arity
+/// encoding, translate both to RQ over a shared alphabet, and run the RQ
+/// checker.
+pub fn grq_containment(q1: &Query, q2: &Query, cfg: &Config) -> Outcome {
+    let e1 = encode_query(q1);
+    let e2 = encode_query(q2);
+    let mut alphabet = Alphabet::new();
+    let r1 = match grq_to_rq(&e1, &mut alphabet) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Unknown { reason: format!("left query: {e}") },
+    };
+    let r2 = match grq_to_rq(&e2, &mut alphabet) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Unknown { reason: format!("right query: {e}") },
+    };
+    crate::containment::rq::check(&r1, &r2, &alphabet, cfg)
+}
+
+/// Re-export for callers that need to encode fact databases alongside
+/// [`grq_containment`]'s encoded queries.
+pub use super::arity::encode_factdb as encode_facts;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::bridge::factdb_to_graphdb;
+    use rq_datalog::parser::parse_program;
+    use rq_datalog::{evaluate, FactDb};
+    use std::collections::BTreeSet;
+
+    fn chain_edb(n: usize) -> FactDb {
+        let mut db = FactDb::new();
+        for i in 0..n - 1 {
+            db.add_fact("e", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        db
+    }
+
+    /// Compare Datalog evaluation with RQ evaluation of the translation.
+    fn assert_equivalent(q: &Query, edb: &FactDb) {
+        let mut al = Alphabet::new();
+        let rq = grq_to_rq(q, &mut al).expect("translation");
+        let gdb = factdb_to_graphdb(edb).expect("binary database");
+        let datalog: BTreeSet<Vec<String>> = evaluate(q, edb)
+            .iter()
+            .map(|t| t.iter().map(|&v| edb.value_name(v).to_owned()).collect())
+            .collect();
+        let rq_ans: BTreeSet<Vec<String>> = rq
+            .evaluate(&gdb)
+            .into_iter()
+            .map(|t| {
+                t.into_iter()
+                    .map(|n| gdb.display_node(n))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(datalog, rq_ans);
+    }
+
+    #[test]
+    fn tc_program_roundtrips() {
+        let p = parse_program(
+            "T(X, Y) :- e(X, Y).\nT(X, Z) :- T(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        let q = Query::new(p, "T");
+        assert_equivalent(&q, &chain_edb(6));
+    }
+
+    #[test]
+    fn layered_grq_roundtrips() {
+        // TC over a defined base (join of two relations), plus projection.
+        let p = parse_program(
+            "Hop(X, Z) :- e(X, Y), f(Y, Z).\n\
+             T(X, Y) :- Hop(X, Y).\n\
+             T(X, Z) :- T(X, Y), Hop(Y, Z).\n\
+             Ans(X) :- T(X, Y).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Ans");
+        let mut edb = FactDb::new();
+        for i in 0..4 {
+            edb.add_fact("e", &[&format!("a{i}"), &format!("b{i}")]);
+            edb.add_fact("f", &[&format!("b{i}"), &format!("a{}", i + 1)]);
+        }
+        assert_equivalent(&q, &edb);
+    }
+
+    #[test]
+    fn repeated_head_variables_roundtrip() {
+        let p = parse_program("Diag(X, X) :- e(X, Y).").unwrap();
+        let q = Query::new(p, "Diag");
+        assert_equivalent(&q, &chain_edb(4));
+    }
+
+    #[test]
+    fn repeated_atom_arguments_roundtrip() {
+        // Self-loops through an IDB definition.
+        let p = parse_program(
+            "E2(X, Y) :- e(X, Y).\nLoopy(X) :- E2(X, X).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Loopy");
+        let mut edb = FactDb::new();
+        edb.add_fact("e", &["a", "a"]);
+        edb.add_fact("e", &["a", "b"]);
+        assert_equivalent(&q, &edb);
+    }
+
+    #[test]
+    fn non_grq_is_rejected() {
+        let p = parse_program(
+            "Q(X) :- e(X, Y), Q(Y).\nQ(X) :- p(X, X).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Q");
+        let mut al = Alphabet::new();
+        assert!(matches!(
+            grq_to_rq(&q, &mut al),
+            Err(GrqToRqError::NotGrq(_))
+        ));
+    }
+
+    #[test]
+    fn constants_are_rejected() {
+        let p = parse_program("Q(X) :- e(X, alice).").unwrap();
+        let q = Query::new(p, "Q");
+        let mut al = Alphabet::new();
+        assert!(matches!(
+            grq_to_rq(&q, &mut al),
+            Err(GrqToRqError::ConstantsUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn grq_containment_basic() {
+        let cfg = Config::default();
+        let tc = Query::new(
+            parse_program("T(X, Y) :- e(X, Y).\nT(X, Z) :- T(X, Y), e(Y, Z).").unwrap(),
+            "T",
+        );
+        let edge = Query::new(parse_program("P(X, Y) :- e(X, Y).").unwrap(), "P");
+        // edge ⊑ TC(edge).
+        let out = grq_containment(&edge, &tc, &cfg);
+        assert!(out.is_contained(), "{out}");
+        // TC(edge) ⋢ edge.
+        let out = grq_containment(&tc, &edge, &cfg);
+        assert!(out.is_not_contained(), "{out}");
+    }
+
+    #[test]
+    fn grq_containment_with_ternary_edb() {
+        let cfg = Config::default();
+        // Reachability over a ternary flight relation (exercises the
+        // Theorem 8 arity encoding).
+        let reach = Query::new(
+            parse_program(
+                "Hop(X, Y) :- flight(X, C, Y).\n\
+                 T(X, Y) :- Hop(X, Y).\n\
+                 T(X, Z) :- T(X, Y), Hop(Y, Z).",
+            )
+            .unwrap(),
+            "T",
+        );
+        let hop = Query::new(
+            parse_program("Hop(X, Y) :- flight(X, C, Y).").unwrap(),
+            "Hop",
+        );
+        let out = grq_containment(&hop, &reach, &cfg);
+        assert!(out.is_contained(), "{out}");
+        let out = grq_containment(&reach, &hop, &cfg);
+        assert!(out.is_not_contained(), "{out}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Bridges between the RQ algebra, Datalog, and the two database models.
+//!
+//! * [`bridge`] — [`GraphDb`](rq_graph::GraphDb) ⇆
+//!   [`FactDb`](rq_datalog::FactDb) conversion;
+//! * [`to_datalog`] — the §4.1 embedding of RQ into Datalog, where
+//!   "recursion can be used only to define transitive closure of binary
+//!   relations" (the output is always GRQ, tested);
+//! * [`from_grq`] — the converse: GRQ programs over binary EDBs back into
+//!   the RQ algebra, plus GRQ containment via reduction to RQ containment
+//!   (Theorem 8);
+//! * [`arity`] — the arity-reduction encoding ("it is possible to encode
+//!   relations of arbitrary arity by binary relations [48]") that lifts
+//!   the reduction to k-ary EDBs.
+
+pub mod arity;
+pub mod bridge;
+pub mod from_grq;
+pub mod to_datalog;
+
+pub use arity::{encode_factdb, encode_query};
+pub use bridge::{factdb_to_graphdb, graphdb_to_factdb, node_constant};
+pub use from_grq::{grq_containment, grq_to_rq, GrqToRqError};
+pub use to_datalog::rq_to_datalog;

@@ -1,0 +1,477 @@
+//! The §4.1 embedding of RQ into Datalog.
+//!
+//! Each operator becomes the rule schema the paper lists — atoms, selection,
+//! projection, union, conjunction, and transitive closure (the only
+//! recursion) — so the output is always a **GRQ** program (asserted by the
+//! tests via the `rq-datalog` recognizer). 2RPQ atoms are compiled
+//! structurally: concatenation chains rules, union adds rules, `+`
+//! generates a transitive-closure pair, and `*`/`?` add an ε case through
+//! the `Node` (active-domain) predicate backed by the bridge's unary
+//! `node` relation.
+
+use crate::rq::{RqExpr, RqQuery};
+use rq_automata::{Alphabet, Regex};
+use rq_datalog::ast::{Atom, Program, Query, Rule, Term};
+
+/// Mangle an RQ variable into a Datalog variable (Datalog's concrete
+/// syntax requires an uppercase start).
+fn dvar(v: &str) -> Term {
+    Term::Var(format!("V_{v}"))
+}
+
+fn fresh_vars(n: usize, tag: &str) -> Vec<Term> {
+    (0..n).map(|i| Term::Var(format!("{tag}{i}"))).collect()
+}
+
+struct Translator<'a> {
+    alphabet: &'a Alphabet,
+    rules: Vec<Rule>,
+    counter: usize,
+    node_pred_used: bool,
+}
+
+impl<'a> Translator<'a> {
+    fn fresh_pred(&mut self, tag: &str) -> String {
+        self.counter += 1;
+        format!("{tag}{}", self.counter)
+    }
+
+    /// Translate an expression; returns `(predicate, columns)` where
+    /// `columns` names the RQ variable of each predicate position.
+    fn expr(&mut self, e: &RqExpr) -> (String, Vec<String>) {
+        match e {
+            RqExpr::Edge { label, from, to } => {
+                let p = self.fresh_pred("Q");
+                let lname = self.alphabet.name(*label).to_owned();
+                if from == to {
+                    self.rules.push(Rule::new(
+                        Atom { predicate: p.clone(), terms: vec![dvar(from)] },
+                        vec![Atom { predicate: lname, terms: vec![dvar(from), dvar(from)] }],
+                    ));
+                    (p, vec![from.clone()])
+                } else {
+                    self.rules.push(Rule::new(
+                        Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
+                        vec![Atom { predicate: lname, terms: vec![dvar(from), dvar(to)] }],
+                    ));
+                    (p, vec![from.clone(), to.clone()])
+                }
+            }
+            RqExpr::Rel2 { rel, from, to } => {
+                let inner = self.regex(rel.regex());
+                let p = self.fresh_pred("Q");
+                if from == to {
+                    self.rules.push(Rule::new(
+                        Atom { predicate: p.clone(), terms: vec![dvar(from)] },
+                        vec![Atom {
+                            predicate: inner,
+                            terms: vec![dvar(from), dvar(from)],
+                        }],
+                    ));
+                    (p, vec![from.clone()])
+                } else {
+                    self.rules.push(Rule::new(
+                        Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
+                        vec![Atom { predicate: inner, terms: vec![dvar(from), dvar(to)] }],
+                    ));
+                    (p, vec![from.clone(), to.clone()])
+                }
+            }
+            RqExpr::Select { inner, v1, v2 } => {
+                let (ip, cols) = self.expr(inner);
+                let p = self.fresh_pred("Q");
+                // Body uses v1's variable wherever v2's column sits; the
+                // head repeats it so the arity is preserved.
+                let body_terms: Vec<Term> = cols
+                    .iter()
+                    .map(|c| if c == v2 { dvar(v1) } else { dvar(c) })
+                    .collect();
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: body_terms.clone() },
+                    vec![Atom { predicate: ip, terms: body_terms }],
+                ));
+                (p, cols)
+            }
+            RqExpr::Project { inner, var } => {
+                let (ip, cols) = self.expr(inner);
+                let p = self.fresh_pred("Q");
+                let kept: Vec<String> = cols.iter().filter(|c| *c != var).cloned().collect();
+                self.rules.push(Rule::new(
+                    Atom {
+                        predicate: p.clone(),
+                        terms: kept.iter().map(|c| dvar(c)).collect(),
+                    },
+                    vec![Atom {
+                        predicate: ip,
+                        terms: cols.iter().map(|c| dvar(c)).collect(),
+                    }],
+                ));
+                (p, kept)
+            }
+            RqExpr::Union { left, right } => {
+                let (lp, lcols) = self.expr(left);
+                let (rp, rcols) = self.expr(right);
+                let p = self.fresh_pred("Q");
+                let head = Atom {
+                    predicate: p.clone(),
+                    terms: lcols.iter().map(|c| dvar(c)).collect(),
+                };
+                self.rules.push(Rule::new(
+                    head.clone(),
+                    vec![Atom {
+                        predicate: lp,
+                        terms: lcols.iter().map(|c| dvar(c)).collect(),
+                    }],
+                ));
+                // The right side's columns are the same variables, possibly
+                // in another order.
+                self.rules.push(Rule::new(
+                    head,
+                    vec![Atom {
+                        predicate: rp,
+                        terms: rcols.iter().map(|c| dvar(c)).collect(),
+                    }],
+                ));
+                (p, lcols)
+            }
+            RqExpr::And { left, right } => {
+                let (lp, lcols) = self.expr(left);
+                let (rp, rcols) = self.expr(right);
+                let p = self.fresh_pred("Q");
+                let mut cols = lcols.clone();
+                for c in &rcols {
+                    if !cols.contains(c) {
+                        cols.push(c.clone());
+                    }
+                }
+                self.rules.push(Rule::new(
+                    Atom {
+                        predicate: p.clone(),
+                        terms: cols.iter().map(|c| dvar(c)).collect(),
+                    },
+                    vec![
+                        Atom { predicate: lp, terms: lcols.iter().map(|c| dvar(c)).collect() },
+                        Atom { predicate: rp, terms: rcols.iter().map(|c| dvar(c)).collect() },
+                    ],
+                ));
+                (p, cols)
+            }
+            RqExpr::Closure { inner, from, to } => {
+                let (ip, cols) = self.expr(inner);
+                // Base predicate aligned to (from, to).
+                let b = self.fresh_pred("B");
+                let (x, y, z) = (
+                    Term::Var("Tx".into()),
+                    Term::Var("Ty".into()),
+                    Term::Var("Tz".into()),
+                );
+                let aligned: Vec<Term> = cols
+                    .iter()
+                    .map(|c| if c == from { x.clone() } else { y.clone() })
+                    .collect();
+                self.rules.push(Rule::new(
+                    Atom { predicate: b.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: ip, terms: aligned }],
+                ));
+                // The §4.1 transitive-closure pair.
+                let t = self.fresh_pred("T");
+                self.rules.push(Rule::new(
+                    Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: b.clone(), terms: vec![x.clone(), y.clone()] }],
+                ));
+                self.rules.push(Rule::new(
+                    Atom { predicate: t.clone(), terms: vec![x.clone(), z.clone()] },
+                    vec![
+                        Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
+                        Atom { predicate: b, terms: vec![y.clone(), z.clone()] },
+                    ],
+                ));
+                // Re-expose with the RQ variable names.
+                let p = self.fresh_pred("Q");
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
+                    vec![Atom { predicate: t, terms: vec![dvar(from), dvar(to)] }],
+                ));
+                (p, vec![from.clone(), to.clone()])
+            }
+        }
+    }
+
+    /// Compile a regular expression to a binary predicate.
+    fn regex(&mut self, re: &Regex) -> String {
+        match re {
+            Regex::Empty => {
+                let p = self.fresh_pred("R");
+                // Defer to a reserved EDB predicate that is never
+                // populated: the relation is empty, and the rule is
+                // non-recursive (a self-referential rule would break the
+                // GRQ property of the translation).
+                let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: "__empty".into(), terms: vec![x, y] }],
+                ));
+                p
+            }
+            Regex::Epsilon => {
+                let p = self.fresh_pred("R");
+                self.node_pred_used = true;
+                let x = Term::Var("X".into());
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
+                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                ));
+                p
+            }
+            Regex::Letter(l) => {
+                let p = self.fresh_pred("R");
+                let lname = self.alphabet.name(l.label).to_owned();
+                let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
+                let body = if l.inverse {
+                    Atom { predicate: lname, terms: vec![y.clone(), x.clone()] }
+                } else {
+                    Atom { predicate: lname, terms: vec![x.clone(), y.clone()] }
+                };
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x, y] },
+                    vec![body],
+                ));
+                p
+            }
+            Regex::Concat(parts) => {
+                let inner: Vec<String> = parts.iter().map(|e| self.regex(e)).collect();
+                let p = self.fresh_pred("R");
+                let vars = fresh_vars(parts.len() + 1, "X");
+                let body = inner
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ip)| Atom {
+                        predicate: ip.clone(),
+                        terms: vec![vars[i].clone(), vars[i + 1].clone()],
+                    })
+                    .collect();
+                self.rules.push(Rule::new(
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![vars[0].clone(), vars[parts.len()].clone()],
+                    },
+                    body,
+                ));
+                p
+            }
+            Regex::Union(parts) => {
+                let inner: Vec<String> = parts.iter().map(|e| self.regex(e)).collect();
+                let p = self.fresh_pred("R");
+                let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
+                for ip in inner {
+                    self.rules.push(Rule::new(
+                        Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
+                        vec![Atom { predicate: ip, terms: vec![x.clone(), y.clone()] }],
+                    ));
+                }
+                p
+            }
+            Regex::Star(e) => {
+                let plus = self.regex(&e.as_ref().clone().plus());
+                let p = self.fresh_pred("R");
+                self.node_pred_used = true;
+                let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: plus, terms: vec![x.clone(), y.clone()] }],
+                ));
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
+                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                ));
+                p
+            }
+            Regex::Plus(e) => {
+                let base = self.regex(e);
+                let t = self.fresh_pred("T");
+                let (x, y, z) = (
+                    Term::Var("X".into()),
+                    Term::Var("Y".into()),
+                    Term::Var("Z".into()),
+                );
+                self.rules.push(Rule::new(
+                    Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: base.clone(), terms: vec![x.clone(), y.clone()] }],
+                ));
+                self.rules.push(Rule::new(
+                    Atom { predicate: t.clone(), terms: vec![x.clone(), z.clone()] },
+                    vec![
+                        Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
+                        Atom { predicate: base, terms: vec![y.clone(), z.clone()] },
+                    ],
+                ));
+                t
+            }
+            Regex::Optional(e) => {
+                let inner = self.regex(e);
+                let p = self.fresh_pred("R");
+                self.node_pred_used = true;
+                let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
+                    vec![Atom { predicate: inner, terms: vec![x.clone(), y.clone()] }],
+                ));
+                self.rules.push(Rule::new(
+                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
+                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                ));
+                p
+            }
+        }
+    }
+}
+
+/// Translate a regular query into an equivalent Datalog query over the
+/// binary edge relations (named by `alphabet`) plus the unary `node`
+/// relation of [`super::bridge::graphdb_to_factdb`].
+///
+/// The output is a **GRQ** program: its only recursion is the §4.1
+/// transitive-closure rule pair.
+pub fn rq_to_datalog(q: &RqQuery, alphabet: &Alphabet) -> Query {
+    let mut tr = Translator { alphabet, rules: Vec::new(), counter: 0, node_pred_used: false };
+    let (top, cols) = tr.expr(&q.expr);
+    let goal = "Goal".to_owned();
+    tr.rules.push(Rule::new(
+        Atom {
+            predicate: goal.clone(),
+            terms: q.head.iter().map(|h| dvar(h)).collect(),
+        },
+        vec![Atom { predicate: top, terms: cols.iter().map(|c| dvar(c)).collect() }],
+    ));
+    if tr.node_pred_used {
+        tr.rules.push(Rule::new(
+            Atom::new("Node", &["X"]),
+            vec![Atom::new(super::bridge::NODE_PREDICATE, &["X"])],
+        ));
+    }
+    Query::new(Program::new(tr.rules), goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpq::TwoRpq;
+    use crate::translate::bridge::{graphdb_to_factdb, node_constant};
+    use rq_datalog::grq::is_grq;
+    use rq_datalog::validate::validate_query;
+    use rq_graph::generate;
+    use std::collections::BTreeSet;
+
+    /// Evaluate both sides on the same database and compare answer sets.
+    fn assert_equivalent(q: &RqQuery, db: &rq_graph::GraphDb, alphabet: &Alphabet) {
+        let dq = rq_to_datalog(q, alphabet);
+        validate_query(&dq).expect("translation must be valid Datalog");
+        assert!(is_grq(&dq.program), "translation must land in GRQ (§4.1)");
+        let facts = graphdb_to_factdb(db);
+        let rel = rq_datalog::evaluate(&dq, &facts);
+        let datalog_answers: BTreeSet<Vec<String>> = rel
+            .iter()
+            .map(|t| t.iter().map(|&v| facts.value_name(v).to_owned()).collect())
+            .collect();
+        let rq_answers: BTreeSet<Vec<String>> = q
+            .evaluate(db)
+            .into_iter()
+            .map(|t| t.into_iter().map(|n| node_constant(db, n)).collect())
+            .collect();
+        assert_eq!(rq_answers, datalog_answers);
+    }
+
+    #[test]
+    fn edge_and_closure_translate() {
+        let db = generate::random_gnm(8, 16, &["r"], 3);
+        let al = db.alphabet().clone();
+        let r = al.get("r").unwrap();
+        let q = RqQuery::new(
+            vec!["x".into(), "y".into()],
+            RqExpr::edge(r, "x", "y").closure("x", "y"),
+        )
+        .unwrap();
+        assert_equivalent(&q, &db, &al);
+    }
+
+    #[test]
+    fn regex_atoms_translate() {
+        let db = generate::random_gnm(7, 14, &["a", "b"], 11);
+        let mut al = db.alphabet().clone();
+        for re in ["a b", "a|b", "a+", "a*", "a?", "a b-", "(a|b)* a"] {
+            let rel = TwoRpq::parse(re, &mut al).unwrap();
+            let q = RqQuery::new(
+                vec!["x".into(), "y".into()],
+                RqExpr::rel2(rel, "x", "y"),
+            )
+            .unwrap();
+            assert_equivalent(&q, &db, &al);
+        }
+    }
+
+    #[test]
+    fn star_handles_isolated_nodes() {
+        // The ε case must cover isolated objects via the node relation.
+        let mut db = generate::chain(3, "r");
+        db.add_node(); // isolated
+        let mut al = db.alphabet().clone();
+        let rel = TwoRpq::parse("r*", &mut al).unwrap();
+        let q = RqQuery::new(
+            vec!["x".into(), "y".into()],
+            RqExpr::rel2(rel, "x", "y"),
+        )
+        .unwrap();
+        assert_equivalent(&q, &db, &al);
+    }
+
+    #[test]
+    fn full_algebra_translates() {
+        let db = generate::random_gnm(8, 20, &["a", "b"], 23);
+        let al = db.alphabet().clone();
+        let a = al.get("a").unwrap();
+        let b = al.get("b").unwrap();
+        // (∃z: a(x,z) ∧ b(z,y)) ∨ (a(x,y) with x=y kept) … exercise every
+        // operator incl. selection and a closure.
+        let left = RqExpr::edge(a, "x", "z")
+            .and(RqExpr::edge(b, "z", "y"))
+            .project("z");
+        let right = RqExpr::edge(a, "x", "y");
+        let body = left.or(right).closure("x", "y");
+        let q = RqQuery::new(vec!["x".into(), "y".into()], body).unwrap();
+        assert_equivalent(&q, &db, &al);
+
+        let sel = RqExpr::edge(a, "x", "y").select_eq("x", "y");
+        let q = RqQuery::new(vec!["x".into(), "y".into()], sel).unwrap();
+        assert_equivalent(&q, &db, &al);
+    }
+
+    #[test]
+    fn triangle_closure_translates() {
+        let db = generate::random_gnm(7, 18, &["r"], 31);
+        let al = db.alphabet().clone();
+        let r = al.get("r").unwrap();
+        let body = RqExpr::edge(r, "x", "y")
+            .and(RqExpr::edge(r, "y", "z"))
+            .and(RqExpr::edge(r, "z", "x"))
+            .project("z");
+        let q = RqQuery::new(
+            vec!["x".into(), "y".into()],
+            body.closure("x", "y"),
+        )
+        .unwrap();
+        assert_equivalent(&q, &db, &al);
+    }
+
+    #[test]
+    fn empty_regex_translates_to_empty_relation() {
+        let db = generate::chain(3, "r");
+        let mut al = db.alphabet().clone();
+        let rel = TwoRpq::parse("∅", &mut al).unwrap();
+        let q = RqQuery::new(
+            vec!["x".into(), "y".into()],
+            RqExpr::rel2(rel, "x", "y"),
+        )
+        .unwrap();
+        assert_equivalent(&q, &db, &al);
+    }
+}

@@ -1,0 +1,268 @@
+//! The dependence graph of a Datalog program.
+//!
+//! "The dependence graph of Π is a directed graph whose nodes are the
+//! predicates of Π … there is an edge from Q to P if P appears in the head
+//! of a rule with Q in the body" (§2.2). A predicate is *recursive* if
+//! there is a dependence-graph path from it to itself; a program is
+//! *nonrecursive* if no predicate is recursive; it is *Monadic Datalog* if
+//! every recursive predicate is one-place (§2.3).
+
+use crate::ast::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dependence graph, with strongly connected components precomputed.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Predicate names, in a stable order.
+    pub predicates: Vec<String>,
+    index: BTreeMap<String, usize>,
+    /// `edges[q]` = predicates P such that P's rule body mentions q (i.e.,
+    /// edges point from a body predicate to the head that depends on it).
+    pub edges: Vec<BTreeSet<usize>>,
+    /// SCC id per predicate (reverse topological: callees before callers).
+    pub scc_of: Vec<usize>,
+    /// Members of each SCC.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build the dependence graph of `program`.
+    pub fn new(program: &Program) -> DepGraph {
+        let mut index = BTreeMap::new();
+        let mut predicates = Vec::new();
+        let intern = |name: &str, index: &mut BTreeMap<String, usize>, preds: &mut Vec<String>| {
+            if let Some(&i) = index.get(name) {
+                return i;
+            }
+            let i = preds.len();
+            preds.push(name.to_owned());
+            index.insert(name.to_owned(), i);
+            i
+        };
+        for rule in &program.rules {
+            intern(&rule.head.predicate, &mut index, &mut predicates);
+            for a in &rule.body {
+                intern(&a.predicate, &mut index, &mut predicates);
+            }
+        }
+        let mut edges = vec![BTreeSet::new(); predicates.len()];
+        for rule in &program.rules {
+            let head = index[&rule.head.predicate];
+            for a in &rule.body {
+                let body = index[&a.predicate];
+                edges[body].insert(head);
+            }
+        }
+        let (scc_of, sccs) = tarjan(&edges);
+        DepGraph { predicates, index, edges, scc_of, sccs }
+    }
+
+    /// The index of `predicate`, if it occurs in the program.
+    pub fn predicate_index(&self, predicate: &str) -> Option<usize> {
+        self.index.get(predicate).copied()
+    }
+
+    /// Whether `predicate` is recursive (lies on a dependence cycle).
+    pub fn is_recursive(&self, predicate: &str) -> bool {
+        let Some(i) = self.predicate_index(predicate) else {
+            return false;
+        };
+        let scc = self.scc_of[i];
+        self.sccs[scc].len() > 1 || self.edges[i].contains(&i)
+    }
+
+    /// All recursive predicates.
+    pub fn recursive_predicates(&self) -> Vec<&str> {
+        self.predicates
+            .iter()
+            .filter(|p| self.is_recursive(p))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// The SCCs containing at least one recursive predicate, as sets of
+    /// predicate names.
+    pub fn recursive_sccs(&self) -> Vec<Vec<&str>> {
+        self.sccs
+            .iter()
+            .filter(|scc| {
+                scc.len() > 1 || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]))
+            })
+            .map(|scc| scc.iter().map(|&i| self.predicates[i].as_str()).collect())
+            .collect()
+    }
+}
+
+/// Whether the program is nonrecursive — and therefore expressible as a
+/// finite union of conjunctive queries (§2.2).
+pub fn is_nonrecursive(program: &Program) -> bool {
+    DepGraph::new(program).recursive_predicates().is_empty()
+}
+
+/// Whether the program is Monadic Datalog: every *recursive* predicate is
+/// one-place (the goal and non-recursive IDBs may have any arity, §2.3).
+pub fn is_monadic(program: &Program) -> bool {
+    let dg = DepGraph::new(program);
+    let arities = program.predicate_arities();
+    dg.recursive_predicates()
+        .iter()
+        .all(|p| arities.get(p).copied() == Some(1))
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+/// Returns `(scc_of, sccs)` with SCCs in reverse topological order.
+fn tarjan(edges: &[BTreeSet<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = edges.len();
+    let mut index_counter = 0usize;
+    let mut indices = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS with an explicit call stack of (node, child iterator
+    // position).
+    for start in 0..n {
+        if indices[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let children: Vec<usize> = edges[start].iter().copied().collect();
+        indices[start] = index_counter;
+        lowlink[start] = index_counter;
+        index_counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, children, 0));
+        while let Some((v, children, pos)) = call.last_mut() {
+            if *pos < children.len() {
+                let w = children[*pos];
+                *pos += 1;
+                if indices[w] == usize::MAX {
+                    indices[w] = index_counter;
+                    lowlink[w] = index_counter;
+                    index_counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wc: Vec<usize> = edges[w].iter().copied().collect();
+                    call.push((w, wc, 0));
+                } else if on_stack[w] {
+                    let v = *v;
+                    lowlink[v] = lowlink[v].min(indices[w]);
+                }
+            } else {
+                let v = *v;
+                if lowlink[v] == indices[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+                call.pop();
+                if let Some((parent, _, _)) = call.last() {
+                    let parent = *parent;
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    // Tarjan emits SCCs in reverse topological order (an edge X→Y implies
+    // Y's SCC is emitted first). Reverse so that callees (body predicates)
+    // come before callers (heads) — the natural evaluation order.
+    sccs.reverse();
+    let count = sccs.len();
+    for s in scc_of.iter_mut() {
+        *s = count - 1 - *s;
+    }
+    (scc_of, sccs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn tc_program_is_recursive_not_monadic() {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        let dg = DepGraph::new(&p);
+        assert!(dg.is_recursive("Tc"));
+        assert!(!dg.is_recursive("E"));
+        assert!(!is_nonrecursive(&p));
+        assert!(!is_monadic(&p));
+        assert_eq!(dg.recursive_sccs(), vec![vec!["Tc"]]);
+    }
+
+    #[test]
+    fn paper_monadic_reachability_is_monadic() {
+        let p = parse_program(
+            "Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).",
+        )
+        .unwrap();
+        assert!(is_monadic(&p));
+        assert!(!is_nonrecursive(&p));
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let p = parse_program(
+            "Path2(X, Z) :- E(X, Y), E(Y, Z).\nAns(X) :- Path2(X, Y), P(Y).",
+        )
+        .unwrap();
+        assert!(is_nonrecursive(&p));
+        assert!(is_monadic(&p), "vacuously monadic: no recursive predicates");
+    }
+
+    #[test]
+    fn mutual_recursion_forms_one_scc() {
+        let p = parse_program(
+            "A(X) :- E(X, Y), B(Y).\nB(X) :- E(X, Y), A(Y).\nA(X) :- P(X).",
+        )
+        .unwrap();
+        let dg = DepGraph::new(&p);
+        assert!(dg.is_recursive("A"));
+        assert!(dg.is_recursive("B"));
+        let sccs = dg.recursive_sccs();
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+        assert!(is_monadic(&p));
+    }
+
+    #[test]
+    fn edge_direction_matches_paper() {
+        // Edge from Q (body) to P (head): "Q depends on P" means there is
+        // an edge from Q to P when P's rule uses Q.
+        let p = parse_program("P(X) :- Q(X, Y).\nQ(X, Y) :- E(X, Y).").unwrap();
+        let dg = DepGraph::new(&p);
+        let q = dg.predicate_index("Q").unwrap();
+        let pp = dg.predicate_index("P").unwrap();
+        assert!(dg.edges[q].contains(&pp));
+        assert!(!dg.edges[pp].contains(&q));
+    }
+
+    #[test]
+    fn scc_order_is_reverse_topological() {
+        let p = parse_program(
+            "A(X) :- B(X).\nB(X) :- C(X, Y).\nC(X, Y) :- E(X, Y).",
+        )
+        .unwrap();
+        let dg = DepGraph::new(&p);
+        // E → C → B → A: callee SCCs must come first.
+        let pos = |name: &str| dg.scc_of[dg.predicate_index(name).unwrap()];
+        assert!(pos("E") < pos("C"));
+        assert!(pos("C") < pos("B"));
+        assert!(pos("B") < pos("A"));
+    }
+}

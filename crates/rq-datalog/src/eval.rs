@@ -1,0 +1,531 @@
+//! Bottom-up evaluation of Datalog programs.
+//!
+//! Computes `P^∞_Π(D)` (§2.2) by fixpoint iteration over the strongly
+//! connected components of the dependence graph, callees first. Two engines
+//! are provided:
+//!
+//! * [`evaluate_naive`] — recompute every rule against the full relations
+//!   each round (the textbook definition `P⁰ ⊆ P¹ ⊆ …`);
+//! * [`evaluate`] — *semi-naive*: within a recursive SCC, each rule is
+//!   re-evaluated once per occurrence of an SCC predicate in its body,
+//!   with that occurrence restricted to the facts newly derived in the
+//!   previous round. Experiment E8 measures the gap.
+//!
+//! Joins are backtracking nested-loop joins with hash indexes on bound
+//! columns, driven greedily (most-bound, smallest relation first).
+
+use crate::ast::{Program, Query, Rule, Term};
+use crate::depgraph::DepGraph;
+use crate::relation::{FactDb, Relation, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Counters describing an evaluation run (used by the E8 ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds across all SCCs.
+    pub iterations: usize,
+    /// Facts derived (new tuples added to IDB relations).
+    pub facts_derived: usize,
+    /// Successful rule-body matches, including ones deriving duplicates.
+    pub rule_firings: usize,
+}
+
+/// Evaluate `query` on `edb` with the semi-naive engine; returns the goal
+/// relation.
+pub fn evaluate(query: &Query, edb: &FactDb) -> Relation {
+    let (db, _) = evaluate_program(&query.program, edb);
+    goal_relation(query, &db)
+}
+
+/// Evaluate `query` on `edb` with the naive engine; returns the goal
+/// relation. Semantically identical to [`evaluate`].
+pub fn evaluate_naive(query: &Query, edb: &FactDb) -> Relation {
+    let (db, _) = evaluate_program_naive(&query.program, edb);
+    goal_relation(query, &db)
+}
+
+fn goal_relation(query: &Query, db: &FactDb) -> Relation {
+    match db.relation(&query.goal) {
+        Some(r) => r.clone(),
+        None => Relation::new(query.goal_arity().unwrap_or(0)),
+    }
+}
+
+/// Evaluate all IDB predicates of `program` over `edb`, semi-naively.
+/// Returns the saturated database and statistics.
+pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) {
+    let mut db = prepare(program, edb);
+    let mut stats = EvalStats::default();
+    let dg = DepGraph::new(program);
+    for scc in &dg.sccs {
+        let scc_preds: BTreeSet<&str> =
+            scc.iter().map(|&i| dg.predicates[i].as_str()).collect();
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| scc_preds.contains(r.head.predicate.as_str()))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        // Round 0: full evaluation of the SCC's rules.
+        let mut new_facts: Vec<(String, Vec<Value>)> = Vec::new();
+        for rule in &rules {
+            join_rule(&mut db, rule, None, &mut stats, &mut new_facts);
+        }
+        stats.iterations += 1;
+        let mut deltas: HashMap<String, Relation> = HashMap::new();
+        for (pred, tuple) in new_facts.drain(..) {
+            let arity = tuple.len();
+            if db
+                .ensure_relation(&pred, arity)
+                .insert(tuple.clone())
+            {
+                stats.facts_derived += 1;
+                deltas
+                    .entry(pred)
+                    .or_insert_with(|| Relation::new(arity))
+                    .insert(tuple);
+            }
+        }
+        // Seed the delta with any pre-existing facts of the SCC predicates
+        // (EDB facts for IDB predicates are allowed).
+        for &p in &scc_preds {
+            if let Some(rel) = db.relation(p) {
+                let seeded = deltas
+                    .entry(p.to_owned())
+                    .or_insert_with(|| Relation::new(rel.arity()));
+                for t in rel.iter() {
+                    seeded.insert(t.to_vec());
+                }
+            }
+        }
+        // Semi-naive rounds.
+        let is_recursive_scc = scc.len() > 1
+            || scc
+                .first()
+                .is_some_and(|&i| dg.edges[i].contains(&i));
+        while is_recursive_scc && deltas.values().any(|d| !d.is_empty()) {
+            stats.iterations += 1;
+            let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
+            for rule in &rules {
+                for (pos, atom) in rule.body.iter().enumerate() {
+                    if !scc_preds.contains(atom.predicate.as_str()) {
+                        continue;
+                    }
+                    let Some(delta) = deltas.get(&atom.predicate) else {
+                        continue;
+                    };
+                    if delta.is_empty() {
+                        continue;
+                    }
+                    // Clone keeps the borrow checker happy; deltas are the
+                    // small frontier relations.
+                    let delta = delta.clone();
+                    join_rule(&mut db, rule, Some((pos, &delta)), &mut stats, &mut derived);
+                }
+            }
+            let mut next_deltas: HashMap<String, Relation> = HashMap::new();
+            for (pred, tuple) in derived {
+                let arity = tuple.len();
+                if db.ensure_relation(&pred, arity).insert(tuple.clone()) {
+                    stats.facts_derived += 1;
+                    next_deltas
+                        .entry(pred)
+                        .or_insert_with(|| Relation::new(arity))
+                        .insert(tuple);
+                }
+            }
+            deltas = next_deltas;
+        }
+    }
+    (db, stats)
+}
+
+/// Evaluate all IDB predicates of `program` over `edb` naively.
+pub fn evaluate_program_naive(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) {
+    let mut db = prepare(program, edb);
+    let mut stats = EvalStats::default();
+    loop {
+        stats.iterations += 1;
+        let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
+        for rule in &program.rules {
+            join_rule(&mut db, rule, None, &mut stats, &mut derived);
+        }
+        let mut changed = false;
+        for (pred, tuple) in derived {
+            let arity = tuple.len();
+            if db.ensure_relation(&pred, arity).insert(tuple) {
+                stats.facts_derived += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (db, stats);
+        }
+    }
+}
+
+/// `Pⁱ_Π(D)`: the goal facts derivable with at most `i` rounds of rule
+/// application (naive semantics, §2.2).
+pub fn evaluate_steps(query: &Query, edb: &FactDb, rounds: usize) -> Relation {
+    let mut db = prepare(&query.program, edb);
+    let mut stats = EvalStats::default();
+    for _ in 0..rounds {
+        let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
+        for rule in &query.program.rules {
+            join_rule(&mut db, rule, None, &mut stats, &mut derived);
+        }
+        let mut changed = false;
+        for (pred, tuple) in derived {
+            let arity = tuple.len();
+            if db.ensure_relation(&pred, arity).insert(tuple) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    goal_relation(query, &db)
+}
+
+/// Clone the EDB, intern every constant mentioned by the program, and
+/// make sure every predicate has a relation of the right arity.
+fn prepare(program: &Program, edb: &FactDb) -> FactDb {
+    let mut db = edb.clone();
+    for (pred, arity) in program.predicate_arities() {
+        db.ensure_relation(pred, arity);
+    }
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(&rule.body) {
+            for t in &atom.terms {
+                if let Term::Const(c) = t {
+                    db.value(c);
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Evaluate `rule`'s body against `db`, optionally with body position
+/// `delta.0` restricted to the `delta.1` relation; pushes derived head
+/// tuples into `out`.
+fn join_rule(
+    db: &mut FactDb,
+    rule: &Rule,
+    delta: Option<(usize, &Relation)>,
+    stats: &mut EvalStats,
+    out: &mut Vec<(String, Vec<Value>)>,
+) {
+    // Greedy atom order: the delta atom first, then repeatedly the atom
+    // with the fewest unbound variables (ties: smaller relation).
+    let natoms = rule.body.len();
+    let mut order: Vec<usize> = Vec::with_capacity(natoms);
+    let mut used = vec![false; natoms];
+    let mut bound_vars: BTreeSet<&str> = BTreeSet::new();
+    if let Some((pos, _)) = delta {
+        order.push(pos);
+        used[pos] = true;
+        bound_vars.extend(rule.body[pos].variables());
+    }
+    while order.len() < natoms {
+        let mut best: Option<(usize, usize, usize)> = None; // (unbound, size, idx)
+        for (i, atom) in rule.body.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let unbound = atom
+                .variables()
+                .iter()
+                .filter(|v| !bound_vars.contains(*v))
+                .count();
+            let size = db.relation(&atom.predicate).map_or(0, Relation::len);
+            let key = (unbound, size, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, i) = best.expect("some atom remains");
+        used[i] = true;
+        bound_vars.extend(rule.body[i].variables());
+        order.push(i);
+    }
+
+    // Pre-intern constants (prepare() has done this; find_value is total
+    // for program constants).
+    // Backtracking join.
+    let mut bindings: HashMap<&str, Value> = HashMap::new();
+    join_rec(db, rule, &order, 0, delta, &mut bindings, stats, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_rec<'a>(
+    db: &mut FactDb,
+    rule: &'a Rule,
+    order: &[usize],
+    depth: usize,
+    delta: Option<(usize, &Relation)>,
+    bindings: &mut HashMap<&'a str, Value>,
+    stats: &mut EvalStats,
+    out: &mut Vec<(String, Vec<Value>)>,
+) {
+    if depth == order.len() {
+        // Construct the head tuple.
+        let mut tuple = Vec::with_capacity(rule.head.arity());
+        for t in &rule.head.terms {
+            match t {
+                Term::Var(v) => match bindings.get(v.as_str()) {
+                    Some(&val) => tuple.push(val),
+                    None => return, // unsafe rule: skip silently (validated upstream)
+                },
+                Term::Const(c) => match db.find_value(c) {
+                    Some(val) => tuple.push(val),
+                    None => return,
+                },
+            }
+        }
+        stats.rule_firings += 1;
+        out.push((rule.head.predicate.clone(), tuple));
+        return;
+    }
+    let pos = order[depth];
+    let atom = &rule.body[pos];
+    // Resolve the atom's term pattern under current bindings.
+    let mut pattern: Vec<Option<Value>> = Vec::with_capacity(atom.arity());
+    for t in &atom.terms {
+        match t {
+            Term::Var(v) => pattern.push(bindings.get(v.as_str()).copied()),
+            Term::Const(c) => match db.find_value(c) {
+                Some(val) => pattern.push(Some(val)),
+                None => return,
+            },
+        }
+    }
+
+    // Candidate rows: the delta relation at the delta position, otherwise
+    // the full relation (using an index on the first bound column).
+    let candidates: Vec<Vec<Value>> = match delta {
+        Some((dpos, drel)) if dpos == pos => drel
+            .iter()
+            .filter(|t| matches_pattern(t, &pattern))
+            .map(<[Value]>::to_vec)
+            .collect(),
+        _ => {
+            let first_bound = pattern.iter().position(Option::is_some);
+            match first_bound {
+                Some(col) => {
+                    let v = pattern[col].expect("position found above");
+                    let Some(rel) = db.relation_mut(&atom.predicate) else {
+                        return;
+                    };
+                    let rows: Vec<usize> = rel.rows_with(col, v).to_vec();
+                    rows.into_iter()
+                        .map(|r| rel.tuple(r).to_vec())
+                        .filter(|t| matches_pattern(t, &pattern))
+                        .collect()
+                }
+                None => {
+                    let Some(rel) = db.relation(&atom.predicate) else {
+                        return;
+                    };
+                    rel.iter().map(<[Value]>::to_vec).collect()
+                }
+            }
+        }
+    };
+
+    for tuple in candidates {
+        // Bind this atom's variables; remember which were fresh.
+        let mut fresh: Vec<&str> = Vec::new();
+        let mut ok = true;
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                match bindings.get(v.as_str()) {
+                    Some(&b) if b != tuple[i] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        bindings.insert(v, tuple[i]);
+                        fresh.push(v);
+                    }
+                }
+            }
+        }
+        if ok {
+            join_rec(db, rule, order, depth + 1, delta, bindings, stats, out);
+        }
+        for v in fresh {
+            bindings.remove(v);
+        }
+    }
+}
+
+fn matches_pattern(tuple: &[Value], pattern: &[Option<Value>]) -> bool {
+    // Repeated variables are enforced during binding; the pattern check
+    // handles already-bound positions and constants.
+    tuple
+        .iter()
+        .zip(pattern)
+        .all(|(&v, p)| p.map_or(true, |pv| pv == v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn chain_edb(n: usize) -> FactDb {
+        let mut db = FactDb::new();
+        for i in 0..n - 1 {
+            db.add_fact("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        db
+    }
+
+    fn tc_query() -> Query {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        Query::new(p, "Tc")
+    }
+
+    #[test]
+    fn transitive_closure_on_chain() {
+        let edb = chain_edb(6);
+        let r = evaluate(&tc_query(), &edb);
+        // 5+4+3+2+1 pairs.
+        assert_eq!(r.len(), 15);
+        let v0 = edb.find_value("v0").unwrap();
+        let v5 = edb.find_value("v5").unwrap();
+        assert!(r.contains(&[v0, v5]));
+        assert!(!r.contains(&[v5, v0]));
+    }
+
+    #[test]
+    fn naive_equals_semi_naive() {
+        for n in [2, 5, 9] {
+            let edb = chain_edb(n);
+            let a = evaluate(&tc_query(), &edb);
+            let b = evaluate_naive(&tc_query(), &edb);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn semi_naive_fires_fewer_rules() {
+        let edb = chain_edb(30);
+        let (_, semi) = evaluate_program(&tc_query().program, &edb);
+        let (_, naive) = evaluate_program_naive(&tc_query().program, &edb);
+        assert!(
+            semi.rule_firings < naive.rule_firings,
+            "semi-naive {} vs naive {}",
+            semi.rule_firings,
+            naive.rule_firings
+        );
+    }
+
+    #[test]
+    fn monadic_reachability_example() {
+        // §2.3: Q = elements with a path to a node in P.
+        let p = parse_program(
+            "Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).",
+        )
+        .unwrap();
+        let mut edb = FactDb::new();
+        edb.add_fact("E", &["a", "b"]);
+        edb.add_fact("E", &["b", "c"]);
+        edb.add_fact("E", &["d", "a"]);
+        edb.add_fact("E", &["x", "y"]);
+        edb.add_fact("P", &["c"]);
+        let r = evaluate(&Query::new(p, "Q"), &edb);
+        let names: BTreeSet<&str> = r.iter().map(|t| edb.value_name(t[0])).collect();
+        assert_eq!(names, ["a", "b", "d"].into_iter().collect());
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let p = parse_program("Ans(X) :- E(alice, X).").unwrap();
+        let mut edb = FactDb::new();
+        edb.add_fact("E", &["alice", "bob"]);
+        edb.add_fact("E", &["carol", "dan"]);
+        let r = evaluate(&Query::new(p, "Ans"), &edb);
+        assert_eq!(r.len(), 1);
+        assert_eq!(edb.find_value("bob").map(|b| r.contains(&[b])), Some(true));
+    }
+
+    #[test]
+    fn repeated_variables_filter() {
+        // Self-loops only.
+        let p = parse_program("Loop(X) :- E(X, X).").unwrap();
+        let mut edb = FactDb::new();
+        edb.add_fact("E", &["a", "a"]);
+        edb.add_fact("E", &["a", "b"]);
+        let r = evaluate(&Query::new(p, "Loop"), &edb);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn bounded_steps_grow_monotonically() {
+        let edb = chain_edb(6);
+        let q = tc_query();
+        let mut prev = 0;
+        for i in 0..6 {
+            let r = evaluate_steps(&q, &edb, i);
+            assert!(r.len() >= prev, "P^i must be monotone");
+            prev = r.len();
+        }
+        assert_eq!(evaluate_steps(&q, &edb, 0).len(), 0);
+        assert_eq!(evaluate_steps(&q, &edb, 1).len(), 5);
+        // Paper: P^∞ = ∪ P^i.
+        assert_eq!(prev, evaluate(&q, &edb).len());
+    }
+
+    #[test]
+    fn mutual_recursion_evaluates() {
+        // Even/odd distance from a source.
+        let p = parse_program(
+            "Even(X) :- S(X).\n\
+             Odd(Y) :- Even(X), E(X, Y).\n\
+             Even(Y) :- Odd(X), E(X, Y).",
+        )
+        .unwrap();
+        let mut edb = FactDb::new();
+        edb.add_fact("S", &["v0"]);
+        for i in 0..5 {
+            edb.add_fact("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let even = evaluate(&Query::new(p.clone(), "Even"), &edb);
+        let odd = evaluate(&Query::new(p, "Odd"), &edb);
+        assert_eq!(even.len(), 3); // v0, v2, v4
+        assert_eq!(odd.len(), 3); // v1, v3, v5
+    }
+
+    #[test]
+    fn goal_can_be_edb() {
+        let p = parse_program("P(X) :- E(X, Y).").unwrap();
+        let mut edb = FactDb::new();
+        edb.add_fact("E", &["a", "b"]);
+        let r = evaluate(&Query::new(p, "E"), &edb);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn idb_with_edb_facts_is_seeded() {
+        // Tc has explicit facts in addition to derived ones.
+        let mut edb = FactDb::new();
+        edb.add_fact("E", &["a", "b"]);
+        edb.add_fact("Tc", &["z", "w"]);
+        let r = evaluate(&tc_query(), &edb);
+        let z = edb.find_value("z").unwrap();
+        let w = edb.find_value("w").unwrap();
+        let a = edb.find_value("a").unwrap();
+        let b = edb.find_value("b").unwrap();
+        assert!(r.contains(&[z, w]));
+        assert!(r.contains(&[a, b]));
+    }
+}

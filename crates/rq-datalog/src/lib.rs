@@ -1,0 +1,54 @@
+//! # rq-datalog
+//!
+//! A Datalog substrate for the `regular-queries` workspace, covering §2 and
+//! §4 of Vardi's *A Theory of Regular Queries* (PODS 2016):
+//!
+//! * [`ast`], [`parser`] — programs of Horn rules (`Q(X,Z) :- E(X,Y), Q(Y,Z).`),
+//!   queries with a designated goal predicate;
+//! * [`validate`] — safety and arity checking;
+//! * [`depgraph`] — the dependence graph, recursive predicates, the
+//!   *nonrecursive* and *Monadic Datalog* fragments of §2.2–2.3;
+//! * [`relation`], [`eval`] — bottom-up evaluation, both naive and
+//!   semi-naive (the E8 ablation compares them);
+//! * [`unfold`] — nonrecursive programs as finite unions of conjunctive
+//!   queries, plus bounded unfolding `Pⁱ` of recursive programs;
+//! * [`containment`] — CQ/UCQ containment (Chandra–Merlin homomorphisms,
+//!   Sagiv–Yannakakis for unions), NP-complete as per §2.3;
+//! * [`grq`] — the **GRQ** recognizer: Datalog where recursion is used only
+//!   to express transitive closure (§4.1);
+//! * [`cfg`] — context-free grammars and the Shmueli reduction showing full
+//!   Datalog containment undecidable (§2.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use rq_datalog::{parse_program, evaluate, FactDb, Query};
+//!
+//! let program = parse_program(
+//!     "T(X, Y) :- e(X, Y).\n\
+//!      T(X, Z) :- T(X, Y), e(Y, Z).",
+//! ).unwrap();
+//! assert!(rq_datalog::grq::is_grq(&program));
+//!
+//! let mut db = FactDb::new();
+//! db.add_fact("e", &["a", "b"]);
+//! db.add_fact("e", &["b", "c"]);
+//! let answers = evaluate(&Query::new(program, "T"), &db);
+//! assert_eq!(answers.len(), 3); // (a,b), (b,c), (a,c)
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod containment;
+pub mod depgraph;
+pub mod eval;
+pub mod grq;
+pub mod parser;
+pub mod relation;
+pub mod unfold;
+pub mod validate;
+
+pub use ast::{Atom, Program, Query, Rule, Term};
+pub use eval::{evaluate, evaluate_naive};
+pub use parser::parse_program;
+pub use relation::{FactDb, Relation, Value};

@@ -1,0 +1,288 @@
+//! Parser for the concrete Datalog syntax.
+//!
+//! ```text
+//! Tc(X, Y) :- E(X, Y).
+//! Tc(X, Z) :- Tc(X, Y), E(Y, Z).
+//! ```
+//!
+//! * identifiers starting with an uppercase letter or `_` are variables;
+//! * identifiers starting with a lowercase letter or digits are constants,
+//!   as are quoted strings (`"alice"`);
+//! * predicate names are arbitrary identifiers;
+//! * `%` and `#` start line comments; rules end with `.`.
+
+use crate::ast::{Atom, Program, Rule, Term};
+use std::fmt;
+
+/// Error raised by [`parse_program`], with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program (a sequence of rules).
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let mut rules = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            break;
+        }
+        rules.push(p.parse_rule()?);
+    }
+    Ok(Program::new(rules))
+}
+
+/// Parse a single rule (must consume the entire input).
+pub fn parse_rule(input: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_trivia();
+    let r = p.parse_rule()?;
+    p.skip_trivia();
+    if !p.at_end() {
+        return Err(p.error("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: message.into() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') | Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return Err(self.error("expected an identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        self.skip_trivia();
+        match self.peek() {
+            Some('"') => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '"' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let s = self.input[start..self.pos].to_owned();
+                self.expect('"')?;
+                Ok(Term::Const(s))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Term::Const(self.input[start..self.pos].to_owned()))
+            }
+            _ => {
+                let name = self.parse_ident()?;
+                let first = name.chars().next().expect("idents are nonempty");
+                if first.is_ascii_uppercase() || first == '_' {
+                    Ok(Term::Var(name))
+                } else {
+                    Ok(Term::Const(name))
+                }
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let predicate = self.parse_ident()?;
+        self.skip_trivia();
+        self.expect('(')?;
+        let mut terms = Vec::new();
+        self.skip_trivia();
+        if !self.eat(')') {
+            loop {
+                terms.push(self.parse_term()?);
+                self.skip_trivia();
+                if self.eat(')') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        Ok(Atom { predicate, terms })
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.parse_atom()?;
+        self.skip_trivia();
+        let mut body = Vec::new();
+        if self.eat(':') {
+            self.expect('-')?;
+            loop {
+                body.push(self.parse_atom()?);
+                self.skip_trivia();
+                if self.eat(',') {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.skip_trivia();
+        self.expect('.')?;
+        Ok(Rule::new(head, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_tc_program() {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\n\
+             Tc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].body.len(), 2);
+        assert_eq!(p.rules[1].head, Atom::new("Tc", &["X", "Z"]));
+    }
+
+    #[test]
+    fn parses_paper_monadic_reachability() {
+        // The paper's Monadic Datalog example (§2.3).
+        let p = parse_program(
+            "Q(X) :- E(X, Y), P(Y).\n\
+             Q(X) :- E(X, Y), Q(Y).",
+        )
+        .unwrap();
+        assert_eq!(p.idb_predicates(), ["Q"].into_iter().collect());
+        assert_eq!(p.rules[0].head.arity(), 1);
+    }
+
+    #[test]
+    fn variables_vs_constants() {
+        let r = parse_rule("P(X, alice, \"Bob Smith\", 42).").unwrap();
+        assert_eq!(
+            r.head.terms,
+            vec![
+                Term::Var("X".into()),
+                Term::Const("alice".into()),
+                Term::Const("Bob Smith".into()),
+                Term::Const("42".into()),
+            ]
+        );
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program(
+            "% transitive closure\n\
+             Tc(X,Y):-E(X,Y).  # base\n\
+             \n\
+             Tc(X,Z) :- Tc(X,Y), E(Y,Z). % step",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let r = parse_rule("Yes() :- P(X).").unwrap();
+        assert_eq!(r.head.arity(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("P(X)").is_err()); // missing period
+        assert!(parse_program("P(X) :- .").is_err()); // empty body after :-
+        assert!(parse_program("P(X,) .").is_err());
+        assert!(parse_program(":- P(X).").is_err());
+        assert!(parse_rule("P(X). Q(Y).").is_err()); // trailing input
+    }
+
+    #[test]
+    fn underscore_is_a_variable() {
+        let r = parse_rule("P(_ignore, X) :- E(_ignore, X).").unwrap();
+        assert_eq!(r.head.terms[0], Term::Var("_ignore".into()));
+    }
+}

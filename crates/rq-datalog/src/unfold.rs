@@ -1,0 +1,309 @@
+//! Unfolding Datalog programs into (unions of) conjunctive queries.
+//!
+//! "It is well-known that a nonrecursive program can be expressed as a
+//! finite union of conjunctive queries. Thus, nonrecursive Datalog is
+//! equivalent to the query class UCQ" (§2.2) — [`unfold_nonrecursive`]
+//! computes that union, with the expected "possible blow-up in size".
+//!
+//! For recursive programs, [`unfold_bounded`] produces the UCQ equivalent
+//! of `Pⁱ` (at most `i` nested rule applications), which under-approximates
+//! `P^∞`: "the relation defined by an IDB predicate … can be defined by a
+//! possibly infinite union of conjunctive queries" (§2.2, citing [46]).
+//! These unfoldings drive the refutation side of the RQ containment checker
+//! in `rq-core`.
+
+use crate::ast::{Atom, Query, Rule, Term};
+use crate::containment::{Cq, Ucq};
+use crate::depgraph::is_nonrecursive;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error from the unfolders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnfoldError {
+    /// [`unfold_nonrecursive`] requires a nonrecursive program.
+    Recursive,
+    /// The disjunct budget was exceeded (unfolding is exponential).
+    TooManyDisjuncts { budget: usize },
+    /// The goal predicate has no rules and is not EDB-usable.
+    NoRulesForGoal { goal: String },
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::Recursive => write!(f, "program is recursive"),
+            UnfoldError::TooManyDisjuncts { budget } => {
+                write!(f, "unfolding exceeded the budget of {budget} disjuncts")
+            }
+            UnfoldError::NoRulesForGoal { goal } => {
+                write!(f, "no rules for goal predicate {goal}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnfoldError {}
+
+/// Unfold a *nonrecursive* query into an equivalent UCQ over the EDB
+/// predicates. `budget` bounds the number of in-flight disjuncts.
+pub fn unfold_nonrecursive(query: &Query, budget: usize) -> Result<Ucq, UnfoldError> {
+    if !is_nonrecursive(&query.program) {
+        return Err(UnfoldError::Recursive);
+    }
+    unfold_with_depth(query, usize::MAX, budget)
+}
+
+/// Unfold `query` with at most `depth` nested applications of IDB rules:
+/// the UCQ for `P^depth`. Always terminates, even on recursive programs.
+pub fn unfold_bounded(query: &Query, depth: usize, budget: usize) -> Result<Ucq, UnfoldError> {
+    unfold_with_depth(query, depth, budget)
+}
+
+/// A partially unfolded disjunct: body atoms plus, per IDB atom, the
+/// remaining depth allowance.
+#[derive(Debug, Clone)]
+struct Partial {
+    head: Atom,
+    /// Body atoms with their remaining unfold depth (EDB atoms keep 0 and
+    /// are never expanded).
+    body: Vec<(Atom, usize)>,
+}
+
+fn unfold_with_depth(query: &Query, depth: usize, budget: usize) -> Result<Ucq, UnfoldError> {
+    let idb: BTreeSet<&str> = query.program.idb_predicates();
+    let goal_arity = query
+        .goal_arity()
+        .ok_or_else(|| UnfoldError::NoRulesForGoal { goal: query.goal.clone() })?;
+    // Canonical head X0..Xk-1.
+    let head_vars: Vec<String> = (0..goal_arity).map(|i| format!("X{i}")).collect();
+    let head = Atom {
+        predicate: query.goal.clone(),
+        terms: head_vars.iter().cloned().map(Term::Var).collect(),
+    };
+
+    let mut counter = 0usize;
+    let mut done: Vec<Cq> = Vec::new();
+    let mut work: Vec<Partial> = Vec::new();
+
+    if idb.contains(query.goal.as_str()) {
+        work.push(Partial { head: head.clone(), body: vec![(head.clone(), depth)] });
+    } else {
+        // EDB goal: the identity CQ.
+        done.push(Cq { head: head.clone(), body: vec![head.clone()] });
+    }
+
+    while let Some(p) = work.pop() {
+        // Find the first expandable IDB atom.
+        let Some(pos) = p
+            .body
+            .iter()
+            .position(|(a, _)| idb.contains(a.predicate.as_str()))
+        else {
+            done.push(Cq {
+                head: p.head,
+                body: p.body.into_iter().map(|(a, _)| a).collect(),
+            });
+            if done.len() > budget {
+                return Err(UnfoldError::TooManyDisjuncts { budget });
+            }
+            continue;
+        };
+        let (atom, allowance) = p.body[pos].clone();
+        if allowance == 0 {
+            // Depth exhausted: this disjunct contributes nothing to P^depth.
+            continue;
+        }
+        for rule in query.program.rules_for(&atom.predicate) {
+            let Some(expanded) = expand(&p, pos, &atom, rule, allowance, &mut counter) else {
+                continue;
+            };
+            work.push(expanded);
+            if work.len() + done.len() > budget {
+                return Err(UnfoldError::TooManyDisjuncts { budget });
+            }
+        }
+    }
+    Ok(Ucq { disjuncts: done })
+}
+
+/// Replace `partial.body[pos]` (equal to `atom`) by `rule`'s body, unifying
+/// the rule head with the atom. Returns `None` on a constant clash.
+fn expand(
+    partial: &Partial,
+    pos: usize,
+    atom: &Atom,
+    rule: &Rule,
+    allowance: usize,
+    counter: &mut usize,
+) -> Option<Partial> {
+    // Rename the rule apart.
+    *counter += 1;
+    let tag = *counter;
+    let rename = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => Term::Var(format!("u{tag}_{v}")),
+            c @ Term::Const(_) => c.clone(),
+        }
+    };
+    let rule_head: Vec<Term> = rule.head.terms.iter().map(rename).collect();
+    let rule_body: Vec<Atom> = rule
+        .body
+        .iter()
+        .map(|a| Atom { predicate: a.predicate.clone(), terms: a.terms.iter().map(rename).collect() })
+        .collect();
+
+    // Unify rule_head with atom.terms, building a substitution.
+    let mut subst: Vec<(String, Term)> = Vec::new();
+    let resolve = |t: &Term, subst: &[(String, Term)]| -> Term {
+        let mut cur = t.clone();
+        loop {
+            match &cur {
+                Term::Var(v) => match subst.iter().find(|(k, _)| k == v) {
+                    Some((_, r)) => cur = r.clone(),
+                    None => return cur,
+                },
+                Term::Const(_) => return cur,
+            }
+        }
+    };
+    for (rh, at) in rule_head.iter().zip(&atom.terms) {
+        let a = resolve(rh, &subst);
+        let b = resolve(at, &subst);
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), other) => subst.push((v, other)),
+            (other, Term::Var(v)) => subst.push((v, other)),
+        }
+    }
+    let apply = |a: &Atom, subst: &[(String, Term)]| -> Atom {
+        let mut resolve2 = |t: &Term| -> Term {
+            let mut cur = t.clone();
+            loop {
+                match &cur {
+                    Term::Var(v) => match subst.iter().find(|(k, _)| k == v) {
+                        Some((_, r)) => cur = r.clone(),
+                        None => return cur,
+                    },
+                    Term::Const(_) => return cur,
+                }
+            }
+        };
+        Atom { predicate: a.predicate.clone(), terms: a.terms.iter().map(&mut resolve2).collect() }
+    };
+
+    let mut new_body: Vec<(Atom, usize)> = Vec::new();
+    for (i, (a, d)) in partial.body.iter().enumerate() {
+        if i == pos {
+            for b in &rule_body {
+                new_body.push((apply(b, &subst), allowance - 1));
+            }
+        } else {
+            new_body.push((apply(a, &subst), *d));
+        }
+    }
+    Some(Partial { head: apply(&partial.head, &subst), body: new_body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_program;
+    use crate::relation::FactDb;
+
+    #[test]
+    fn nonrecursive_unfolds_to_ucq() {
+        let p = parse_program(
+            "Path2(X, Z) :- E(X, Y), E(Y, Z).\n\
+             Ans(X, Z) :- Path2(X, Z).\n\
+             Ans(X, Z) :- E(X, Z).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Ans");
+        let ucq = unfold_nonrecursive(&q, 1000).unwrap();
+        assert_eq!(ucq.disjuncts.len(), 2);
+        // One disjunct has two E atoms, the other one.
+        let mut sizes: Vec<usize> = ucq.disjuncts.iter().map(|d| d.body.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+        for d in &ucq.disjuncts {
+            assert!(d.body.iter().all(|a| a.predicate == "E"));
+        }
+    }
+
+    #[test]
+    fn recursive_program_is_rejected() {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Tc");
+        assert_eq!(unfold_nonrecursive(&q, 100), Err(UnfoldError::Recursive));
+    }
+
+    #[test]
+    fn bounded_unfolding_matches_bounded_evaluation() {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Tc");
+        let ucq = unfold_bounded(&q, 3, 1000).unwrap();
+        // Depth 3 gives paths of length 1, 2, and 3.
+        let mut sizes: Vec<usize> = ucq.disjuncts.iter().map(|d| d.body.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+
+        // Semantic check on a chain: the UCQ disjuncts, evaluated as
+        // Datalog rules, agree with the engine's answers.
+        let mut edb = FactDb::new();
+        for i in 0..5 {
+            edb.add_fact("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let full = evaluate(&q, &edb);
+        let as_program = ucq.to_query("U");
+        let unfolded_answers = evaluate(&as_program, &edb);
+        // Depth-3 unfolding is an under-approximation.
+        for t in unfolded_answers.iter() {
+            assert!(full.contains(t));
+        }
+        // Chain pairs at distance ≤ 3: 5 + 4 + 3.
+        assert_eq!(unfolded_answers.len(), 12);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // 2^5 disjuncts via a chain of unions.
+        let mut text = String::from("P0(X, Y) :- E(X, Y).\nP0(X, Y) :- F(X, Y).\n");
+        for i in 1..5 {
+            text.push_str(&format!("P{i}(X, Z) :- P{}(X, Y), P{}(Y, Z).\n", i - 1, i - 1));
+        }
+        let p = parse_program(&text).unwrap();
+        let q = Query::new(p, "P4");
+        assert!(matches!(
+            unfold_nonrecursive(&q, 10),
+            Err(UnfoldError::TooManyDisjuncts { .. })
+        ));
+        let ucq = unfold_nonrecursive(&q, 1 << 20).unwrap();
+        assert_eq!(ucq.disjuncts.len(), 1 << 16);
+    }
+
+    #[test]
+    fn constants_propagate_through_unfolding() {
+        let p = parse_program(
+            "Likes(X) :- E(X, alice).\nAns(X) :- Likes(X).",
+        )
+        .unwrap();
+        let q = Query::new(p, "Ans");
+        let ucq = unfold_nonrecursive(&q, 100).unwrap();
+        assert_eq!(ucq.disjuncts.len(), 1);
+        let body = &ucq.disjuncts[0].body;
+        assert_eq!(body.len(), 1);
+        assert_eq!(body[0].terms[1], Term::Const("alice".into()));
+    }
+}

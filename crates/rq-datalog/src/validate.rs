@@ -1,0 +1,142 @@
+//! Static checks on Datalog programs: safety and arity consistency.
+
+use crate::ast::{Program, Query};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A head variable does not occur in the rule body (unsafe rule).
+    UnsafeRule { rule: String, variable: String },
+    /// A predicate is used with two different arities.
+    ArityMismatch { predicate: String, first: usize, second: usize },
+    /// The query's goal predicate never occurs in the program.
+    UnknownGoal { goal: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnsafeRule { rule, variable } => write!(
+                f,
+                "unsafe rule `{rule}`: head variable {variable} does not occur in the body"
+            ),
+            ValidationError::ArityMismatch { predicate, first, second } => write!(
+                f,
+                "predicate {predicate} used with arities {first} and {second}"
+            ),
+            ValidationError::UnknownGoal { goal } => {
+                write!(f, "goal predicate {goal} does not occur in the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check that every rule is safe (head variables occur in the body) and
+/// that each predicate has a consistent arity.
+pub fn validate_program(program: &Program) -> Result<(), ValidationError> {
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+    fn check_arity(
+        arities: &mut BTreeMap<String, usize>,
+        pred: &str,
+        arity: usize,
+    ) -> Result<(), ValidationError> {
+        match arities.get(pred) {
+            Some(&a) if a != arity => Err(ValidationError::ArityMismatch {
+                predicate: pred.to_owned(),
+                first: a,
+                second: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                arities.insert(pred.to_owned(), arity);
+                Ok(())
+            }
+        }
+    }
+    for rule in &program.rules {
+        check_arity(&mut arities, &rule.head.predicate, rule.head.arity())?;
+        for a in &rule.body {
+            check_arity(&mut arities, &a.predicate, a.arity())?;
+        }
+        let body_vars: std::collections::BTreeSet<&str> =
+            rule.body.iter().flat_map(|a| a.variables()).collect();
+        for v in rule.head.variables() {
+            if !body_vars.contains(v) {
+                return Err(ValidationError::UnsafeRule {
+                    rule: rule.to_string(),
+                    variable: v.to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a query: its program must validate and the goal must occur.
+pub fn validate_query(query: &Query) -> Result<(), ValidationError> {
+    validate_program(&query.program)?;
+    if !query.program.predicate_arities().contains_key(query.goal.as_str()) {
+        return Err(ValidationError::UnknownGoal { goal: query.goal.clone() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn accepts_valid_programs() {
+        let p = parse_program(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+        )
+        .unwrap();
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsafe_rules() {
+        let p = parse_program("P(X, Y) :- E(X, X).").unwrap();
+        match validate_program(&p) {
+            Err(ValidationError::UnsafeRule { variable, .. }) => assert_eq!(variable, "Y"),
+            other => panic!("expected UnsafeRule, got {other:?}"),
+        }
+        // Facts with variables are unsafe too.
+        let p = parse_program("P(X).").unwrap();
+        assert!(matches!(
+            validate_program(&p),
+            Err(ValidationError::UnsafeRule { .. })
+        ));
+        // Ground facts are fine.
+        let p = parse_program("P(alice).").unwrap();
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_arity_mismatches() {
+        let p = parse_program("P(X) :- E(X, Y).\nQ(X) :- E(X).").unwrap();
+        assert!(matches!(
+            validate_program(&p),
+            Err(ValidationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn query_goal_must_exist() {
+        let p = parse_program("P(X) :- E(X, Y).").unwrap();
+        let q = Query::new(p.clone(), "P");
+        assert!(validate_query(&q).is_ok());
+        let q = Query::new(p.clone(), "E");
+        assert!(validate_query(&q).is_ok(), "EDB goals are allowed");
+        let q = Query::new(p, "Zzz");
+        assert!(matches!(
+            validate_query(&q),
+            Err(ValidationError::UnknownGoal { .. })
+        ));
+    }
+}

@@ -1,0 +1,279 @@
+//! The edge-labeled graph database.
+
+use rq_automata::{Alphabet, LabelId, Letter};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Identifier of an object (node) in a [`GraphDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index into per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite directed graph with edges labeled from a finite alphabet Σ.
+///
+/// "Each node represents an object and an edge from object x to object y
+/// labeled by r, denoted r(x, y), represents the fact that relation r holds
+/// between x and y" (§3.1). The store keeps forward and backward adjacency
+/// so two-way queries can traverse `r⁻` edges at the same cost as `r`, plus
+/// a per-label edge list so a label can be instantiated as a binary
+/// relation (`r(D)`).
+///
+/// "The edge alphabet of a graph database is simply part of the data and
+/// can be changed simply by updating the database" — labels (and nodes) are
+/// interned on first use.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphDb {
+    alphabet: Alphabet,
+    node_names: Vec<Option<String>>,
+    #[serde(skip)]
+    node_index: HashMap<String, NodeId>,
+    out_edges: Vec<Vec<(LabelId, NodeId)>>,
+    in_edges: Vec<Vec<(LabelId, NodeId)>>,
+    edges_by_label: Vec<Vec<(NodeId, NodeId)>>,
+    #[serde(skip)]
+    edge_set: HashSet<(NodeId, LabelId, NodeId)>,
+}
+
+impl GraphDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty database over a pre-built alphabet.
+    pub fn with_alphabet(alphabet: Alphabet) -> Self {
+        let mut db = Self::new();
+        let labels = alphabet.len();
+        db.alphabet = alphabet;
+        db.edges_by_label = vec![Vec::new(); labels];
+        db
+    }
+
+    /// Intern a named node (idempotent).
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(Some(name.to_owned()));
+        self.node_index.insert(name.to_owned(), id);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Add an anonymous node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(None);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Intern an edge label (idempotent).
+    pub fn label(&mut self, name: &str) -> LabelId {
+        let id = self.alphabet.intern(name);
+        while self.edges_by_label.len() < self.alphabet.len() {
+            self.edges_by_label.push(Vec::new());
+        }
+        id
+    }
+
+    /// Add the edge `label(src, dst)`. Duplicate edges are ignored — a
+    /// label denotes a *relation*, i.e., a set of pairs. Returns whether
+    /// the edge was new.
+    pub fn add_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        assert!(src.index() < self.num_nodes() && dst.index() < self.num_nodes());
+        assert!(label.index() < self.edges_by_label.len(), "label not interned");
+        if !self.edge_set.insert((src, label, dst)) {
+            return false;
+        }
+        self.out_edges[src.index()].push((label, dst));
+        self.in_edges[dst.index()].push((label, src));
+        self.edges_by_label[label.index()].push((src, dst));
+        true
+    }
+
+    /// Whether the edge `label(src, dst)` is present.
+    pub fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.edge_set.contains(&(src, label, dst))
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edges (distinct labeled pairs).
+    pub fn num_edges(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len() as u32).map(NodeId)
+    }
+
+    /// The relation `r(D)` for label `r`: all `(x, y)` with an `r`-edge.
+    pub fn edges(&self, label: LabelId) -> &[(NodeId, NodeId)] {
+        self.edges_by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nodes reachable from `node` by one step of `letter`: along a
+    /// forward `r`-edge for `r`, along a *backward* `r`-edge for `r⁻`.
+    pub fn step(&self, node: NodeId, letter: Letter) -> impl Iterator<Item = NodeId> + '_ {
+        let adj = if letter.inverse {
+            &self.in_edges[node.index()]
+        } else {
+            &self.out_edges[node.index()]
+        };
+        adj.iter()
+            .filter(move |&&(l, _)| l == letter.label)
+            .map(|&(_, n)| n)
+    }
+
+    /// Out-edges of `node` as `(label, target)` pairs.
+    pub fn out_edges(&self, node: NodeId) -> &[(LabelId, NodeId)] {
+        &self.out_edges[node.index()]
+    }
+
+    /// In-edges of `node` as `(label, source)` pairs.
+    pub fn in_edges(&self, node: NodeId) -> &[(LabelId, NodeId)] {
+        &self.in_edges[node.index()]
+    }
+
+    /// The database's alphabet (schema).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The name of `node`, if it was interned with one.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.node_names[node.index()].as_deref()
+    }
+
+    /// A display name: the interned name or `#<id>`.
+    pub fn display_node(&self, node: NodeId) -> String {
+        match self.node_name(node) {
+            Some(n) => n.to_owned(),
+            None => format!("#{}", node.0),
+        }
+    }
+
+    /// Look up a named node.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_index.get(name).copied()
+    }
+
+    /// Rebuild the skipped indexes after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.node_index = self
+            .node_names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.clone().map(|n| (n, NodeId(i as u32))))
+            .collect();
+        self.edge_set = self
+            .edges_by_label
+            .iter()
+            .enumerate()
+            .flat_map(|(l, v)| {
+                v.iter().map(move |&(s, d)| (s, LabelId(l as u32), d))
+            })
+            .collect();
+        let mut alphabet = std::mem::take(&mut self.alphabet);
+        alphabet.rebuild_index();
+        self.alphabet = alphabet;
+    }
+
+    /// Total degree (in + out) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_edges[node.index()].len() + self.in_edges[node.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (GraphDb, NodeId, NodeId, NodeId, LabelId, LabelId) {
+        let mut db = GraphDb::new();
+        let a = db.node("a");
+        let b = db.node("b");
+        let c = db.node("c");
+        let r = db.label("r");
+        let s = db.label("s");
+        db.add_edge(a, r, b);
+        db.add_edge(b, r, c);
+        db.add_edge(a, s, c);
+        (db, a, b, c, r, s)
+    }
+
+    #[test]
+    fn nodes_and_labels_intern() {
+        let (mut db, a, ..) = tiny();
+        assert_eq!(db.node("a"), a);
+        assert_eq!(db.num_nodes(), 3);
+        assert_eq!(db.alphabet().len(), 2);
+        assert_eq!(db.find_node("b").is_some(), true);
+        assert_eq!(db.find_node("zz"), None);
+    }
+
+    #[test]
+    fn duplicate_edges_are_a_set() {
+        let (mut db, a, b, _, r, _) = tiny();
+        assert!(!db.add_edge(a, r, b));
+        assert_eq!(db.num_edges(), 3);
+        assert_eq!(db.edges(r).len(), 2);
+    }
+
+    #[test]
+    fn step_follows_both_directions() {
+        let (db, a, b, c, r, s) = tiny();
+        let fwd: Vec<_> = db.step(a, Letter::forward(r)).collect();
+        assert_eq!(fwd, vec![b]);
+        let bwd: Vec<_> = db.step(c, Letter::backward(r)).collect();
+        assert_eq!(bwd, vec![b]);
+        let bwd_s: Vec<_> = db.step(c, Letter::backward(s)).collect();
+        assert_eq!(bwd_s, vec![a]);
+        assert_eq!(db.step(a, Letter::backward(r)).count(), 0);
+    }
+
+    #[test]
+    fn relations_are_materialized_per_label() {
+        let (db, a, b, c, r, s) = tiny();
+        assert_eq!(db.edges(r), &[(a, b), (b, c)]);
+        assert_eq!(db.edges(s), &[(a, c)]);
+    }
+
+    #[test]
+    fn anonymous_nodes() {
+        let mut db = GraphDb::new();
+        let x = db.add_node();
+        let y = db.add_node();
+        let r = db.label("r");
+        db.add_edge(x, r, y);
+        assert_eq!(db.node_name(x), None);
+        assert_eq!(db.display_node(x), "#0");
+        assert_eq!(db.num_edges(), 1);
+    }
+
+    #[test]
+    fn degree_counts_both_sides() {
+        let (db, a, b, ..) = tiny();
+        assert_eq!(db.degree(a), 2);
+        assert_eq!(db.degree(b), 2);
+    }
+}

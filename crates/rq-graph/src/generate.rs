@@ -1,0 +1,188 @@
+//! Seeded graph-database generators for examples, tests, and benches.
+//!
+//! All generators are deterministic in their seed (they use the workspace's
+//! SplitMix64 PRNG), so the EXPERIMENTS.md measurements are reproducible.
+
+use crate::db::{GraphDb, NodeId};
+use rq_automata::random::SplitMix64;
+use rq_automata::LabelId;
+
+/// A directed chain `v0 -r-> v1 -r-> … -r-> v{n-1}`.
+pub fn chain(n: usize, label: &str) -> GraphDb {
+    let mut db = GraphDb::new();
+    let r = db.label(label);
+    let nodes: Vec<NodeId> = (0..n).map(|_| db.add_node()).collect();
+    for w in nodes.windows(2) {
+        db.add_edge(w[0], r, w[1]);
+    }
+    db
+}
+
+/// A directed cycle of `n` nodes.
+pub fn cycle(n: usize, label: &str) -> GraphDb {
+    assert!(n >= 1);
+    let mut db = GraphDb::new();
+    let r = db.label(label);
+    let nodes: Vec<NodeId> = (0..n).map(|_| db.add_node()).collect();
+    for i in 0..n {
+        db.add_edge(nodes[i], r, nodes[(i + 1) % n]);
+    }
+    db
+}
+
+/// A `w × h` grid with `right`-labeled horizontal edges and `down`-labeled
+/// vertical edges.
+pub fn grid(w: usize, h: usize, right: &str, down: &str) -> GraphDb {
+    let mut db = GraphDb::new();
+    let r = db.label(right);
+    let d = db.label(down);
+    let nodes: Vec<Vec<NodeId>> = (0..h)
+        .map(|_| (0..w).map(|_| db.add_node()).collect())
+        .collect();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                db.add_edge(nodes[y][x], r, nodes[y][x + 1]);
+            }
+            if y + 1 < h {
+                db.add_edge(nodes[y][x], d, nodes[y + 1][x]);
+            }
+        }
+    }
+    db
+}
+
+/// Uniform random multigraph G(n, m) per label: `edges_per_label` random
+/// edges for each of `labels` labels (self-loops allowed, duplicates
+/// coalesced by the set semantics of [`GraphDb`]).
+pub fn random_gnm(
+    nodes: usize,
+    edges_per_label: usize,
+    labels: &[&str],
+    seed: u64,
+) -> GraphDb {
+    assert!(nodes >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut db = GraphDb::new();
+    let label_ids: Vec<LabelId> = labels.iter().map(|l| db.label(l)).collect();
+    let ids: Vec<NodeId> = (0..nodes).map(|_| db.add_node()).collect();
+    for &l in &label_ids {
+        for _ in 0..edges_per_label {
+            let s = ids[rng.below(nodes)];
+            let d = ids[rng.below(nodes)];
+            db.add_edge(s, l, d);
+        }
+    }
+    db
+}
+
+/// A preferential-attachment ("social") graph: each new node links to
+/// `out_degree` existing nodes chosen proportionally to degree, with a
+/// uniformly random label per edge. Models the skewed degree distributions
+/// of the web/social data that motivated graph databases (§1).
+pub fn preferential_attachment(
+    nodes: usize,
+    out_degree: usize,
+    labels: &[&str],
+    seed: u64,
+) -> GraphDb {
+    assert!(nodes >= 1 && out_degree >= 1 && !labels.is_empty());
+    let mut rng = SplitMix64::new(seed);
+    let mut db = GraphDb::new();
+    let label_ids: Vec<LabelId> = labels.iter().map(|l| db.label(l)).collect();
+    let first = db.add_node();
+    // Endpoint pool: nodes appear once per incident edge plus once flat,
+    // approximating degree-proportional sampling.
+    let mut pool: Vec<NodeId> = vec![first];
+    for _ in 1..nodes {
+        let v = db.add_node();
+        for _ in 0..out_degree {
+            let target = *rng.pick(&pool);
+            let l = *rng.pick(&label_ids);
+            if db.add_edge(v, l, target) {
+                pool.push(target);
+            }
+        }
+        pool.push(v);
+    }
+    db
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; every node has
+/// `fanout` edges to random nodes of the next layer. The workload for the
+/// monadic-reachability experiment (E9).
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, label: &str, seed: u64) -> GraphDb {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut db = GraphDb::new();
+    let r = db.label(label);
+    let grid: Vec<Vec<NodeId>> = (0..layers)
+        .map(|_| (0..width).map(|_| db.add_node()).collect())
+        .collect();
+    for l in 0..layers.saturating_sub(1) {
+        for &v in &grid[l] {
+            for _ in 0..fanout {
+                let t = grid[l + 1][rng.below(width)];
+                db.add_edge(v, r, t);
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_n_minus_1_edges() {
+        let db = chain(10, "r");
+        assert_eq!(db.num_nodes(), 10);
+        assert_eq!(db.num_edges(), 9);
+    }
+
+    #[test]
+    fn cycle_has_n_edges() {
+        let db = cycle(7, "r");
+        assert_eq!(db.num_nodes(), 7);
+        assert_eq!(db.num_edges(), 7);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let db = grid(3, 4, "right", "down");
+        assert_eq!(db.num_nodes(), 12);
+        // Horizontal: 2 per row × 4 rows; vertical: 3 per column × 3.
+        assert_eq!(db.num_edges(), 2 * 4 + 3 * 3);
+    }
+
+    #[test]
+    fn gnm_is_seeded() {
+        let a = random_gnm(50, 100, &["r", "s"], 11);
+        let b = random_gnm(50, 100, &["r", "s"], 11);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = random_gnm(50, 100, &["r", "s"], 12);
+        // Different seeds almost surely differ in some edge.
+        assert!(a.num_edges() <= 200 && c.num_edges() <= 200);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let db = preferential_attachment(300, 2, &["knows"], 5);
+        assert_eq!(db.num_nodes(), 300);
+        let max_deg = db.nodes().map(|n| db.degree(n)).max().unwrap();
+        let avg = db.nodes().map(|n| db.degree(n)).sum::<usize>() as f64 / 300.0;
+        assert!(
+            max_deg as f64 > 3.0 * avg,
+            "expected a hub: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic_by_construction() {
+        let db = layered_dag(5, 4, 2, "e", 3);
+        assert_eq!(db.num_nodes(), 20);
+        assert!(db.num_edges() <= 4 * 4 * 2);
+        assert!(db.num_edges() > 0);
+    }
+}

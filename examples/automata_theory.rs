@@ -1,0 +1,88 @@
+//! A guided tour of the word-level machinery behind the containment
+//! results: the §3.2 algorithm, folding (Lemma 2), the fold 2NFA
+//! (Lemma 3), and two-way complementation (Lemma 4).
+//!
+//! Run with `cargo run --example automata_theory`.
+
+use regular_queries::automata::complement2::vardi_complement;
+use regular_queries::automata::containment::{check_explicit, check_on_the_fly};
+use regular_queries::automata::fold::{fold_twonfa, folds_onto, lemma3_state_bound};
+use regular_queries::automata::regex::{parse, simplify};
+use regular_queries::automata::shepherdson::ShepherdsonDfa;
+use regular_queries::automata::to_regex::nfa_to_regex;
+use regular_queries::automata::{Alphabet, Letter, Nfa};
+
+fn main() {
+    let mut al = Alphabet::new();
+
+    // ----- §3.2: containment of regular expressions ----------------------
+    println!("=== Lemma 1 machinery: on-the-fly vs explicit ===");
+    let e1 = parse("(a|b)* a (a|b)(a|b)(a|b)", &mut al).unwrap(); // 4th-from-end is a
+    let e2 = parse("(a|b)*", &mut al).unwrap();
+    let n1 = Nfa::from_regex(&e1);
+    let n2 = Nfa::from_regex(&e2);
+    let fly = check_on_the_fly(&n2, &n1);
+    let letters: Vec<Letter> = al.sigma().collect();
+    let explicit = check_explicit(&n2, &n1, &letters);
+    println!(
+        "Σ* ⊑ '4th-from-end is a'? {} — on-the-fly explored {} states, \
+         explicit built {}",
+        fly.contained, fly.states_explored, explicit.states_explored
+    );
+    if let Some(ce) = &fly.counterexample {
+        println!("shortest counterexample: {}", al.word_to_string(ce));
+    }
+
+    // ----- Lemma 2: folding ----------------------------------------------
+    println!("\n=== Lemma 2: the fold relation ===");
+    let p = al.intern("p");
+    let lp = Letter::forward(p);
+    let v = vec![lp, lp.inv(), lp];
+    let u = vec![lp];
+    println!(
+        "p p⁻ p ⇝ p? {}   (the zigzag walk 0,1,0,1)",
+        folds_onto(&v, &u)
+    );
+    println!("p ⇝ p p⁻ p? {}   (cannot end at position 3)", folds_onto(&u, &v));
+
+    // ----- Lemma 3: the fold 2NFA -----------------------------------------
+    println!("\n=== Lemma 3: fold(L) as a small 2NFA ===");
+    let zig = parse("p p- p", &mut al).unwrap();
+    let nzig = Nfa::from_regex(&zig).eliminate_epsilon().trim();
+    let sigma_pm: Vec<Letter> = [Letter::forward(p), Letter::backward(p)].into();
+    let m = fold_twonfa(&nzig, &sigma_pm);
+    println!(
+        "NFA for p p⁻ p has {} states; its fold 2NFA has {} = n·(|Σ±|+1) = {}",
+        nzig.num_states(),
+        m.num_states(),
+        lemma3_state_bound(nzig.num_states(), sigma_pm.len())
+    );
+    println!("fold 2NFA accepts 'p'?       {}", m.accepts(&[lp]));
+    println!("fold 2NFA accepts 'p p⁻ p'?  {}", m.accepts(&v));
+    println!("fold 2NFA accepts 'p p'?     {}", m.accepts(&[lp, lp]));
+
+    // ----- Lemma 4 vs Shepherdson ------------------------------------------
+    println!("\n=== Lemma 4: complementation blow-up ===");
+    let comp = vardi_complement(&m, &sigma_pm, 50_000_000).expect("within cap");
+    println!(
+        "Vardi complement of the {}-state fold 2NFA: {} reachable subset \
+         pairs (bound 4^n = {})",
+        m.num_states(),
+        comp.pairs,
+        comp.bound
+    );
+    let mut det = ShepherdsonDfa::new(&m);
+    for len in 0..4 {
+        det.accepts(&vec![lp; len]);
+    }
+    println!(
+        "Shepherdson determinization of the same machine: {} tables so far",
+        det.discovered()
+    );
+
+    // ----- closing the definability loop ------------------------------------
+    println!("\n=== automata → regex (state elimination) ===");
+    let small = parse("a(b a)*", &mut al).unwrap();
+    let back = nfa_to_regex(&Nfa::from_regex(&small));
+    println!("a(b a)* round-trips to: {}", simplify(&back).display(&al));
+}

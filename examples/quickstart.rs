@@ -1,0 +1,108 @@
+//! Quickstart: build a graph database, evaluate queries from every class in
+//! the paper's ladder (RPQ → 2RPQ → C2RPQ → RQ), and decide containments.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use regular_queries::core::containment::{self, Config};
+use regular_queries::core::crpq::C2Rpq;
+use regular_queries::core::rq::{RqExpr, RqQuery};
+use regular_queries::prelude::*;
+
+fn main() {
+    // ----- a tiny corporate graph --------------------------------------
+    let mut db = GraphDb::new();
+    let (alice, bob, carol, dave) = (
+        db.node("alice"),
+        db.node("bob"),
+        db.node("carol"),
+        db.node("dave"),
+    );
+    let acme = db.node("acme");
+    let knows = db.label("knows");
+    let works_at = db.label("worksAt");
+    db.add_edge(alice, knows, bob);
+    db.add_edge(bob, knows, carol);
+    db.add_edge(carol, knows, dave);
+    db.add_edge(alice, works_at, acme);
+    db.add_edge(carol, works_at, acme);
+    let mut al = db.alphabet().clone();
+
+    // ----- RPQ: transitive acquaintance ---------------------------------
+    let fof = Rpq::parse("knows+", &mut al).unwrap();
+    println!("knows+ answers:");
+    for (x, y) in fof.evaluate(&db) {
+        println!("  {} ⇒ {}", db.display_node(x), db.display_node(y));
+    }
+
+    // ----- 2RPQ: colleagues (navigate worksAt backwards) ----------------
+    let colleagues = TwoRpq::parse("worksAt worksAt-", &mut al).unwrap();
+    println!("\ncolleagues (worksAt·worksAt⁻) answers:");
+    for (x, y) in colleagues.evaluate(&db) {
+        if x != y {
+            println!("  {} ~ {}", db.display_node(x), db.display_node(y));
+        }
+    }
+
+    // ----- C2RPQ: a conjunctive pattern ---------------------------------
+    // People x, y such that x knows someone who works at y's employer.
+    let q = C2Rpq::parse(
+        &["x", "y"],
+        &[("knows", "x", "m"), ("worksAt", "m", "e"), ("worksAt", "y", "e")],
+        &mut al,
+    )
+    .unwrap();
+    println!("\nconjunctive pattern answers:");
+    for t in q.evaluate(&db) {
+        println!(
+            "  x={}, y={}",
+            db.display_node(t[0]),
+            db.display_node(t[1])
+        );
+    }
+
+    // ----- RQ: transitive closure of a conjunctive query ----------------
+    // "Reachable through chains of colleague-of-acquaintance steps".
+    let step = RqExpr::edge(knows, "x", "m")
+        .and(RqExpr::edge(works_at, "m", "e"))
+        .and(RqExpr::edge(works_at, "y", "e"))
+        .project("m")
+        .project("e");
+    let rq = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        step.closure("x", "y"),
+    )
+    .unwrap();
+    println!("\nRQ (closure of the pattern) answers: {:?}", rq.evaluate(&db).len());
+
+    // ----- containment ---------------------------------------------------
+    let q1 = Rpq::parse("knows", &mut al).unwrap();
+    let out = containment::rpq::check(&q1, &fof, &al);
+    println!("\nknows ⊑ knows+ ?  {out}");
+    let out = containment::rpq::check(&fof, &q1, &al);
+    println!("knows+ ⊑ knows ?  {out}");
+    if let Some(w) = out.witness() {
+        println!("  counterexample database has {} edges", w.db.num_edges());
+    }
+
+    // The paper's flagship 2RPQ example: p ⊑ p p⁻ p.
+    let p = TwoRpq::parse("p", &mut al).unwrap();
+    let zigzag = TwoRpq::parse("p p- p", &mut al).unwrap();
+    let out = two_rpq_containment(&p, &zigzag, &al);
+    println!("p ⊑ p p⁻ p ?  {out}   (Lemma 2: folding!)");
+
+    // RQ containment with a budgeted checker.
+    let cfg = Config::default();
+    let r_plus = TwoRpq::parse("knows+", &mut al).unwrap();
+    let rq2 = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        RqExpr::rel2(r_plus, "x", "y"),
+    )
+    .unwrap();
+    let tc_knows = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        RqExpr::edge(knows, "x", "y").closure("x", "y"),
+    )
+    .unwrap();
+    let out = containment::rq::check(&tc_knows, &rq2, &al, &cfg);
+    println!("TC(knows) ⊑ knows+ ?  {out}");
+}

@@ -1,0 +1,295 @@
+//! `rqtool` — command-line front end for the regular-queries library.
+//!
+//! ```text
+//! rqtool eval <graph.txt> <query> [--from NODE] [--dot]
+//! rqtool contain <query1> <query2> [--dot]
+//! rqtool simplify <query>
+//! rqtool datalog <program.dl> <goal> <graph.txt>
+//! rqtool recognize <program.dl>
+//! rqtool to-datalog <query>
+//! rqtool eval-cq <graph.txt> <query.cq>
+//! rqtool contain-cq <query1.cq> <query2.cq>
+//! rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]
+//! rqtool contain-rq <query1.rq> <query2.rq>
+//! ```
+//!
+//! `.rq` files use the full-RQ rule syntax with `tc[Pred]` closure atoms
+//! (`Tri(x,y) :- [r](x,y), [r](y,z), [r](z,x).` / `Ans(x,y) :- tc[Tri](x,y).`).
+//!
+//! `.cq` files use the UC2RPQ rule syntax
+//! (`Q(x, y) :- [a+](x, m), [b c-](m, y).`, one rule per line, same head
+//! predicate throughout).
+//!
+//! Graph files use the `src label dst` text format (`node x` declares an
+//! isolated node, `#` comments). Queries are regular expressions over Σ±
+//! with `label-` for inverse letters. Datalog programs use
+//! `Head(X,Y) :- body.` syntax with uppercase variables.
+
+use regular_queries::automata::regex::simplify;
+use regular_queries::core::containment::two_rpq;
+use regular_queries::core::rq::{RqExpr, RqQuery};
+use regular_queries::core::translate::graphdb_to_factdb;
+use regular_queries::datalog::depgraph::{is_monadic, is_nonrecursive, DepGraph};
+use regular_queries::datalog::grq::analyze_grq;
+use regular_queries::datalog::parser::parse_program;
+use regular_queries::datalog::validate::validate_program;
+use regular_queries::graph::dot::{to_dot, DotOptions};
+use regular_queries::graph::text;
+use regular_queries::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.starts_with("--"));
+    let want_dot = flags.iter().any(|f| *f == "--dot");
+    let from = flags
+        .iter()
+        .position(|f| f.starts_with("--from="))
+        .map(|i| flags[i]["--from=".len()..].to_owned());
+    let goal = flags
+        .iter()
+        .position(|f| f.starts_with("--goal="))
+        .map(|i| flags[i]["--goal=".len()..].to_owned());
+
+    let result = match positional.as_slice() {
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("eval", [graph, query]) => cmd_eval(graph, query, from.as_deref(), want_dot),
+            ("contain", [q1, q2]) => cmd_contain(q1, q2, want_dot),
+            ("simplify", [query]) => cmd_simplify(query),
+            ("datalog", [program, goal, graph]) => cmd_datalog(program, goal, graph),
+            ("recognize", [program]) => cmd_recognize(program),
+            ("to-datalog", [query]) => cmd_to_datalog(query),
+            ("eval-cq", [graph, query]) => cmd_eval_cq(graph, query),
+            ("contain-cq", [q1, q2]) => cmd_contain_cq(q1, q2),
+            ("eval-rq", [graph, query]) => cmd_eval_rq(graph, query, goal.as_deref()),
+            ("contain-rq", [q1, q2]) => cmd_contain_rq(q1, q2),
+            _ => Err(usage()),
+        },
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  rqtool eval <graph.txt> <query> [--from=NODE] [--dot]\n  \
+     rqtool contain <query1> <query2> [--dot]\n  \
+     rqtool simplify <query>\n  \
+     rqtool datalog <program.dl> <goal> <graph.txt>\n  \
+     rqtool recognize <program.dl>\n  \
+     rqtool to-datalog <query>\n  \
+     rqtool eval-cq <graph.txt> <query.cq>\n  \
+     rqtool contain-cq <query1.cq> <query2.cq>\n  \
+     rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]\n  \
+     rqtool contain-rq <query1.rq> <query2.rq>"
+        .to_owned()
+}
+
+fn load_graph(path: &str) -> Result<GraphDb, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text::parse(&content).map_err(|e| e.to_string())
+}
+
+fn cmd_eval(graph: &str, query: &str, from: Option<&str>, want_dot: bool) -> Result<(), String> {
+    let db = load_graph(graph)?;
+    let mut al = db.alphabet().clone();
+    let q = TwoRpq::parse(query, &mut al).map_err(|e| e.to_string())?;
+    match from {
+        Some(name) => {
+            let src = db
+                .find_node(name)
+                .ok_or_else(|| format!("no node named {name}"))?;
+            let ans = q.evaluate_from(&db, src);
+            println!("{} answers from {name}:", ans.len());
+            for n in &ans {
+                println!("  {}", db.display_node(*n));
+            }
+        }
+        None => {
+            let ans = q.evaluate(&db);
+            println!("{} answer pairs:", ans.len());
+            for (x, y) in &ans {
+                println!("  {} ⇒ {}", db.display_node(*x), db.display_node(*y));
+            }
+        }
+    }
+    if want_dot {
+        println!("\n{}", to_dot(&db, &DotOptions::default()));
+    }
+    Ok(())
+}
+
+fn cmd_contain(s1: &str, s2: &str, want_dot: bool) -> Result<(), String> {
+    let mut al = Alphabet::new();
+    let q1 = TwoRpq::parse(s1, &mut al).map_err(|e| e.to_string())?;
+    let q2 = TwoRpq::parse(s2, &mut al).map_err(|e| e.to_string())?;
+    for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
+        let out = two_rpq::check(a, b, &al);
+        println!("{label}: {out}");
+        if let Some(w) = out.witness() {
+            if want_dot {
+                let dot = to_dot(
+                    &w.db,
+                    &DotOptions {
+                        name: Some("counterexample".into()),
+                        highlight: w.tuple.clone(),
+                        horizontal: true,
+                    },
+                );
+                println!("{dot}");
+            } else {
+                for line in text::to_text(&w.db).lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simplify(query: &str) -> Result<(), String> {
+    let mut al = Alphabet::new();
+    let e = regular_queries::automata::regex::parse(query, &mut al).map_err(|e| e.to_string())?;
+    let out = simplify(&e);
+    println!("{}", out.display(&al));
+    if out.size() < e.size() {
+        eprintln!("({} → {} AST nodes)", e.size(), out.size());
+    }
+    Ok(())
+}
+
+fn cmd_datalog(program: &str, goal: &str, graph: &str) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(program).map_err(|e| format!("cannot read {program}: {e}"))?;
+    let p = parse_program(&content).map_err(|e| e.to_string())?;
+    validate_program(&p).map_err(|e| e.to_string())?;
+    let q = DatalogQuery::new(p, goal);
+    let db = load_graph(graph)?;
+    let facts = graphdb_to_factdb(&db);
+    let rel = regular_queries::datalog::evaluate(&q, &facts);
+    println!("{} facts for {goal}:", rel.len());
+    for t in rel.iter() {
+        let names: Vec<&str> = t.iter().map(|&v| facts.value_name(v)).collect();
+        println!("  {goal}({})", names.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_recognize(program: &str) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(program).map_err(|e| format!("cannot read {program}: {e}"))?;
+    let p = parse_program(&content).map_err(|e| e.to_string())?;
+    validate_program(&p).map_err(|e| e.to_string())?;
+    let dg = DepGraph::new(&p);
+    println!("predicates : {}", dg.predicates.join(", "));
+    println!("recursive  : {}", dg.recursive_predicates().join(", "));
+    println!("nonrecursive program? {}", is_nonrecursive(&p));
+    println!("Monadic Datalog?      {}", is_monadic(&p));
+    match analyze_grq(&p) {
+        Ok(a) => {
+            println!("GRQ?                  yes");
+            for tc in &a.tc_defs {
+                println!("  {} = TC({}) [{:?}]", tc.tc_pred, tc.base_pred, tc.step);
+            }
+        }
+        Err(v) => println!("GRQ?                  no — {v}"),
+    }
+    Ok(())
+}
+
+fn cmd_to_datalog(query: &str) -> Result<(), String> {
+    let mut al = Alphabet::new();
+    let rel = TwoRpq::parse(query, &mut al).map_err(|e| e.to_string())?;
+    let q = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        RqExpr::rel2(rel, "x", "y"),
+    )
+    .map_err(|e| e.to_string())?;
+    let dq = regular_queries::core::translate::rq_to_datalog(&q, &al);
+    print!("{}", dq.program);
+    println!("% goal: {}", dq.goal);
+    Ok(())
+}
+
+fn load_uc2rpq(path: &str, al: &mut Alphabet) -> Result<regular_queries::core::Uc2Rpq, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    regular_queries::core::query_text::parse_uc2rpq(&content, al).map_err(|e| e.to_string())
+}
+
+fn cmd_eval_cq(graph: &str, query: &str) -> Result<(), String> {
+    let db = load_graph(graph)?;
+    let mut al = db.alphabet().clone();
+    let q = load_uc2rpq(query, &mut al)?;
+    let ans = q.evaluate(&db);
+    println!("{} answer tuples:", ans.len());
+    for t in &ans {
+        let names: Vec<String> = t.iter().map(|&n| db.display_node(n)).collect();
+        println!("  ({})", names.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_contain_cq(p1: &str, p2: &str) -> Result<(), String> {
+    use regular_queries::core::containment::{uc2rpq, Config};
+    let mut al = Alphabet::new();
+    let q1 = load_uc2rpq(p1, &mut al)?;
+    let q2 = load_uc2rpq(p2, &mut al)?;
+    let cfg = Config::default();
+    for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
+        let out = uc2rpq::check(a, b, &al, &cfg);
+        println!("{label}: {out}");
+        if let Some(w) = out.witness() {
+            for line in text::to_text(&w.db).lines() {
+                println!("    {line}");
+            }
+            let names: Vec<String> = w.tuple.iter().map(|&n| w.db.display_node(n)).collect();
+            println!("  distinguished tuple: ({})", names.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn load_rq(path: &str, goal: Option<&str>, al: &mut Alphabet) -> Result<RqQuery, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    regular_queries::core::rq_text::parse_rq(&content, goal, al).map_err(|e| e.to_string())
+}
+
+fn cmd_eval_rq(graph: &str, query: &str, goal: Option<&str>) -> Result<(), String> {
+    let db = load_graph(graph)?;
+    let mut al = db.alphabet().clone();
+    let q = load_rq(query, goal, &mut al)?;
+    let ans = q.evaluate(&db);
+    println!("{} answer tuples:", ans.len());
+    for t in &ans {
+        let names: Vec<String> = t.iter().map(|&n| db.display_node(n)).collect();
+        println!("  ({})", names.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_contain_rq(p1: &str, p2: &str) -> Result<(), String> {
+    use regular_queries::core::containment::{rq, Config};
+    let mut al = Alphabet::new();
+    let q1 = load_rq(p1, None, &mut al)?;
+    let q2 = load_rq(p2, None, &mut al)?;
+    let cfg = Config::default();
+    for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
+        let out = rq::check(a, b, &al, &cfg);
+        println!("{label}: {out}");
+        if let Some(w) = out.witness() {
+            for line in text::to_text(&w.db).lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # regular-queries
+//!
+//! A production-quality Rust implementation of the query classes and
+//! containment algorithms surveyed in Moshe Y. Vardi's *A Theory of Regular
+//! Queries* (PODS 2016): RPQs, 2RPQs, C2RPQs, UC2RPQs, Regular Queries (RQ)
+//! and Generalized Regular Queries (GRQ), together with the word-automata
+//! and Datalog substrates they are built on.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`automata`] — regexes, NFA/DFA/2NFA machinery, fold, complementation;
+//! * [`graph`] — edge-labeled graph databases and generators;
+//! * [`datalog`] — a Datalog engine with GRQ recognition and translation;
+//! * [`core`] — the query classes, their evaluation, and the containment
+//!   checker suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use regular_queries::prelude::*;
+//!
+//! // A small graph database over the alphabet {knows}.
+//! let mut db = GraphDb::new();
+//! let (alice, bob, carol) = (db.node("alice"), db.node("bob"), db.node("carol"));
+//! let knows = db.label("knows");
+//! db.add_edge(alice, knows, bob);
+//! db.add_edge(bob, knows, carol);
+//!
+//! // Evaluate the RPQ knows+ (a friend-of-a-friend chain of any length).
+//! let mut alphabet = db.alphabet().clone();
+//! let q = Rpq::parse("knows+", &mut alphabet).unwrap();
+//! let answers = q.evaluate(&db);
+//! assert!(answers.contains(&(alice, carol)));
+//!
+//! // Containment: knows ⊑ knows+ holds, knows+ ⊑ knows does not.
+//! let q1 = Rpq::parse("knows", &mut alphabet).unwrap();
+//! assert!(rpq_containment(&q1, &q, &alphabet).is_contained());
+//! assert!(rpq_containment(&q, &q1, &alphabet).is_not_contained());
+//! ```
+
+pub use rq_automata as automata;
+pub use rq_core as core;
+pub use rq_datalog as datalog;
+pub use rq_graph as graph;
+
+/// Convenient glob-import surface for examples and applications.
+pub mod prelude {
+    pub use rq_automata::{Alphabet, LabelId, Letter, Nfa, Regex};
+    pub use rq_core::containment::rpq::check as rpq_containment;
+    pub use rq_core::containment::two_rpq::check as two_rpq_containment;
+    pub use rq_core::containment::{Certificate, Config as ContainmentConfig, Outcome, Witness};
+    pub use rq_core::query_text::parse_uc2rpq;
+    pub use rq_core::{C2Rpq, Rpq, RqExpr, RqQuery, TwoRpq, Uc2Rpq};
+    pub use rq_datalog::{FactDb, Program, Query as DatalogQuery};
+    pub use rq_graph::{GraphDb, NodeId, Semipath};
+}

@@ -1,0 +1,183 @@
+//! Fuzzed soundness audit of every containment checker: any *definite*
+//! verdict must be consistent with semantics.
+//!
+//! * `Contained` ⇒ no counterexample exists among many random databases;
+//! * `NotContained` ⇒ the produced witness database genuinely separates
+//!   the queries (re-verified by evaluation);
+//! * `Unknown` is always acceptable (the problems are EXPSPACE-hard), but
+//!   the suite also tracks that the checkers decide a healthy fraction of
+//!   random instances.
+
+use regular_queries::automata::random::{random_regex, RegexConfig, SplitMix64};
+use regular_queries::core::containment::{self, Config};
+use regular_queries::core::crpq::{C2Rpq, C2RpqAtom, Uc2Rpq};
+use regular_queries::graph::generate;
+use regular_queries::prelude::*;
+
+fn random_two_rpq(rng: &mut SplitMix64, leaves: usize) -> TwoRpq {
+    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves, repeat_prob: 0.35 };
+    TwoRpq::new(random_regex(rng, &cfg))
+}
+
+#[test]
+fn two_rpq_checker_is_sound_and_total() {
+    let al = Alphabet::from_names(["a", "b"]);
+    let mut rng = SplitMix64::new(20_160_626);
+    for trial in 0..120 {
+        let q1 = random_two_rpq(&mut rng, 5);
+        let q2 = random_two_rpq(&mut rng, 5);
+        let out = containment::two_rpq::check(&q1, &q2, &al);
+        match out.decided() {
+            Some(true) => {
+                for seed in 0..12u64 {
+                    let db = generate::random_gnm(5, 11, &["a", "b"], seed);
+                    assert!(
+                        q1.evaluate(&db).is_subset(&q2.evaluate(&db)),
+                        "trial {trial}: claimed contained, db seed {seed} refutes \
+                         ({:?} vs {:?})",
+                        q1.regex(),
+                        q2.regex()
+                    );
+                }
+            }
+            Some(false) => {
+                let w = out.witness().expect("witness");
+                assert!(
+                    q1.contains_pair(&w.db, w.tuple[0], w.tuple[1]),
+                    "trial {trial}: witness not answered by q1"
+                );
+                assert!(
+                    !q2.contains_pair(&w.db, w.tuple[0], w.tuple[1]),
+                    "trial {trial}: witness answered by q2"
+                );
+            }
+            None => panic!("trial {trial}: the 2RPQ checker is total but returned Unknown"),
+        }
+    }
+}
+
+fn random_uc2rpq(rng: &mut SplitMix64) -> Uc2Rpq {
+    let n_disjuncts = 1 + rng.below(2);
+    let vars = ["x", "y", "z"];
+    let disjuncts: Vec<C2Rpq> = (0..n_disjuncts)
+        .map(|_| {
+            let n_atoms = 1 + rng.below(2);
+            let mut atoms: Vec<C2RpqAtom> = (0..n_atoms)
+                .map(|_| {
+                    let rel = random_two_rpq(rng, 3);
+                    let f = vars[rng.below(3)];
+                    let t = vars[rng.below(3)];
+                    C2RpqAtom::new(rel, f, t)
+                })
+                .collect();
+            // Ensure x and y occur so the head is safe.
+            atoms.push(C2RpqAtom::new(random_two_rpq(rng, 2), "x", "y"));
+            C2Rpq::new(vec!["x".into(), "y".into()], atoms).expect("head occurs")
+        })
+        .collect();
+    Uc2Rpq::new(disjuncts).expect("nonempty")
+}
+
+#[test]
+fn uc2rpq_checker_is_sound() {
+    let al = Alphabet::from_names(["a", "b"]);
+    let cfg = Config::default();
+    let mut rng = SplitMix64::new(48);
+    let mut decided = 0usize;
+    let trials = 60;
+    for trial in 0..trials {
+        let q1 = random_uc2rpq(&mut rng);
+        let q2 = random_uc2rpq(&mut rng);
+        let out = containment::uc2rpq::check(&q1, &q2, &al, &cfg);
+        match out.decided() {
+            Some(true) => {
+                decided += 1;
+                for seed in 0..10u64 {
+                    let db = generate::random_gnm(4, 9, &["a", "b"], seed);
+                    assert!(
+                        q1.evaluate(&db).is_subset(&q2.evaluate(&db)),
+                        "trial {trial}: claimed contained, seed {seed} refutes"
+                    );
+                }
+            }
+            Some(false) => {
+                decided += 1;
+                let w = out.witness().expect("witness");
+                assert!(q1.evaluate(&w.db).contains(&w.tuple), "trial {trial}");
+                assert!(!q2.evaluate(&w.db).contains(&w.tuple), "trial {trial}");
+            }
+            None => {}
+        }
+    }
+    // The hybrid checker must decide a solid majority of random instances.
+    assert!(
+        decided * 10 >= trials * 7,
+        "only {decided}/{trials} random UC2RPQ instances decided"
+    );
+}
+
+#[test]
+fn rpq_checker_counterexamples_are_shortest() {
+    // BFS promises shortest counterexamples; verify on crafted instances
+    // where the shortest separating word length is known.
+    let mut al = Alphabet::new();
+    for (s1, s2, expected_len) in [
+        ("a*", "ε|a", 2usize),
+        ("a a a", "a a", 3),
+        ("b|a a a a", "a a a a", 1),
+    ] {
+        let q1 = Rpq::parse(s1, &mut al).unwrap();
+        let q2 = Rpq::parse(s2, &mut al).unwrap();
+        let out = containment::rpq::check(&q1, &q2, &al);
+        let w = out.witness().expect("refutable");
+        assert_eq!(w.db.num_edges(), expected_len, "{s1} vs {s2}");
+    }
+}
+
+#[test]
+fn containment_is_a_preorder_on_samples() {
+    // Reflexivity and transitivity spot-checks across the ladder.
+    let al = Alphabet::from_names(["a", "b"]);
+    let mut rng = SplitMix64::new(5);
+    let queries: Vec<TwoRpq> = (0..8).map(|_| random_two_rpq(&mut rng, 4)).collect();
+    for q in &queries {
+        assert!(
+            containment::two_rpq::check(q, q, &al).is_contained(),
+            "reflexivity for {:?}",
+            q.regex()
+        );
+    }
+    for a in &queries {
+        for b in &queries {
+            for c in &queries {
+                let ab = containment::two_rpq::check(a, b, &al).is_contained();
+                let bc = containment::two_rpq::check(b, c, &al).is_contained();
+                if ab && bc {
+                    assert!(
+                        containment::two_rpq::check(a, c, &al).is_contained(),
+                        "transitivity violated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_databases_share_the_query_alphabet() {
+    // Witnesses must be directly evaluable by both queries — no label
+    // remapping required (regression test for the expansion design).
+    let mut al = Alphabet::new();
+    let q1 = C2Rpq::parse(&["x", "y"], &[("a b", "x", "y")], &mut al).unwrap();
+    let q2 = C2Rpq::parse(&["x", "y"], &[("a", "x", "y")], &mut al).unwrap();
+    let out = containment::uc2rpq::check(
+        &Uc2Rpq::single(q1.clone()),
+        &Uc2Rpq::single(q2.clone()),
+        &al,
+        &Config::default(),
+    );
+    let w = out.witness().expect("a b ⋢ a");
+    assert!(w.db.alphabet().get("a").is_some());
+    assert!(w.db.alphabet().get("b").is_some());
+    assert!(q1.evaluate(&w.db).contains(&w.tuple));
+}

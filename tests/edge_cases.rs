@@ -1,0 +1,239 @@
+//! Edge-case regression suite: degenerate databases, ε-heavy queries,
+//! self-loops, unicode labels, deeply nested algebra, and boundary budgets.
+
+use regular_queries::core::containment::{self, Config};
+use regular_queries::core::crpq::C2Rpq;
+use regular_queries::core::query_text::parse_uc2rpq;
+use regular_queries::core::rq::{RqExpr, RqQuery};
+use regular_queries::core::translate::grq_containment;
+use regular_queries::datalog::parser::parse_program;
+use regular_queries::graph::generate;
+use regular_queries::prelude::*;
+use std::collections::BTreeSet;
+
+#[test]
+fn queries_on_the_empty_database() {
+    let db = GraphDb::new();
+    let mut al = Alphabet::new();
+    let q = TwoRpq::parse("a*", &mut al).unwrap();
+    assert!(q.evaluate(&db).is_empty(), "no nodes, no ε-pairs");
+    let q = TwoRpq::parse("a", &mut al).unwrap();
+    assert!(q.evaluate(&db).is_empty());
+}
+
+#[test]
+fn epsilon_query_on_isolated_nodes() {
+    let mut db = GraphDb::new();
+    let x = db.node("x");
+    let y = db.node("y");
+    let mut al = db.alphabet().clone();
+    let q = TwoRpq::parse("a*", &mut al).unwrap();
+    let ans = q.evaluate(&db);
+    assert_eq!(ans, BTreeSet::from([(x, x), (y, y)]));
+}
+
+#[test]
+fn single_node_self_loop() {
+    let mut db = GraphDb::new();
+    let x = db.node("x");
+    let r = db.label("r");
+    db.add_edge(x, r, x);
+    let mut al = db.alphabet().clone();
+    for re in ["r", "r+", "r-", "r r- r", "(r r)*"] {
+        let q = TwoRpq::parse(re, &mut al).unwrap();
+        assert!(
+            q.evaluate(&db).contains(&(x, x)),
+            "{re} must answer the loop"
+        );
+    }
+}
+
+#[test]
+fn unicode_and_long_label_names() {
+    let mut db = GraphDb::new();
+    let a = db.node("αλφα");
+    let b = db.node("βήτα");
+    let l = db.label("συνδέεται_με_πολύ_μακρύ_όνομα");
+    db.add_edge(a, l, b);
+    // Labels parse as identifiers only if ASCII; use the API directly.
+    let q = Rpq::new(rq_automata_letter(l)).unwrap();
+    assert!(q.evaluate(&db).contains(&(a, b)));
+
+    fn rq_automata_letter(l: LabelId) -> rq_automata::Regex {
+        rq_automata::Regex::Letter(Letter::forward(l))
+    }
+    use rq_automata::{LabelId, Letter};
+}
+
+#[test]
+fn deeply_nested_algebra_evaluates() {
+    let db = generate::chain(6, "r");
+    let r = db.alphabet().get("r").unwrap();
+    // ((((r)+)+)+)+ with interleaved projections of dummies.
+    let mut expr = RqExpr::edge(r, "x", "y");
+    for _ in 0..4 {
+        expr = expr.closure("x", "y");
+    }
+    let q = RqQuery::new(vec!["x".into(), "y".into()], expr).unwrap();
+    assert_eq!(q.evaluate(&db).len(), 15); // TC of the 6-chain
+    // Nested closures collapse exactly to r+.
+    let u = q.collapse_exact().expect("chain closure tower collapses");
+    assert_eq!(u.evaluate(&db).len(), 15);
+}
+
+#[test]
+fn closure_on_cycle_reaches_everything() {
+    let db = generate::cycle(5, "r");
+    let r = db.alphabet().get("r").unwrap();
+    let q = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        RqExpr::edge(r, "x", "y").closure("x", "y"),
+    )
+    .unwrap();
+    assert_eq!(q.evaluate(&db).len(), 25, "cycle TC is the full square");
+}
+
+#[test]
+fn containment_with_disjoint_alphabets() {
+    // Queries that share no labels: Q1 ⊑ Q2 iff L(Q1) = ∅ semantically.
+    let mut al = Alphabet::new();
+    let q1 = TwoRpq::parse("a", &mut al).unwrap();
+    let q2 = TwoRpq::parse("b", &mut al).unwrap();
+    let out = containment::two_rpq::check(&q1, &q2, &al);
+    assert!(out.is_not_contained());
+    let empty = TwoRpq::parse("∅", &mut al).unwrap();
+    assert!(containment::two_rpq::check(&empty, &q2, &al).is_contained());
+}
+
+#[test]
+fn zero_budget_configs_degrade_to_unknown_not_wrong() {
+    let mut al = Alphabet::new();
+    let q1 = parse_uc2rpq("Q(x) :- [a](x, y), [b](x, z).", &mut al).unwrap();
+    let q2 = parse_uc2rpq("Q(x) :- [c](x, y).", &mut al).unwrap();
+    // This pair is NOT contained; with zero expansion budget the checker
+    // cannot refute, and the hom prover cannot prove — it must say Unknown
+    // (never a wrong definite answer).
+    let cfg = Config { max_expansions: 0, max_hom_path_len: 0, ..Config::default() };
+    let out = containment::uc2rpq::check(&q1, &q2, &al, &cfg);
+    assert!(!out.is_contained(), "a wrong Contained would be unsound: {out}");
+}
+
+#[test]
+fn duplicate_head_variables_in_c2rpq() {
+    let mut al = Alphabet::new();
+    // Q(x, x): the diagonal restricted to nodes with an a-edge to somewhere.
+    let q = C2Rpq::parse(&["x", "x"], &[("a", "x", "y")], &mut al).unwrap();
+    let mut db = GraphDb::new();
+    let s = db.node("s");
+    let t = db.node("t");
+    let a = db.label("a");
+    db.add_edge(s, a, t);
+    let ans = q.evaluate(&db);
+    assert_eq!(ans, BTreeSet::from([vec![s, s]]));
+}
+
+#[test]
+fn grq_containment_rejects_non_grq_gracefully() {
+    let cfg = Config::default();
+    // Mutual recursion is not GRQ; the checker must answer Unknown with a
+    // reason, not panic.
+    let bad = DatalogQuery::new(
+        parse_program(
+            "A(X, Y) :- e(X, Y).\n\
+             A(X, Z) :- B(X, Y), e(Y, Z).\n\
+             B(X, Y) :- e(X, Y).\n\
+             B(X, Z) :- A(X, Y), e(Y, Z).",
+        )
+        .unwrap(),
+        "A",
+    );
+    let good = DatalogQuery::new(parse_program("P(X, Y) :- e(X, Y).").unwrap(), "P");
+    let out = grq_containment(&bad, &good, &cfg);
+    assert!(out.is_unknown());
+    let out = grq_containment(&good, &bad, &cfg);
+    assert!(out.is_unknown());
+}
+
+#[test]
+fn two_rpq_over_large_alphabet() {
+    let labels: Vec<String> = (0..20).map(|i| format!("l{i}")).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let db = generate::random_gnm(10, 40, &label_refs, 1);
+    let mut al = db.alphabet().clone();
+    let q = TwoRpq::parse("l0 (l1|l2-)* l3", &mut al).unwrap();
+    // Just exercise evaluation and containment over the wide alphabet.
+    let _ = q.evaluate(&db);
+    let q2 = TwoRpq::parse("l0 (l1|l2-|l4)* l3", &mut al).unwrap();
+    assert!(containment::two_rpq::check(&q, &q2, &al).is_contained());
+}
+
+#[test]
+fn word_length_zero_counterexamples() {
+    // ε is a valid (shortest) counterexample word and yields a single-node
+    // witness database.
+    let mut al = Alphabet::new();
+    let q1 = TwoRpq::parse("a*", &mut al).unwrap();
+    let q2 = TwoRpq::parse("a+", &mut al).unwrap();
+    let out = containment::two_rpq::check(&q1, &q2, &al);
+    let w = out.witness().expect("a* ⋢ a+");
+    assert_eq!(w.db.num_nodes(), 1);
+    assert_eq!(w.db.num_edges(), 0);
+    assert_eq!(w.tuple[0], w.tuple[1]);
+}
+
+#[test]
+fn rq_boolean_query_via_full_projection() {
+    // Projecting out every variable yields a boolean (0-ary) query:
+    // nonempty answer set iff the pattern occurs.
+    let mut db = GraphDb::new();
+    let r = db.label("r");
+    let x = db.node("x");
+    let y = db.node("y");
+    db.add_edge(x, r, y);
+    let expr = RqExpr::edge(r, "a", "b").project("a").project("b");
+    let q = RqQuery::new(vec![], expr).unwrap();
+    assert_eq!(q.evaluate(&db).len(), 1, "the empty tuple is the answer");
+    let empty_db = GraphDb::with_alphabet(db.alphabet().clone());
+    assert_eq!(q.evaluate(&empty_db).len(), 0);
+}
+
+#[test]
+fn ablation_flags_change_the_path_not_the_soundness() {
+    use regular_queries::core::containment::{rq, uc2rpq};
+    let mut al = Alphabet::new();
+    // A chain pair decided by the collapse fast path…
+    let q1 = parse_uc2rpq("Q(x, y) :- [a](x, m), [a](m, y).", &mut al).unwrap();
+    let q2 = parse_uc2rpq("Q(x, y) :- [a+](x, y).", &mut al).unwrap();
+    let full = uc2rpq::check(&q1, &q2, &al, &Config::default());
+    assert!(full.is_contained());
+    // …is still decided without it (the hom prover picks it up).
+    let no_collapse = Config { disable_chain_collapse: true, ..Config::default() };
+    let out = uc2rpq::check(&q1, &q2, &al, &no_collapse);
+    assert!(out.is_contained(), "{out}");
+    // With both provers off, the checker degrades to Unknown, never to a
+    // wrong refutation (the pair IS contained, so refutation cannot fire).
+    let nothing = Config {
+        disable_chain_collapse: true,
+        disable_hom_prover: true,
+        ..Config::default()
+    };
+    let out = uc2rpq::check(&q1, &q2, &al, &nothing);
+    assert!(out.is_unknown(), "{out}");
+
+    // The triangle-closure proof needs induction; disabling it yields
+    // Unknown (tested against the same instance the E6 bench proves).
+    let r = al.intern("r");
+    let body = RqExpr::edge(r, "x", "y")
+        .and(RqExpr::edge(r, "y", "z"))
+        .and(RqExpr::edge(r, "z", "x"))
+        .project("z");
+    let tri = RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).unwrap();
+    let rplus = RqQuery::new(
+        vec!["x".into(), "y".into()],
+        RqExpr::rel2(TwoRpq::parse("r+", &mut al).unwrap(), "x", "y"),
+    )
+    .unwrap();
+    assert!(rq::check(&tri, &rplus, &al, &Config::default()).is_contained());
+    let no_induction = Config { disable_induction: true, ..Config::default() };
+    assert!(rq::check(&tri, &rplus, &al, &no_induction).is_unknown());
+}

@@ -1,0 +1,75 @@
+//! End-to-end tests over the shipped `examples/data/` files: the same
+//! artifacts the README and `rqtool` point users at must keep working.
+
+use regular_queries::core::translate::graphdb_to_factdb;
+use regular_queries::datalog::grq::is_grq;
+use regular_queries::datalog::parser::parse_program;
+use regular_queries::graph::text;
+use regular_queries::prelude::*;
+use std::collections::BTreeSet;
+
+fn data(file: &str) -> String {
+    let path = format!("{}/examples/data/{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn social_graph_loads_and_answers_rpqs() {
+    let db = text::parse(&data("social.graph")).expect("valid graph file");
+    assert_eq!(db.num_nodes(), 8); // 6 people + 2 companies, frank isolated
+    let mut al = db.alphabet().clone();
+    let q = Rpq::parse("knows+", &mut al).unwrap();
+    let alice = db.find_node("alice").unwrap();
+    let erin = db.find_node("erin").unwrap();
+    let frank = db.find_node("frank").unwrap();
+    let reach = q.evaluate_from(&db, alice);
+    assert!(reach.contains(&erin));
+    assert!(!reach.contains(&frank), "frank is isolated");
+}
+
+#[test]
+fn coworker_chain_query_runs() {
+    let db = text::parse(&data("social.graph")).expect("valid graph file");
+    let mut al = db.alphabet().clone();
+    let q = parse_uc2rpq(&data("coworker_chain.cq"), &mut al).expect("valid query file");
+    assert_eq!(q.disjuncts.len(), 2);
+    let ans = q.evaluate(&db);
+    let alice = db.find_node("alice").unwrap();
+    let dave = db.find_node("dave").unwrap();
+    // alice works with carol (acme), carol knows dave.
+    assert!(ans.contains(&vec![alice, dave]));
+    // Direct acquaintance disjunct also contributes.
+    let bob = db.find_node("bob").unwrap();
+    assert!(ans.contains(&vec![alice, bob]));
+}
+
+#[test]
+fn routing_program_is_grq_and_evaluates() {
+    let program = parse_program(&data("routing.dl")).expect("valid program");
+    assert!(is_grq(&program));
+    let db = text::parse(&data("social.graph")).expect("valid graph file");
+    let facts = graphdb_to_factdb(&db);
+    let q = DatalogQuery::new(program, "Route");
+    let routes = regular_queries::datalog::evaluate(&q, &facts);
+    let names: BTreeSet<(String, String)> = routes
+        .iter()
+        .map(|t| {
+            (
+                facts.value_name(t[0]).to_owned(),
+                facts.value_name(t[1]).to_owned(),
+            )
+        })
+        .collect();
+    assert!(names.contains(&("alice".into(), "erin".into())));
+    assert!(!names.contains(&("erin".into(), "alice".into())));
+}
+
+#[test]
+fn rendered_queries_reparse() {
+    let mut al = Alphabet::new();
+    let q = parse_uc2rpq(&data("coworker_chain.cq"), &mut al).expect("valid");
+    let rendered = regular_queries::core::query_text::render_uc2rpq(&q, "Q", &al);
+    let mut al2 = al.clone();
+    let q2 = parse_uc2rpq(&rendered, &mut al2).expect("round-trip");
+    assert_eq!(q, q2);
+}

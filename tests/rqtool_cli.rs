@@ -1,0 +1,118 @@
+//! Black-box tests of the `rqtool` binary (spawned via the path Cargo
+//! provides to integration tests).
+
+use std::process::Command;
+
+fn rqtool(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rqtool"))
+        .args(args)
+        .output()
+        .expect("rqtool runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn data(file: &str) -> String {
+    format!("{}/examples/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn eval_command() {
+    let (stdout, _, ok) = rqtool(&["eval", &data("social.graph"), "knows+"]);
+    assert!(ok);
+    assert!(stdout.contains("alice ⇒ erin"), "{stdout}");
+}
+
+#[test]
+fn eval_from_named_node() {
+    let (stdout, _, ok) = rqtool(&[
+        "eval",
+        &data("social.graph"),
+        "worksAt worksAt-",
+        "--from=alice",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("carol"), "{stdout}");
+}
+
+#[test]
+fn contain_command_shows_witness() {
+    let (stdout, _, ok) = rqtool(&["contain", "p", "p p- p"]);
+    assert!(ok);
+    assert!(stdout.contains("Q1 ⊑ Q2: contained"), "{stdout}");
+    assert!(stdout.contains("Q2 ⊑ Q1: not contained"), "{stdout}");
+    assert!(stdout.contains("n0 p n1"), "witness database printed: {stdout}");
+}
+
+#[test]
+fn contain_dot_output() {
+    let (stdout, _, ok) = rqtool(&["contain", "a a", "a", "--dot"]);
+    assert!(ok);
+    assert!(stdout.contains("digraph counterexample"), "{stdout}");
+    assert!(stdout.contains("doublecircle"), "{stdout}");
+}
+
+#[test]
+fn simplify_command() {
+    let (stdout, _, ok) = rqtool(&["simplify", "a|a*|b a* a*"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "a*|b.a*");
+}
+
+#[test]
+fn datalog_and_recognize_commands() {
+    let (stdout, _, ok) = rqtool(&["datalog", &data("routing.dl"), "Route", &data("social.graph")]);
+    assert!(ok);
+    assert!(stdout.contains("Route(alice, erin)"), "{stdout}");
+
+    let (stdout, _, ok) = rqtool(&["recognize", &data("routing.dl")]);
+    assert!(ok);
+    assert!(stdout.contains("GRQ?                  yes"), "{stdout}");
+    assert!(stdout.contains("Route = TC(knows)"), "{stdout}");
+}
+
+#[test]
+fn cq_commands() {
+    let (stdout, _, ok) = rqtool(&["eval-cq", &data("social.graph"), &data("coworker_chain.cq")]);
+    assert!(ok);
+    assert!(stdout.contains("answer tuples"), "{stdout}");
+
+    // Containment of a .cq file against itself: trivially contained.
+    let (stdout, _, ok) = rqtool(&[
+        "contain-cq",
+        &data("coworker_chain.cq"),
+        &data("coworker_chain.cq"),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Q1 ⊑ Q2: contained"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = rqtool(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (_, stderr, ok) = rqtool(&["eval", "/nonexistent/file.graph", "a"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn rq_commands() {
+    let (stdout, _, ok) = rqtool(&["eval-rq", &data("social.graph"), &data("reach.rq")]);
+    assert!(ok);
+    assert!(stdout.contains("(alice, erin)"), "{stdout}");
+
+    // TC(triangle) ⊑ TC(hop) is proved by induction, from text files.
+    let (stdout, _, ok) = rqtool(&[
+        "contain-rq",
+        &data("triangle_closure.rq"),
+        &data("reach.rq"),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Q1 ⊑ Q2: contained"), "{stdout}");
+    assert!(stdout.contains("Q2 ⊑ Q1: not contained"), "{stdout}");
+}
