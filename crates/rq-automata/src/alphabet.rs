@@ -6,12 +6,12 @@
 //! Σ±: a [`LabelId`] plus a polarity. Forward-only machinery simply never
 //! produces inverse letters.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a base relation name in an [`Alphabet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LabelId(pub u32);
 
 impl LabelId {
@@ -24,7 +24,8 @@ impl LabelId {
 
 /// An element of Σ±: a relation name, navigated forward (`r`) or backward
 /// (`r⁻`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Letter {
     pub label: LabelId,
     /// `true` for the inverse letter `r⁻`.
@@ -35,19 +36,28 @@ impl Letter {
     /// The forward letter `r`.
     #[inline]
     pub fn forward(label: LabelId) -> Self {
-        Letter { label, inverse: false }
+        Letter {
+            label,
+            inverse: false,
+        }
     }
 
     /// The backward letter `r⁻`.
     #[inline]
     pub fn backward(label: LabelId) -> Self {
-        Letter { label, inverse: true }
+        Letter {
+            label,
+            inverse: true,
+        }
     }
 
     /// The inverse `p⁻` of this letter: `r ↦ r⁻` and `r⁻ ↦ r`.
     #[inline]
     pub fn inv(self) -> Self {
-        Letter { label: self.label, inverse: !self.inverse }
+        Letter {
+            label: self.label,
+            inverse: !self.inverse,
+        }
     }
 
     /// Dense index of this letter in `0..2·|Σ|`: forward letters first.
@@ -62,10 +72,11 @@ impl Letter {
 /// The alphabet doubles as the relational schema of a graph database (§3.1
 /// of the paper): "the edge alphabet Σ can be viewed as the relational
 /// schema of the database".
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Alphabet {
     names: Vec<String>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     index: HashMap<String, LabelId>,
 }
 
@@ -156,9 +167,7 @@ impl Alphabet {
         if word.is_empty() {
             return "ε".to_owned();
         }
-        let compact = word
-            .iter()
-            .all(|l| self.name(l.label).chars().count() == 1);
+        let compact = word.iter().all(|l| self.name(l.label).chars().count() == 1);
         let parts: Vec<String> = word.iter().map(|&l| self.letter_name(l)).collect();
         if compact {
             parts.concat()

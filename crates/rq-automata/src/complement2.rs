@@ -21,6 +21,7 @@
 //! cross-validated in the tests below.
 
 use crate::alphabet::Letter;
+use crate::governor::{Exhaustion, Governor, Limits, Resource};
 use crate::nfa::Nfa;
 use crate::twonfa::{Move, Tape, TwoNfa};
 use std::collections::{HashMap, VecDeque};
@@ -48,7 +49,11 @@ struct SymbolTable {
 
 fn symbol_table(m: &TwoNfa, sym: Tape) -> SymbolTable {
     let n = m.num_states();
-    let mut t = SymbolTable { left: vec![0; n], stay: vec![0; n], right: vec![0; n] };
+    let mut t = SymbolTable {
+        left: vec![0; n],
+        stay: vec![0; n],
+        right: vec![0; n],
+    };
     for q in 0..n {
         for &(to, mv) in m.transitions(q, sym) {
             let bit = 1 << to;
@@ -94,9 +99,35 @@ fn for_each_superset(base: Mask, universe: Mask, mut f: impl FnMut(Mask)) {
 /// Returns `None` if more than `max_pairs` pair states are discovered
 /// (the construction is exponential by design; callers bound it).
 /// Requires `m.num_states() ≤ 16`.
-pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Option<VardiComplement> {
+pub fn vardi_complement(
+    m: &TwoNfa,
+    letters: &[Letter],
+    max_pairs: usize,
+) -> Option<VardiComplement> {
+    let gov = Limits::unlimited().with_states(max_pairs as u64).governor();
+    match vardi_complement_governed(m, letters, &gov) {
+        Ok(c) => Some(c),
+        Err(e) if e.resource == Resource::States => None,
+        Err(e) => unreachable!("only the state cap can exhaust here: {e}"),
+    }
+}
+
+/// [`vardi_complement`] under a resource [`Governor`]: each subset-pair
+/// state is charged as a constructed state, each enumerated superset spends
+/// one fuel, and the deadline/cancellation flag is polled periodically. The
+/// state cap plays the role `max_pairs` plays in the ungoverned API (and
+/// `vardi_complement` is implemented as exactly that restriction).
+/// Requires `m.num_states() ≤ 16`.
+pub fn vardi_complement_governed(
+    m: &TwoNfa,
+    letters: &[Letter],
+    gov: &Governor,
+) -> Result<VardiComplement, Exhaustion> {
     let n = m.num_states();
-    assert!(n <= 16, "bitmask construction supports at most 16 states (got {n})");
+    assert!(
+        n <= 16,
+        "bitmask construction supports at most 16 states (got {n})"
+    );
     let full: Mask = if n == 32 { !0 } else { (1 << n) - 1 };
     let s0: Mask = m.initial_states().fold(0, |acc, q| acc | (1 << q));
     let f_mask: Mask = m.final_states().iter().fold(0, |acc, &q| acc | (1 << q));
@@ -118,24 +149,30 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
     let mut initial_ids = Vec::new();
 
     let push = |t0: Mask,
-                    t1: Mask,
-                    index: &mut HashMap<(Mask, Mask), usize>,
-                    pairs: &mut Vec<(Mask, Mask)>,
-                    queue: &mut VecDeque<usize>,
-                    nfa: &mut Nfa|
-     -> usize {
-        *index.entry((t0, t1)).or_insert_with(|| {
-            let id = nfa.add_state();
-            debug_assert_eq!(id, pairs.len());
-            pairs.push((t0, t1));
-            queue.push_back(id);
-            id
-        })
+                t1: Mask,
+                index: &mut HashMap<(Mask, Mask), usize>,
+                pairs: &mut Vec<(Mask, Mask)>,
+                queue: &mut VecDeque<usize>,
+                nfa: &mut Nfa|
+     -> Result<usize, Exhaustion> {
+        gov.tick()?;
+        if let Some(&id) = index.get(&(t0, t1)) {
+            return Ok(id);
+        }
+        gov.construct_state()?;
+        let id = nfa.add_state();
+        debug_assert_eq!(id, pairs.len());
+        index.insert((t0, t1), id);
+        pairs.push((t0, t1));
+        queue.push_back(id);
+        Ok(id)
     };
 
-    let mut overflow = false;
+    // The superset enumerators are plain closures, so exhaustion inside
+    // them is carried out via this poison slot and re-raised after.
+    let mut failure: Option<Exhaustion> = None;
     for_each_superset(s0, full, |t0| {
-        if overflow {
+        if failure.is_some() {
             return;
         }
         let stay_req = required(&t_left, t0, |t, q| t.stay[q]);
@@ -145,18 +182,17 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
         debug_assert_eq!(required(&t_left, t0, |t, q| t.left[q]), 0);
         let right_req = required(&t_left, t0, |t, q| t.right[q]);
         for_each_superset(right_req, full, |t1| {
-            if overflow {
+            if failure.is_some() {
                 return;
             }
-            let id = push(t0, t1, &mut index, &mut pairs, &mut queue, &mut nfa);
-            initial_ids.push(id);
-            if pairs.len() > max_pairs {
-                overflow = true;
+            match push(t0, t1, &mut index, &mut pairs, &mut queue, &mut nfa) {
+                Ok(id) => initial_ids.push(id),
+                Err(e) => failure = Some(e),
             }
         });
     });
-    if overflow {
-        return None;
+    if let Some(e) = failure {
+        return Err(e);
     }
     initial_ids.sort_unstable();
     initial_ids.dedup();
@@ -168,6 +204,7 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
     while let Some(id) = queue.pop_front() {
         let (tp, tc) = pairs[id];
         for (k, table) in t_letter.iter().enumerate() {
+            gov.tick()?;
             // Closure checks at the current cell (holding letter k).
             let left_req = required(table, tc, |t, q| t.left[q]);
             if left_req & !tp != 0 {
@@ -179,19 +216,17 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
             }
             let right_req = required(table, tc, |t, q| t.right[q]);
             let mut targets = Vec::new();
-            let mut over = false;
             for_each_superset(right_req, full, |tn| {
-                if over {
+                if failure.is_some() {
                     return;
                 }
-                let tid = push(tc, tn, &mut index, &mut pairs, &mut queue, &mut nfa);
-                targets.push(tid);
-                if pairs.len() > max_pairs {
-                    over = true;
+                match push(tc, tn, &mut index, &mut pairs, &mut queue, &mut nfa) {
+                    Ok(tid) => targets.push(tid),
+                    Err(e) => failure = Some(e),
                 }
             });
-            if over {
-                return None;
+            if let Some(e) = failure {
+                return Err(e);
             }
             for tid in targets {
                 nfa.add_transition(id, letters[k], tid);
@@ -202,6 +237,7 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
     // Final states: the pair (Tn, Tn+1) must satisfy the closure at ⊣ and
     // exclude accepting states.
     for (id, &(tp, tc)) in pairs.iter().enumerate() {
+        gov.tick()?;
         if tc & f_mask != 0 {
             continue;
         }
@@ -218,7 +254,11 @@ pub fn vardi_complement(m: &TwoNfa, letters: &[Letter], max_pairs: usize) -> Opt
     }
 
     let count = pairs.len();
-    Some(VardiComplement { nfa, pairs: count, bound: 4u128.pow(n as u32) })
+    Ok(VardiComplement {
+        nfa,
+        pairs: count,
+        bound: 4u128.pow(n as u32),
+    })
 }
 
 #[cfg(test)]
@@ -255,14 +295,10 @@ mod tests {
             let e = parse(re, &mut al).unwrap();
             let n = Nfa::from_regex(&e).eliminate_epsilon().trim();
             let m = TwoNfa::from_nfa(&n);
-            let comp = vardi_complement(&m, &sigma, 2_000_000)
-                .expect("small instance must not overflow");
+            let comp =
+                vardi_complement(&m, &sigma, 2_000_000).expect("small instance must not overflow");
             for w in all_words(&sigma, 4) {
-                assert_eq!(
-                    comp.nfa.accepts(&w),
-                    !m.accepts(&w),
-                    "re={re}, w={w:?}"
-                );
+                assert_eq!(comp.nfa.accepts(&w), !m.accepts(&w), "re={re}, w={w:?}");
             }
         }
     }

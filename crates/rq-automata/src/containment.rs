@@ -15,6 +15,7 @@
 
 use crate::alphabet::Letter;
 use crate::dfa::{Dfa, LazyDeterminizer, DEAD};
+use crate::governor::{expect_unlimited, Exhaustion, Governor};
 use crate::nfa::Nfa;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -31,7 +32,11 @@ pub struct ContainmentRun {
 
 impl ContainmentRun {
     fn contained_run(states: usize) -> Self {
-        ContainmentRun { contained: true, counterexample: None, states_explored: states }
+        ContainmentRun {
+            contained: true,
+            counterexample: None,
+            states_explored: states,
+        }
     }
 }
 
@@ -39,9 +44,22 @@ impl ContainmentRun {
 ///
 /// Returns a shortest counterexample word when containment fails.
 pub fn check_on_the_fly(a1: &Nfa, a2: &Nfa) -> ContainmentRun {
+    expect_unlimited(check_on_the_fly_governed(a1, a2, &Governor::unlimited()))
+}
+
+/// [`check_on_the_fly`] under a resource [`Governor`]: each product-state
+/// expansion spends one fuel, every product state and lazy subset state is
+/// charged as a constructed state, and the deadline/cancellation flag is
+/// polled periodically. Exhaustion reports the budget that ran out plus a
+/// full counter snapshot.
+pub fn check_on_the_fly_governed(
+    a1: &Nfa,
+    a2: &Nfa,
+    gov: &Governor,
+) -> Result<ContainmentRun, Exhaustion> {
     let a1 = a1.eliminate_epsilon();
     let a2 = a2.eliminate_epsilon();
-    let mut det = LazyDeterminizer::new(&a2);
+    let mut det = LazyDeterminizer::new_governed(&a2, gov)?;
 
     // Product state: (NFA state of a1, Option<lazy DFA state of a2>).
     // `None` is the dead state of the determinized a2 — i.e., a2 rejects.
@@ -53,10 +71,12 @@ pub fn check_on_the_fly(a1: &Nfa, a2: &Nfa) -> ContainmentRun {
     for s in a1.initial_states() {
         let p = (s, Some(d0));
         if seen.insert(p) {
+            gov.construct_state()?;
             queue.push_back(p);
         }
     }
     while let Some(p @ (s, d)) = queue.pop_front() {
+        gov.tick()?;
         let a2_accepts = d.map(|d| det.is_final(d)).unwrap_or(false);
         if a1.is_final(s) && !a2_accepts {
             // Reconstruct the counterexample word.
@@ -67,29 +87,52 @@ pub fn check_on_the_fly(a1: &Nfa, a2: &Nfa) -> ContainmentRun {
                 cur = prev;
             }
             word.reverse();
-            return ContainmentRun {
+            return Ok(ContainmentRun {
                 contained: false,
                 counterexample: Some(word),
                 states_explored: seen.len(),
-            };
+            });
         }
         for &(l, t) in a1.transitions_from(s) {
-            let nd = d.and_then(|d| det.next(d, l));
+            gov.tick()?;
+            let nd = match d {
+                Some(d) => det.try_next(d, l)?,
+                None => None,
+            };
             let np = (t, nd);
             if seen.insert(np) {
+                gov.construct_state()?;
                 pred.insert(np, (p, l));
                 queue.push_back(np);
             }
         }
     }
-    ContainmentRun::contained_run(seen.len())
+    Ok(ContainmentRun::contained_run(seen.len()))
 }
 
 /// Decide `L(a1) ⊆ L(a2)` by eager construction: determinize `a2` over
 /// `letters`, complement it, product with `a1`, emptiness. Same answer as
 /// [`check_on_the_fly`]; exponentially more states on adversarial inputs.
 pub fn check_explicit(a1: &Nfa, a2: &Nfa, letters: &[Letter]) -> ContainmentRun {
-    let comp = Dfa::determinize(a2, letters).complement();
+    expect_unlimited(check_explicit_governed(
+        a1,
+        a2,
+        letters,
+        &Governor::unlimited(),
+    ))
+}
+
+/// [`check_explicit`] under a resource [`Governor`]. The eager subset
+/// construction is metered by [`Dfa::determinize_governed`], so the
+/// exponential complementation step exhausts gracefully instead of
+/// allocating without bound.
+pub fn check_explicit_governed(
+    a1: &Nfa,
+    a2: &Nfa,
+    letters: &[Letter],
+    gov: &Governor,
+) -> Result<ContainmentRun, Exhaustion> {
+    let comp = Dfa::determinize_governed(a2, letters, gov)?.complement();
     let a1 = a1.eliminate_epsilon();
     // Product of NFA a1 with DFA comp; BFS for (final, final).
     type Prod = (usize, usize);
@@ -99,11 +142,13 @@ pub fn check_explicit(a1: &Nfa, a2: &Nfa, letters: &[Letter]) -> ContainmentRun 
     for s in a1.initial_states() {
         let p = (s, comp.initial());
         if seen.insert(p) {
+            gov.construct_state()?;
             queue.push_back(p);
         }
     }
     let total_states = |seen: &BTreeSet<Prod>| seen.len() + comp.num_states();
     while let Some(p @ (s, d)) = queue.pop_front() {
+        gov.tick()?;
         if a1.is_final(s) && comp.is_final(d) {
             let mut word = Vec::new();
             let mut cur = p;
@@ -112,25 +157,27 @@ pub fn check_explicit(a1: &Nfa, a2: &Nfa, letters: &[Letter]) -> ContainmentRun 
                 cur = prev;
             }
             word.reverse();
-            return ContainmentRun {
+            return Ok(ContainmentRun {
                 contained: false,
                 counterexample: Some(word),
                 states_explored: total_states(&seen),
-            };
+            });
         }
         for &(l, t) in a1.transitions_from(s) {
+            gov.tick()?;
             let nd = comp.next(d, l);
             if nd == DEAD {
                 continue;
             }
             let np = (t, nd);
             if seen.insert(np) {
+                gov.construct_state()?;
                 pred.insert(np, (p, l));
                 queue.push_back(np);
             }
         }
     }
-    ContainmentRun::contained_run(total_states(&seen))
+    Ok(ContainmentRun::contained_run(total_states(&seen)))
 }
 
 /// Whether `L(a1) = L(a2)`.
@@ -138,15 +185,33 @@ pub fn equivalent(a1: &Nfa, a2: &Nfa) -> bool {
     check_on_the_fly(a1, a2).contained && check_on_the_fly(a2, a1).contained
 }
 
+/// [`equivalent`] under a resource [`Governor`] (shared across both
+/// directions of the check).
+pub fn equivalent_governed(a1: &Nfa, a2: &Nfa, gov: &Governor) -> Result<bool, Exhaustion> {
+    Ok(check_on_the_fly_governed(a1, a2, gov)?.contained
+        && check_on_the_fly_governed(a2, a1, gov)?.contained)
+}
+
 /// Whether `L(a) = letters*` (universality over the given alphabet).
 pub fn universal(a: &Nfa, letters: &[Letter]) -> ContainmentRun {
+    expect_unlimited(universal_governed(a, letters, &Governor::unlimited()))
+}
+
+/// [`universal`] under a resource [`Governor`]. Universality is the
+/// PSPACE-hard face of containment (the right-hand side is complemented in
+/// full), so adversarial inputs need the budget.
+pub fn universal_governed(
+    a: &Nfa,
+    letters: &[Letter],
+    gov: &Governor,
+) -> Result<ContainmentRun, Exhaustion> {
     let mut all = Nfa::with_states(1);
     all.set_initial(0);
     all.set_final(0);
     for &l in letters {
         all.add_transition(0, l, 0);
     }
-    check_on_the_fly(&all, a)
+    check_on_the_fly_governed(&all, a, gov)
 }
 
 #[cfg(test)]
@@ -238,6 +303,34 @@ mod tests {
         let run = universal(&n, &sigma);
         assert!(!run.contained);
         assert_eq!(run.counterexample.unwrap(), vec![]);
+    }
+
+    #[test]
+    fn governed_check_exhausts_with_structured_report() {
+        use crate::governor::{Limits, Resource};
+        let (n1, n2, _) = pair("(a|b)*", "(a*b*)*");
+        let gov = Limits::unlimited().with_fuel(3).governor();
+        let e = check_on_the_fly_governed(&n1, &n2, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        assert!(e.counters.fuel_spent > 3);
+        let gov = Limits::unlimited().with_states(1).governor();
+        let e = check_on_the_fly_governed(&n1, &n2, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::States);
+    }
+
+    #[test]
+    fn governed_check_with_headroom_matches_ungoverned() {
+        use crate::governor::Limits;
+        for (s1, s2) in [("a", "a|b"), ("a*", "a"), ("(a|b)*", "(a*b*)*")] {
+            let (n1, n2, al) = pair(s1, s2);
+            let letters: Vec<_> = al.sigma_pm().collect();
+            let gov = Limits::unlimited().with_fuel(1_000_000).governor();
+            let governed = check_on_the_fly_governed(&n1, &n2, &gov).unwrap();
+            assert_eq!(governed, check_on_the_fly(&n1, &n2), "{s1} vs {s2}");
+            let gov = Limits::unlimited().with_fuel(1_000_000).governor();
+            let governed = check_explicit_governed(&n1, &n2, &letters, &gov).unwrap();
+            assert_eq!(governed, check_explicit(&n1, &n2, &letters), "{s1} vs {s2}");
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! practice (E1 measures the difference).
 
 use crate::alphabet::Letter;
+use crate::governor::{expect_unlimited, Exhaustion, Governor};
 use crate::nfa::{Nfa, State};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Sentinel for a missing transition in a (possibly incomplete) DFA.
@@ -20,7 +20,8 @@ pub const DEAD: usize = usize::MAX;
 /// Transitions are stored densely: `transitions[state][letter_index]`.
 /// Missing transitions ([`DEAD`]) mean "reject"; call [`Dfa::complete`] to
 /// materialize an explicit sink state instead.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dfa {
     letters: Vec<Letter>,
     transitions: Vec<Vec<usize>>,
@@ -32,6 +33,23 @@ impl Dfa {
     /// Eagerly determinize `nfa` over exactly `letters` (the DFA's alphabet;
     /// transitions of `nfa` on letters outside the list are ignored).
     pub fn determinize(nfa: &Nfa, letters: &[Letter]) -> Dfa {
+        expect_unlimited(Dfa::determinize_governed(
+            nfa,
+            letters,
+            &Governor::unlimited(),
+        ))
+    }
+
+    /// [`Dfa::determinize`] under a resource [`Governor`]: every subset
+    /// state constructed is metered, every `(state, letter)` expansion
+    /// spends one fuel, and the deadline/cancellation flag is polled
+    /// periodically. The subset construction is the paper's exponential
+    /// step (§3.2), so this is where budgets matter most.
+    pub fn determinize_governed(
+        nfa: &Nfa,
+        letters: &[Letter],
+        gov: &Governor,
+    ) -> Result<Dfa, Exhaustion> {
         let clean;
         let nfa = if nfa.has_epsilon() {
             clean = nfa.eliminate_epsilon();
@@ -43,11 +61,13 @@ impl Dfa {
         let mut index: HashMap<BTreeSet<State>, usize> = HashMap::new();
         let mut sets: Vec<BTreeSet<State>> = vec![start.clone()];
         index.insert(start, 0);
+        gov.construct_state()?;
         let mut transitions: Vec<Vec<usize>> = Vec::new();
         let mut i = 0;
         while i < sets.len() {
             let mut row = vec![DEAD; letters.len()];
             for (k, &l) in letters.iter().enumerate() {
+                gov.tick()?;
                 let mut next = BTreeSet::new();
                 for &s in &sets[i] {
                     for &(tl, t) in nfa.transitions_from(s) {
@@ -59,10 +79,15 @@ impl Dfa {
                 if next.is_empty() {
                     continue;
                 }
-                let id = *index.entry(next.clone()).or_insert_with(|| {
-                    sets.push(next.clone());
-                    sets.len() - 1
-                });
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        gov.construct_state()?;
+                        sets.push(next.clone());
+                        index.insert(next, sets.len() - 1);
+                        sets.len() - 1
+                    }
+                };
                 row[k] = id;
             }
             transitions.push(row);
@@ -72,7 +97,12 @@ impl Dfa {
             .iter()
             .map(|set| set.iter().any(|&s| nfa.is_final(s)))
             .collect();
-        Dfa { letters: letters.to_vec(), transitions, initial: 0, finals }
+        Ok(Dfa {
+            letters: letters.to_vec(),
+            transitions,
+            initial: 0,
+            finals,
+        })
     }
 
     /// The DFA's letter list (column order of the transition table).
@@ -156,7 +186,10 @@ impl Dfa {
     ///
     /// Both automata must share the same letter list.
     pub fn intersect(&self, other: &Dfa) -> Dfa {
-        assert_eq!(self.letters, other.letters, "product requires equal alphabets");
+        assert_eq!(
+            self.letters, other.letters,
+            "product requires equal alphabets"
+        );
         let a = self.complete();
         let b = other.complete();
         let mut index: HashMap<(usize, usize), usize> = HashMap::new();
@@ -180,7 +213,12 @@ impl Dfa {
             transitions.push(row);
             i += 1;
         }
-        Dfa { letters: a.letters, transitions, initial: 0, finals }
+        Dfa {
+            letters: a.letters,
+            transitions,
+            initial: 0,
+            finals,
+        }
     }
 
     /// Whether `L(self) = ∅`.
@@ -253,7 +291,10 @@ impl Dfa {
             for &s in &states {
                 let sig = (
                     class[s],
-                    d.transitions[s].iter().map(|&t| class[t]).collect::<Vec<_>>(),
+                    d.transitions[s]
+                        .iter()
+                        .map(|&t| class[t])
+                        .collect::<Vec<_>>(),
                 );
                 let next = sig_index.len();
                 let id = *sig_index.entry(sig).or_insert(next);
@@ -276,7 +317,12 @@ impl Dfa {
                 transitions[c][k] = class[t];
             }
         }
-        Dfa { letters: d.letters, transitions, initial: class[d.initial], finals }
+        Dfa {
+            letters: d.letters,
+            transitions,
+            initial: class[d.initial],
+            finals,
+        }
     }
 
     /// Minimize by Hopcroft's worklist partition refinement —
@@ -307,8 +353,7 @@ impl Dfa {
         }
         // Initial partition: accepting vs non-accepting (reachable only).
         let finals: BTreeSet<usize> = states.iter().copied().filter(|&s| d.finals[s]).collect();
-        let nonfinals: BTreeSet<usize> =
-            states.iter().copied().filter(|&s| !d.finals[s]).collect();
+        let nonfinals: BTreeSet<usize> = states.iter().copied().filter(|&s| !d.finals[s]).collect();
         let mut partition: Vec<BTreeSet<usize>> = Vec::new();
         let mut work: VecDeque<usize> = VecDeque::new();
         for block in [finals, nonfinals] {
@@ -324,6 +369,7 @@ impl Dfa {
         while let Some(a_idx) = work.pop_front() {
             in_work[a_idx] = false;
             let splitter = partition[a_idx].clone();
+            #[allow(clippy::needless_range_loop)] // k indexes preimage[t][k] for varying t
             for k in 0..d.letters.len() {
                 // X = states whose k-successor is in the splitter.
                 let mut x: BTreeSet<usize> = BTreeSet::new();
@@ -335,14 +381,12 @@ impl Dfa {
                 }
                 let mut b = 0;
                 while b < partition.len() {
-                    let inter: BTreeSet<usize> =
-                        partition[b].intersection(&x).copied().collect();
+                    let inter: BTreeSet<usize> = partition[b].intersection(&x).copied().collect();
                     if inter.is_empty() || inter.len() == partition[b].len() {
                         b += 1;
                         continue;
                     }
-                    let diff: BTreeSet<usize> =
-                        partition[b].difference(&x).copied().collect();
+                    let diff: BTreeSet<usize> = partition[b].difference(&x).copied().collect();
                     // Replace block b with the two halves.
                     let (small, large) = if inter.len() <= diff.len() {
                         (inter, diff)
@@ -382,13 +426,21 @@ impl Dfa {
                 transitions[c][k] = class[t];
             }
         }
-        Dfa { letters: d.letters, transitions, initial: class[d.initial], finals }
+        Dfa {
+            letters: d.letters,
+            transitions,
+            initial: class[d.initial],
+            finals,
+        }
     }
 
     /// Language equivalence via minimization and isomorphism of canonical
     /// forms (both DFAs must share the same letter list).
     pub fn equivalent(&self, other: &Dfa) -> bool {
-        assert_eq!(self.letters, other.letters, "equivalence requires equal alphabets");
+        assert_eq!(
+            self.letters, other.letters,
+            "equivalence requires equal alphabets"
+        );
         let a = self.minimize();
         let b = other.minimize();
         if a.num_states() != b.num_states() {
@@ -429,17 +481,37 @@ pub struct LazyDeterminizer<'a> {
     index: HashMap<BTreeSet<State>, usize>,
     /// Memoized successors: `succ[state][letter] -> Option<usize>`.
     succ: Vec<HashMap<Letter, Option<usize>>>,
+    /// Meters subset-state construction when present ([`Self::try_next`]).
+    gov: Option<&'a Governor>,
 }
 
 impl<'a> LazyDeterminizer<'a> {
     /// Start a lazy determinization of `nfa` (which must be ε-free; call
     /// [`Nfa::eliminate_epsilon`] first — enforced by assertion).
     pub fn new(nfa: &'a Nfa) -> Self {
-        assert!(!nfa.has_epsilon(), "LazyDeterminizer requires an ε-free NFA");
+        assert!(
+            !nfa.has_epsilon(),
+            "LazyDeterminizer requires an ε-free NFA"
+        );
         let start: BTreeSet<State> = nfa.initial_states().collect();
         let mut index = HashMap::new();
         index.insert(start.clone(), 0);
-        LazyDeterminizer { nfa, sets: vec![start], index, succ: vec![HashMap::new()] }
+        LazyDeterminizer {
+            nfa,
+            sets: vec![start],
+            index,
+            succ: vec![HashMap::new()],
+            gov: None,
+        }
+    }
+
+    /// Like [`LazyDeterminizer::new`], but every subset state discovered by
+    /// [`Self::try_next`] is charged to `gov` as a constructed state.
+    pub fn new_governed(nfa: &'a Nfa, gov: &'a Governor) -> Result<Self, Exhaustion> {
+        gov.construct_state()?;
+        let mut det = LazyDeterminizer::new(nfa);
+        det.gov = Some(gov);
+        Ok(det)
     }
 
     /// The initial DFA state.
@@ -459,8 +531,25 @@ impl<'a> LazyDeterminizer<'a> {
 
     /// The successor of `s` on `letter`; `None` is the dead (reject) state.
     pub fn next(&mut self, s: usize, letter: Letter) -> Option<usize> {
+        expect_unlimited(self.next_impl(s, letter, None))
+    }
+
+    /// [`Self::next`] under the governor supplied at construction
+    /// ([`Self::new_governed`]): charges one constructed state per fresh
+    /// subset state. Without a governor this is exactly [`Self::next`].
+    pub fn try_next(&mut self, s: usize, letter: Letter) -> Result<Option<usize>, Exhaustion> {
+        let gov = self.gov;
+        self.next_impl(s, letter, gov)
+    }
+
+    fn next_impl(
+        &mut self,
+        s: usize,
+        letter: Letter,
+        gov: Option<&Governor>,
+    ) -> Result<Option<usize>, Exhaustion> {
         if let Some(&cached) = self.succ[s].get(&letter) {
-            return cached;
+            return Ok(cached);
         }
         let mut next = BTreeSet::new();
         for &q in &self.sets[s] {
@@ -475,6 +564,9 @@ impl<'a> LazyDeterminizer<'a> {
         } else if let Some(&id) = self.index.get(&next) {
             Some(id)
         } else {
+            if let Some(g) = gov {
+                g.construct_state()?;
+            }
             let id = self.sets.len();
             self.index.insert(next.clone(), id);
             self.sets.push(next);
@@ -482,7 +574,7 @@ impl<'a> LazyDeterminizer<'a> {
             Some(id)
         };
         self.succ[s].insert(letter, result);
-        result
+        Ok(result)
     }
 
     /// The underlying NFA state set of DFA state `s`.
@@ -578,7 +670,15 @@ mod tests {
 
     #[test]
     fn hopcroft_agrees_with_moore() {
-        for s in ["(a|b)*a.b.b", "(a b)*", "a?b?c?", "(a|b)+", "a*b*c*", "∅", "ε"] {
+        for s in [
+            "(a|b)*a.b.b",
+            "(a b)*",
+            "a?b?c?",
+            "(a|b)+",
+            "a*b*c*",
+            "∅",
+            "ε",
+        ] {
             let mut al = Alphabet::from_names(["a", "b", "c"]);
             let e = parse(s, &mut al).unwrap();
             let sigma: Vec<Letter> = al.sigma().collect();

@@ -178,7 +178,11 @@ mod tests {
             if inv {
                 chars.next();
             }
-            out.push(if inv { Letter::backward(id) } else { Letter::forward(id) });
+            out.push(if inv {
+                Letter::backward(id)
+            } else {
+                Letter::forward(id)
+            });
         }
         out
     }
@@ -244,7 +248,10 @@ mod tests {
                 .enumerate_words(8, 2000)
                 .iter()
                 .any(|v| folds_onto(v, &uw));
-            assert_eq!(any_fold, expected, "enumeration cross-check for {re} on {u}");
+            assert_eq!(
+                any_fold, expected,
+                "enumeration cross-check for {re} on {u}"
+            );
         }
     }
 

@@ -48,6 +48,7 @@ pub mod complement2;
 pub mod containment;
 pub mod dfa;
 pub mod fold;
+pub mod governor;
 pub mod nfa;
 pub mod random;
 pub mod regex;
@@ -57,6 +58,7 @@ pub mod twonfa;
 
 pub use alphabet::{Alphabet, LabelId, Letter};
 pub use dfa::Dfa;
+pub use governor::{Counters, EngineError, Exhaustion, Governor, Limits, Resource};
 pub use nfa::Nfa;
 pub use regex::Regex;
 pub use twonfa::TwoNfa;

@@ -9,7 +9,6 @@
 
 use crate::alphabet::Letter;
 use crate::regex::Regex;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// State index within an [`Nfa`].
@@ -19,7 +18,8 @@ pub type State = usize;
 ///
 /// States are dense indices `0..num_states()`. Multiple initial states are
 /// allowed (convenient for unions and subset products).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Nfa {
     transitions: Vec<Vec<(Letter, State)>>,
     epsilon: Vec<Vec<State>>,
@@ -201,7 +201,10 @@ impl Nfa {
                     }
                     prev_exit = Some(t);
                 }
-                (entry.expect("concat invariant: >=2 parts"), prev_exit.expect("nonempty"))
+                (
+                    entry.expect("concat invariant: >=2 parts"),
+                    prev_exit.expect("nonempty"),
+                )
             }
             Regex::Union(parts) => {
                 let s = self.add_state();
@@ -524,7 +527,11 @@ impl Nfa {
     /// length, by `Letter` order), up to `max_len`, yielding at most `limit`
     /// words. Exact and duplicate-free.
     pub fn enumerate_words(&self, max_len: usize, limit: usize) -> Vec<Vec<Letter>> {
-        let clean = if self.has_epsilon() { self.eliminate_epsilon() } else { self.clone() };
+        let clean = if self.has_epsilon() {
+            self.eliminate_epsilon()
+        } else {
+            self.clone()
+        };
         let letters: Vec<Letter> = clean.letters().into_iter().collect();
         let mut out = Vec::new();
         if limit == 0 {
@@ -565,7 +572,11 @@ impl Nfa {
     /// on all words up to that length.
     pub fn count_words_per_length(&self, max_len: usize) -> Vec<usize> {
         // Determinize lazily and do DP over DFA states per length.
-        let clean = if self.has_epsilon() { self.eliminate_epsilon() } else { self.clone() };
+        let clean = if self.has_epsilon() {
+            self.eliminate_epsilon()
+        } else {
+            self.clone()
+        };
         let letters: Vec<Letter> = clean.letters().into_iter().collect();
         let start: BTreeSet<State> = clean.epsilon_closure(clean.initial.iter().copied());
         let mut states: Vec<BTreeSet<State>> = vec![start.clone()];
@@ -665,13 +676,18 @@ mod tests {
             if c.is_ascii_alphanumeric() || c == '_' {
                 cur.push(c);
                 let inverse = chars.peek() == Some(&'-');
-                let end_of_ident = !matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_');
+                let end_of_ident =
+                    !matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_');
                 if end_of_ident && !cur.is_empty() {
                     if inverse {
                         chars.next();
                     }
                     let id = a.get(&cur).expect("label must exist");
-                    out.push(if inverse { Letter::backward(id) } else { Letter::forward(id) });
+                    out.push(if inverse {
+                        Letter::backward(id)
+                    } else {
+                        Letter::forward(id)
+                    });
                     cur.clear();
                 }
             }
@@ -744,10 +760,7 @@ mod tests {
     fn enumerate_words_is_shortlex_and_exact() {
         let (n, a) = nfa_of("a|a b|b");
         let words = n.enumerate_words(3, 100);
-        assert_eq!(
-            words,
-            vec![w(&a, "a"), w(&a, "b"), w(&a, "a.b")],
-        );
+        assert_eq!(words, vec![w(&a, "a"), w(&a, "b"), w(&a, "a.b")],);
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub struct RegexConfig {
 
 impl Default for RegexConfig {
     fn default() -> Self {
-        RegexConfig { num_labels: 2, inverse_prob: 0.0, leaves: 6, repeat_prob: 0.3 }
+        RegexConfig {
+            num_labels: 2,
+            inverse_prob: 0.0,
+            leaves: 6,
+            repeat_prob: 0.3,
+        }
     }
 }
 
@@ -136,7 +141,11 @@ pub fn random_nfa(
 ) -> Nfa {
     assert!(states >= 1 && num_labels >= 1);
     let mut nfa = Nfa::with_states(states);
-    let cfg = RegexConfig { num_labels, inverse_prob, ..RegexConfig::default() };
+    let cfg = RegexConfig {
+        num_labels,
+        inverse_prob,
+        ..RegexConfig::default()
+    };
     nfa.set_initial(0);
     nfa.set_final(states - 1);
     // Plant an accepting path through all states so the language is
@@ -190,7 +199,10 @@ mod tests {
     #[test]
     fn random_regex_has_requested_shape() {
         let mut rng = SplitMix64::new(1);
-        let cfg = RegexConfig { leaves: 8, ..RegexConfig::default() };
+        let cfg = RegexConfig {
+            leaves: 8,
+            ..RegexConfig::default()
+        };
         for _ in 0..50 {
             let e = random_regex(&mut rng, &cfg);
             assert!(!e.is_empty_language());
@@ -201,7 +213,11 @@ mod tests {
     #[test]
     fn forward_only_config_generates_rpqs() {
         let mut rng = SplitMix64::new(2);
-        let cfg = RegexConfig { inverse_prob: 0.0, leaves: 10, ..RegexConfig::default() };
+        let cfg = RegexConfig {
+            inverse_prob: 0.0,
+            leaves: 10,
+            ..RegexConfig::default()
+        };
         for _ in 0..20 {
             assert!(random_regex(&mut rng, &cfg).is_forward_only());
         }

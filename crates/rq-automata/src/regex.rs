@@ -10,7 +10,6 @@ pub mod parser;
 pub mod simplify;
 
 use crate::alphabet::{Alphabet, Letter};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 pub use parser::{parse, ParseError};
@@ -22,7 +21,8 @@ pub use simplify::simplify;
 /// [`Regex::union`], [`Regex::star`], ...) which perform cheap local
 /// simplifications (identity/absorbing elements, flattening), or parsed from
 /// text with [`parse`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Regex {
     /// The empty language ∅.
     Empty,
@@ -230,7 +230,10 @@ impl Regex {
     /// Render with the given alphabet. Inverse letters print as `r-`;
     /// multi-character labels are joined with `.` inside concatenations.
     pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> DisplayRegex<'a> {
-        DisplayRegex { regex: self, alphabet }
+        DisplayRegex {
+            regex: self,
+            alphabet,
+        }
     }
 }
 
@@ -295,7 +298,11 @@ fn fmt_regex(e: &Regex, a: &Alphabet, f: &mut std::fmt::Formatter<'_>) -> std::f
             for c in v.iter() {
                 let rendered = format!(
                     "{}",
-                    DisplayChild { regex: c, parent_prec: 1, alphabet: a }
+                    DisplayChild {
+                        regex: c,
+                        parent_prec: 1,
+                        alphabet: a
+                    }
                 );
                 let starts_ident = rendered
                     .chars()

@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -37,7 +41,11 @@ impl std::error::Error for ParseError {}
 /// Parse `input` as a regular expression over `alphabet`, interning any new
 /// labels it mentions.
 pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
-    let mut p = Parser { input, pos: 0, alphabet };
+    let mut p = Parser {
+        input,
+        pos: 0,
+        alphabet,
+    };
     p.skip_ws();
     if p.at_end() {
         return Err(p.error("empty input"));
@@ -58,7 +66,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -292,7 +303,7 @@ mod tests {
         assert_eq!(pa("ε").0, Regex::Epsilon);
         assert_eq!(pa("()").0, Regex::Epsilon);
         assert_eq!(pa("∅").0, Regex::Empty);
-        assert_eq!(pa("a|ε").0.nullable(), true);
+        assert!(pa("a|ε").0.nullable());
     }
 
     #[test]

@@ -73,9 +73,7 @@ fn simplify_inner(e: &Regex) -> Regex {
 /// where it is redundant).
 fn strip_epsilon(e: Regex) -> Regex {
     match e {
-        Regex::Union(parts) => {
-            Regex::union(parts.into_iter().filter(|p| *p != Regex::Epsilon))
-        }
+        Regex::Union(parts) => Regex::union(parts.into_iter().filter(|p| *p != Regex::Epsilon)),
         other => other,
     }
 }
@@ -99,13 +97,10 @@ fn fuse_concat(parts: Vec<Regex>) -> Regex {
                 (a, Regex::Star(b)) if b.as_ref() == a => Some(b.as_ref().clone().plus()),
                 _ => None,
             }
-            .map_or_else(
-                || {
-                    out.push(prev.clone());
-                    p.clone()
-                },
-                |f| f,
-            ),
+            .unwrap_or_else(|| {
+                out.push(prev.clone());
+                p.clone()
+            }),
         };
         out.push(fused);
     }

@@ -19,6 +19,7 @@
 
 use crate::alphabet::Letter;
 use crate::containment::ContainmentRun;
+use crate::governor::{expect_unlimited, Exhaustion, Governor};
 use crate::nfa::{Nfa, State};
 use crate::twonfa::{Move, Tape, TwoNfa};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -41,6 +42,8 @@ pub struct ShepherdsonDfa<'a> {
     index: HashMap<Table, usize>,
     succ: Vec<HashMap<Letter, usize>>,
     accepting: Vec<Option<bool>>,
+    /// Meters table construction when present ([`Self::try_next`]).
+    gov: Option<&'a Governor>,
 }
 
 impl<'a> ShepherdsonDfa<'a> {
@@ -55,7 +58,20 @@ impl<'a> ShepherdsonDfa<'a> {
             index,
             succ: vec![HashMap::new()],
             accepting: vec![None],
+            gov: None,
         }
+    }
+
+    /// Like [`ShepherdsonDfa::new`], but every table discovered by
+    /// [`Self::try_next`] is charged to `gov` as a constructed state, and
+    /// each fresh table build spends fuel proportional to the 2NFA size
+    /// (a table holds one crossing set per 2NFA state).
+    pub fn new_governed(m: &'a TwoNfa, gov: &'a Governor) -> Result<Self, Exhaustion> {
+        gov.construct_state()?;
+        gov.spend(m.num_states() as u64)?;
+        let mut det = ShepherdsonDfa::new(m);
+        det.gov = Some(gov);
+        Ok(det)
     }
 
     /// The initial DFA state (the table of the prefix `⊢`).
@@ -76,13 +92,38 @@ impl<'a> ShepherdsonDfa<'a> {
     /// The successor of state `s` on `letter`. Total: the DFA is complete
     /// (an all-empty table acts as the dead state).
     pub fn next(&mut self, s: usize, letter: Letter) -> usize {
+        expect_unlimited(self.next_impl(s, letter, None))
+    }
+
+    /// [`Self::next`] under the governor supplied at construction
+    /// ([`Self::new_governed`]): building a fresh table spends fuel
+    /// proportional to the 2NFA size and charges one constructed state.
+    /// Without a governor this is exactly [`Self::next`].
+    pub fn try_next(&mut self, s: usize, letter: Letter) -> Result<usize, Exhaustion> {
+        let gov = self.gov;
+        self.next_impl(s, letter, gov)
+    }
+
+    fn next_impl(
+        &mut self,
+        s: usize,
+        letter: Letter,
+        gov: Option<&Governor>,
+    ) -> Result<usize, Exhaustion> {
         if let Some(&t) = self.succ[s].get(&letter) {
-            return t;
+            return Ok(t);
+        }
+        if let Some(g) = gov {
+            // A table build runs one closure per 2NFA state.
+            g.spend(self.m.num_states() as u64)?;
         }
         let table = step_table(self.m, &self.tables[s], letter);
         let id = match self.index.get(&table) {
             Some(&id) => id,
             None => {
+                if let Some(g) = gov {
+                    g.construct_state()?;
+                }
                 let id = self.tables.len();
                 self.index.insert(table.clone(), id);
                 self.tables.push(table);
@@ -92,7 +133,7 @@ impl<'a> ShepherdsonDfa<'a> {
             }
         };
         self.succ[s].insert(letter, id);
-        id
+        Ok(id)
     }
 
     /// Whether the word driving the DFA into state `s` is accepted by the
@@ -208,8 +249,22 @@ fn step_table(m: &TwoNfa, prev: &Table, letter: Letter) -> Table {
 /// state with `a1` accepting and `m`'s table rejecting yields a *shortest*
 /// counterexample word.
 pub fn nfa_in_twonfa(a1: &Nfa, m: &TwoNfa) -> ContainmentRun {
+    expect_unlimited(nfa_in_twonfa_governed(a1, m, &Governor::unlimited()))
+}
+
+/// [`nfa_in_twonfa`] under a resource [`Governor`]: each product-state
+/// expansion spends one fuel, every product state and Shepherdson table is
+/// charged as a constructed state (tables additionally cost fuel
+/// proportional to the 2NFA size), and the deadline/cancellation flag is
+/// polled periodically. This is the production engine of the Theorem 5
+/// pipeline, so it is the budget surface for 2RPQ containment.
+pub fn nfa_in_twonfa_governed(
+    a1: &Nfa,
+    m: &TwoNfa,
+    gov: &Governor,
+) -> Result<ContainmentRun, Exhaustion> {
     let a1 = a1.eliminate_epsilon();
-    let mut det = ShepherdsonDfa::new(m);
+    let mut det = ShepherdsonDfa::new_governed(m, gov)?;
     type Prod = (usize, usize);
     let mut pred: HashMap<Prod, (Prod, Letter)> = HashMap::new();
     let mut seen: BTreeSet<Prod> = BTreeSet::new();
@@ -217,10 +272,12 @@ pub fn nfa_in_twonfa(a1: &Nfa, m: &TwoNfa) -> ContainmentRun {
     for s in a1.initial_states() {
         let p = (s, det.initial());
         if seen.insert(p) {
+            gov.construct_state()?;
             queue.push_back(p);
         }
     }
     while let Some(p @ (s, d)) = queue.pop_front() {
+        gov.tick()?;
         if a1.is_final(s) && !det.is_accepting(d) {
             let mut word = Vec::new();
             let mut cur = p;
@@ -229,22 +286,28 @@ pub fn nfa_in_twonfa(a1: &Nfa, m: &TwoNfa) -> ContainmentRun {
                 cur = prevp;
             }
             word.reverse();
-            return ContainmentRun {
+            return Ok(ContainmentRun {
                 contained: false,
                 counterexample: Some(word),
                 states_explored: seen.len(),
-            };
+            });
         }
         for &(l, t) in a1.transitions_from(s) {
-            let nd = det.next(d, l);
+            gov.tick()?;
+            let nd = det.try_next(d, l)?;
             let np = (t, nd);
             if seen.insert(np) {
+                gov.construct_state()?;
                 pred.insert(np, (p, l));
                 queue.push_back(np);
             }
         }
     }
-    ContainmentRun { contained: true, counterexample: None, states_explored: seen.len() }
+    Ok(ContainmentRun {
+        contained: true,
+        counterexample: None,
+        states_explored: seen.len(),
+    })
 }
 
 #[cfg(test)]
@@ -339,6 +402,25 @@ mod tests {
         let run = nfa_in_twonfa(&q1, &fold2);
         assert!(!run.contained);
         assert_eq!(run.counterexample.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn governed_containment_exhausts_and_matches() {
+        use crate::governor::{Limits, Resource};
+        let mut al = Alphabet::from_names(["p"]);
+        let sigma_pm: Vec<Letter> = al.sigma_pm().collect();
+        let q1 = Nfa::from_regex(&parse("p", &mut al).unwrap());
+        let q2 = Nfa::from_regex(&parse("p p- p", &mut al).unwrap());
+        let fold2 = fold_twonfa(&q2, &sigma_pm);
+        // Tiny fuel budget: structured exhaustion, no panic.
+        let gov = Limits::unlimited().with_fuel(2).governor();
+        let e = nfa_in_twonfa_governed(&q1, &fold2, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        // Ample budget: same verdict as the ungoverned path.
+        let gov = Limits::unlimited().with_fuel(1_000_000).governor();
+        let run = nfa_in_twonfa_governed(&q1, &fold2, &gov).unwrap();
+        assert_eq!(run, nfa_in_twonfa(&q1, &fold2));
+        assert!(gov.counters().states_constructed > 0);
     }
 
     #[test]

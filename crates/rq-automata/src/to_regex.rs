@@ -68,10 +68,7 @@ pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
         edges.retain(|(i, j), _| *i != victim && *j != victim);
         for (i, ein) in &incoming {
             for (j, eout) in &outgoing {
-                let path = ein
-                    .clone()
-                    .then(loop_star.clone())
-                    .then(eout.clone());
+                let path = ein.clone().then(loop_star.clone()).then(eout.clone());
                 add(&mut edges, *i, *j, path);
             }
         }
@@ -99,7 +96,16 @@ mod tests {
     #[test]
     fn simple_roundtrips() {
         let mut al = Alphabet::new();
-        for s in ["a", "a b", "a|b", "a*", "(a|b)* a b b", "a b- | c+", "ε", "∅"] {
+        for s in [
+            "a",
+            "a b",
+            "a|b",
+            "a*",
+            "(a|b)* a b b",
+            "a b- | c+",
+            "ε",
+            "∅",
+        ] {
             let e = parse(s, &mut al).unwrap();
             roundtrip(&e);
         }
@@ -127,7 +133,12 @@ mod tests {
     #[test]
     fn random_roundtrips() {
         let mut rng = SplitMix64::new(2026);
-        let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves: 6, repeat_prob: 0.35 };
+        let cfg = RegexConfig {
+            num_labels: 2,
+            inverse_prob: 0.3,
+            leaves: 6,
+            repeat_prob: 0.35,
+        };
         for _ in 0..30 {
             let e = random_regex(&mut rng, &cfg);
             roundtrip(&e);

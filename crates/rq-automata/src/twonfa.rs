@@ -16,11 +16,11 @@
 
 use crate::alphabet::Letter;
 use crate::nfa::{Nfa, State};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Head movement of a 2NFA transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Move {
     /// Move the head one cell left (−1).
     Left,
@@ -43,7 +43,8 @@ impl Move {
 }
 
 /// A tape symbol: an input letter or an endmarker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Tape {
     /// The left endmarker ⊢ (cell 0).
     Left,
@@ -54,7 +55,8 @@ pub enum Tape {
 }
 
 /// A two-way NFA with endmarkers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoNfa {
     on_letter: Vec<HashMap<Letter, Vec<(State, Move)>>>,
     on_left: Vec<Vec<(State, Move)>>,
@@ -125,7 +127,10 @@ impl TwoNfa {
                 }
             }
             Tape::Right => {
-                assert!(mv != Move::Right, "cannot move right off the right endmarker");
+                assert!(
+                    mv != Move::Right,
+                    "cannot move right off the right endmarker"
+                );
                 if !self.on_right[from].contains(&(to, mv)) {
                     self.on_right[from].push((to, mv));
                 }
@@ -144,11 +149,7 @@ impl TwoNfa {
         match sym {
             Tape::Left => &self.on_left[s],
             Tape::Right => &self.on_right[s],
-            Tape::Letter(l) => self
-                .on_letter[s]
-                .get(&l)
-                .map(Vec::as_slice)
-                .unwrap_or(&[]),
+            Tape::Letter(l) => self.on_letter[s].get(&l).map(Vec::as_slice).unwrap_or(&[]),
         }
     }
 

@@ -43,12 +43,16 @@ fn bench_social(c: &mut Criterion) {
         let fwd = TwoRpq::parse("knows+", &mut al).unwrap();
         let two_way = TwoRpq::parse("knows- (knows-|follows-)*", &mut al).unwrap();
         let src = db.nodes().max_by_key(|&n| db.degree(n)).expect("nonempty");
-        g.bench_with_input(BenchmarkId::new("forward_all_pairs", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(fwd.evaluate(&db).len()))
-        });
-        g.bench_with_input(BenchmarkId::new("two_way_from_hub", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(two_way.evaluate_from(&db, src).len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("forward_all_pairs", nodes),
+            &nodes,
+            |b, _| b.iter(|| black_box(fwd.evaluate(&db).len())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("two_way_from_hub", nodes),
+            &nodes,
+            |b, _| b.iter(|| black_box(two_way.evaluate_from(&db, src).len())),
+        );
     }
     g.finish();
 }

@@ -1,0 +1,181 @@
+//! E11 — resource-governor overhead on the E1/E4 containment workloads.
+//!
+//! Every checker entry point now runs under a [`Governor`]; the default
+//! path uses an unlimited governor whose fuel checks are a `Cell`
+//! increment plus a compare against `u64::MAX`. This bench pins down what
+//! *arming* real budgets costs on top of that: each workload is timed with
+//! the default unlimited governor (A) and with a governor carrying a
+//! finite fuel cap and a far-away wall-clock deadline (B), so every poll
+//! site — fuel compares, amortized deadline reads, state caps — is live in
+//! B but never trips. The acceptance bar is < 5% overhead.
+
+use criterion::time_median_ns;
+use rq_automata::{Governor, Limits};
+use rq_bench::{
+    ab_alphabet, e1_contained_pair, e1_random_pair, e1_refuted_pair, e4_paper_family,
+    e4_random_pair, e4_refuted_family,
+};
+use rq_core::containment::{rpq, two_rpq};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A governor with every budget armed but generous enough to never trip.
+fn armed_governor() -> Governor {
+    Limits::unlimited()
+        .with_fuel(u64::MAX / 2)
+        .with_states(u64::MAX / 2)
+        .with_deadline(Duration::from_secs(3600))
+        .governor()
+}
+
+struct Row {
+    name: &'static str,
+    plain_ns: f64,
+    armed_ns: f64,
+}
+
+impl Row {
+    fn overhead(&self) -> f64 {
+        (self.armed_ns - self.plain_ns) / self.plain_ns
+    }
+}
+
+/// Best-of-5-medians on each side, interleaved so that drift in machine
+/// load lands on both variants equally. The minimum is the standard robust
+/// estimator here: scheduler noise only ever adds time.
+fn measure<FA: FnMut(), FB: FnMut()>(name: &'static str, mut plain: FA, mut armed: FB) -> Row {
+    let mut a = f64::INFINITY;
+    let mut b = f64::INFINITY;
+    for _ in 0..5 {
+        a = a.min(time_median_ns(&mut plain));
+        b = b.min(time_median_ns(&mut armed));
+    }
+    Row {
+        name,
+        plain_ns: a,
+        armed_ns: b,
+    }
+}
+
+fn main() {
+    let al = ab_alphabet();
+    let mut rows = Vec::new();
+
+    // E1: RPQ containment (on-the-fly product under the hood).
+    {
+        let (q1, q2) = e1_contained_pair(16);
+        rows.push(measure(
+            "e1/contained(16)",
+            || {
+                black_box(rpq::check(&q1, &q2, &al).is_contained());
+            },
+            || {
+                let gov = armed_governor();
+                black_box(rpq::check_governed(&q1, &q2, &al, &gov).expect("ample budget"));
+            },
+        ));
+    }
+    {
+        let (q1, q2) = e1_refuted_pair(16);
+        rows.push(measure(
+            "e1/refuted(16)",
+            || {
+                black_box(rpq::check(&q1, &q2, &al).is_not_contained());
+            },
+            || {
+                let gov = armed_governor();
+                black_box(rpq::check_governed(&q1, &q2, &al, &gov).expect("ample budget"));
+            },
+        ));
+    }
+    {
+        let pairs: Vec<_> = (0..8).map(|s| e1_random_pair(8, s)).collect();
+        rows.push(measure(
+            "e1/random(8 leaves × 8)",
+            || {
+                for (q1, q2) in &pairs {
+                    black_box(rpq::check(q1, q2, &al).decided());
+                }
+            },
+            || {
+                for (q1, q2) in &pairs {
+                    let gov = armed_governor();
+                    black_box(rpq::check_governed(q1, q2, &al, &gov).expect("ample budget"));
+                }
+            },
+        ));
+    }
+
+    // E4: 2RPQ containment (fold + Shepherdson membership under the hood).
+    {
+        let (q1, q2, al4) = e4_paper_family(6);
+        rows.push(measure(
+            "e4/paper(6)",
+            || {
+                black_box(two_rpq::check(&q1, &q2, &al4).is_contained());
+            },
+            || {
+                let gov = armed_governor();
+                black_box(two_rpq::check_governed(&q1, &q2, &al4, &gov).expect("ample budget"));
+            },
+        ));
+    }
+    {
+        let (q1, q2, al4) = e4_refuted_family(4);
+        rows.push(measure(
+            "e4/refuted(4)",
+            || {
+                black_box(two_rpq::check(&q1, &q2, &al4).is_not_contained());
+            },
+            || {
+                let gov = armed_governor();
+                black_box(two_rpq::check_governed(&q1, &q2, &al4, &gov).expect("ample budget"));
+            },
+        ));
+    }
+    {
+        let cases: Vec<_> = (0..8).map(|s| e4_random_pair(6, s)).collect();
+        rows.push(measure(
+            "e4/random(6 leaves × 8)",
+            || {
+                for (q1, q2, al4) in &cases {
+                    black_box(two_rpq::check(q1, q2, al4).decided());
+                }
+            },
+            || {
+                for (q1, q2, al4) in &cases {
+                    let gov = armed_governor();
+                    black_box(two_rpq::check_governed(q1, q2, al4, &gov).expect("ample budget"));
+                }
+            },
+        ));
+    }
+
+    println!("e11/governor_overhead (armed budgets vs default unlimited)");
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}",
+        "workload", "default", "armed", "overhead"
+    );
+    let (mut plain_total, mut armed_total) = (0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:<26} {:>9.0} ns {:>9.0} ns {:>8.1}%",
+            r.name,
+            r.plain_ns,
+            r.armed_ns,
+            r.overhead() * 100.0
+        );
+        plain_total += r.plain_ns;
+        armed_total += r.armed_ns;
+    }
+    // Per-row deltas on identical code paths sit inside measurement noise;
+    // the acceptance bar is the aggregate across the whole suite.
+    let aggregate = (armed_total - plain_total) / plain_total;
+    println!("aggregate overhead: {:.1}%", aggregate * 100.0);
+    assert!(
+        aggregate < 0.05,
+        "governor bookkeeping exceeded the 5% budget: {:.1}%",
+        aggregate * 100.0
+    );
+    println!("PASS: governor overhead under 5% across the E1/E4 workloads");
+}

@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rq_automata::containment::{check_explicit, check_on_the_fly};
-use rq_bench::{ab_alphabet, e1_contained_pair, e1_exponential_pair, e1_random_pair, e1_refuted_pair};
+use rq_bench::{
+    ab_alphabet, e1_contained_pair, e1_exponential_pair, e1_random_pair, e1_refuted_pair,
+};
 use rq_core::containment::rpq;
 use std::hint::black_box;
 

@@ -42,7 +42,10 @@ fn bench_unfold_depth(c: &mut Criterion) {
     g.sample_size(10);
     let (q1, q2, al) = e6_refuted_pair();
     for depth in [1usize, 2, 3] {
-        let cfg = Config { unfold_depth: depth, ..Config::default() };
+        let cfg = Config {
+            unfold_depth: depth,
+            ..Config::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| black_box(rq::check(&q1, &q2, &al, &cfg).decided()))
         });

@@ -36,9 +36,11 @@ fn bench_monadic_vs_tc(c: &mut Criterion) {
     g.sample_size(10);
     for layers in [4usize, 8, 16] {
         let edb = layered_factdb(layers, 8);
-        g.bench_with_input(BenchmarkId::new("monadic_reach", layers), &layers, |b, _| {
-            b.iter(|| black_box(evaluate(&monadic, &edb).len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("monadic_reach", layers),
+            &layers,
+            |b, _| b.iter(|| black_box(evaluate(&monadic, &edb).len())),
+        );
         g.bench_with_input(BenchmarkId::new("full_tc", layers), &layers, |b, _| {
             b.iter(|| black_box(evaluate(&tc, &edb).len()))
         });

@@ -78,7 +78,11 @@ fn e1() {
         assert_eq!(fly.contained, exp.contained);
         println!(
             "| {family} | {n} | {} | {} | {t_fly:.0} | {} | {t_exp:.0} |",
-            if fly.contained { "contained" } else { "not contained" },
+            if fly.contained {
+                "contained"
+            } else {
+                "not contained"
+            },
             fly.states_explored,
             exp.states_explored,
         );
@@ -90,8 +94,16 @@ fn e2() {
     println!("## E2 — fold 2NFA size (Lemma 3: n·(|Σ±|+1) states)\n");
     println!("| NFA states n | Σ± size | fold 2NFA states | bound | build µs |");
     println!("|---|---|---|---|---|");
-    for (states, labels) in [(4, 2), (8, 2), (16, 2), (32, 2), (64, 2), (16, 1), (16, 4), (16, 8)]
-    {
+    for (states, labels) in [
+        (4, 2),
+        (8, 2),
+        (16, 2),
+        (32, 2),
+        (64, 2),
+        (16, 1),
+        (16, 4),
+        (16, 8),
+    ] {
         let nfa = e2_nfa(states, labels, 7);
         let letters = sigma_pm(labels);
         let (m, t) = time_us(|| fold_twonfa(&nfa, &letters));
@@ -206,11 +218,17 @@ fn e5() {
         ("full checker", Config::default()),
         (
             "no chain collapse",
-            Config { disable_chain_collapse: true, ..Config::default() },
+            Config {
+                disable_chain_collapse: true,
+                ..Config::default()
+            },
         ),
         (
             "no hom prover",
-            Config { disable_hom_prover: true, ..Config::default() },
+            Config {
+                disable_hom_prover: true,
+                ..Config::default()
+            },
         ),
     ] {
         let (q1, q2, al) = e5_chain_pair(4);
@@ -234,20 +252,32 @@ fn e6() {
     for k in [1, 2, 3, 4] {
         let (q1, q2, al) = e6_collapsible_pair(k);
         let (out, t) = time_us(|| rqc::check(&q1, &q2, &al, &cfg));
-        println!("| TC(chain_{k}) ⊑ chain_{k}+ | {} | {t:.0} |", verdict(&out));
+        println!(
+            "| TC(chain_{k}) ⊑ chain_{k}+ | {} | {t:.0} |",
+            verdict(&out)
+        );
     }
     let (q1, q2, al) = e6_triangle_pair();
     let (out, t) = time_us(|| rqc::check(&q1, &q2, &al, &cfg));
-    println!("| TC(triangle) ⊑ r+ (induction) | {} | {t:.0} |", verdict(&out));
+    println!(
+        "| TC(triangle) ⊑ r+ (induction) | {} | {t:.0} |",
+        verdict(&out)
+    );
     let (q1, q2, al) = e6_refuted_pair();
     let (out, t) = time_us(|| rqc::check(&q1, &q2, &al, &cfg));
     println!("| TC(triangle) ⊑ triangle | {} | {t:.0} |", verdict(&out));
     // Reflexive hard instance: must not be wrongly refuted.
     let (q1, _, al) = e6_refuted_pair();
     let (out, t) = time_us(|| rqc::check(&q1, &q1, &al, &cfg));
-    println!("| TC(triangle) ⊑ TC(triangle) | {} | {t:.0} |", verdict(&out));
+    println!(
+        "| TC(triangle) ⊑ TC(triangle) | {} | {t:.0} |",
+        verdict(&out)
+    );
     // Ablation: the inductive prover is what decides the triangle closure.
-    let no_induction = Config { disable_induction: true, ..Config::default() };
+    let no_induction = Config {
+        disable_induction: true,
+        ..Config::default()
+    };
     let (q1, q2, al) = e6_triangle_pair();
     let (out, t) = time_us(|| rqc::check(&q1, &q2, &al, &no_induction));
     println!(
@@ -347,7 +377,10 @@ fn e10() {
         let mut al = db.alphabet().clone();
         let q = TwoRpq::parse("a(b|a)*", &mut al).unwrap();
         let (ans, t) = time_us(|| q.evaluate(&db));
-        println!("| G(n,3n) | {nodes} | a(b|a)* all-pairs | {} | {t:.0} |", ans.len());
+        println!(
+            "| G(n,3n) | {nodes} | a(b|a)* all-pairs | {} | {t:.0} |",
+            ans.len()
+        );
     }
     for nodes in [100usize, 300, 1000, 3000] {
         let db = e10_social(nodes, 5);

@@ -3,8 +3,8 @@
 use rq_automata::random::{random_regex, RegexConfig, SplitMix64};
 use rq_automata::{Alphabet, LabelId, Letter, Regex};
 use rq_core::crpq::{C2Rpq, Uc2Rpq};
-use rq_core::rq::{RqExpr, RqQuery};
 use rq_core::rpq::{Rpq, TwoRpq};
+use rq_core::rq::{RqExpr, RqQuery};
 use rq_datalog::ast::Query as DatalogQuery;
 use rq_datalog::parser::parse_program;
 use rq_datalog::FactDb;
@@ -28,15 +28,24 @@ pub fn e1_contained_pair(n: usize) -> (Rpq, Rpq) {
     let ab = letter(0).then(letter(1));
     let q1 = Regex::concat(std::iter::repeat_n(ab, n));
     let q2 = letter(0).or(letter(1)).star();
-    (Rpq::new(q1).expect("forward"), Rpq::new(q2).expect("forward"))
+    (
+        Rpq::new(q1).expect("forward"),
+        Rpq::new(q2).expect("forward"),
+    )
 }
 
 /// A *refuted* RPQ pair whose shortest counterexample has length `n`:
 /// `a* ⊑ (ε|a)^{n-1}` — every word shorter than `n` is covered.
 pub fn e1_refuted_pair(n: usize) -> (Rpq, Rpq) {
     let q1 = letter(0).star();
-    let q2 = Regex::concat(std::iter::repeat_n(letter(0).optional(), n.saturating_sub(1)));
-    (Rpq::new(q1).expect("forward"), Rpq::new(q2).expect("forward"))
+    let q2 = Regex::concat(std::iter::repeat_n(
+        letter(0).optional(),
+        n.saturating_sub(1),
+    ));
+    (
+        Rpq::new(q1).expect("forward"),
+        Rpq::new(q2).expect("forward"),
+    )
 }
 
 /// The adversarial family for the explicit construction: `Q2` is the
@@ -50,13 +59,21 @@ pub fn e1_exponential_pair(n: usize) -> (Rpq, Rpq) {
         .star()
         .then(letter(0))
         .then(Regex::concat(std::iter::repeat_n(sigma, n - 1)));
-    (Rpq::new(q1).expect("forward"), Rpq::new(q2).expect("forward"))
+    (
+        Rpq::new(q1).expect("forward"),
+        Rpq::new(q2).expect("forward"),
+    )
 }
 
 /// A random RPQ pair with roughly `leaves` letters each.
 pub fn e1_random_pair(leaves: usize, seed: u64) -> (Rpq, Rpq) {
     let mut rng = SplitMix64::new(seed);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.0, leaves, repeat_prob: 0.3 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.0,
+        leaves,
+        repeat_prob: 0.3,
+    };
     (
         Rpq::new(random_regex(&mut rng, &cfg)).expect("forward"),
         Rpq::new(random_regex(&mut rng, &cfg)).expect("forward"),
@@ -108,7 +125,12 @@ pub fn e4_refuted_family(n: usize) -> (TwoRpq, TwoRpq, Alphabet) {
 /// A random 2RPQ pair.
 pub fn e4_random_pair(leaves: usize, seed: u64) -> (TwoRpq, TwoRpq, Alphabet) {
     let mut rng = SplitMix64::new(seed);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves, repeat_prob: 0.3 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.3,
+        leaves,
+        repeat_prob: 0.3,
+    };
     (
         TwoRpq::new(random_regex(&mut rng, &cfg)),
         TwoRpq::new(random_regex(&mut rng, &cfg)),
@@ -126,8 +148,16 @@ pub fn e5_chain_pair(k: usize) -> (Uc2Rpq, Uc2Rpq, Alphabet) {
     let mut al = Alphabet::from_names(["a"]);
     let mut atoms = Vec::new();
     for i in 0..k {
-        let from = if i == 0 { "x".to_owned() } else { format!("z{i}") };
-        let to = if i + 1 == k { "y".to_owned() } else { format!("z{}", i + 1) };
+        let from = if i == 0 {
+            "x".to_owned()
+        } else {
+            format!("z{i}")
+        };
+        let to = if i + 1 == k {
+            "y".to_owned()
+        } else {
+            format!("z{}", i + 1)
+        };
         atoms.push(("a", from, to));
     }
     let atom_refs: Vec<(&str, &str, &str)> = atoms
@@ -143,9 +173,7 @@ pub fn e5_chain_pair(k: usize) -> (Uc2Rpq, Uc2Rpq, Alphabet) {
 /// left requires `k` children of x; right requires one.
 pub fn e5_branching_pair(k: usize) -> (Uc2Rpq, Uc2Rpq, Alphabet) {
     let mut al = Alphabet::from_names(["a"]);
-    let atoms: Vec<(String, String)> = (0..k)
-        .map(|i| ("a".to_owned(), format!("c{i}")))
-        .collect();
+    let atoms: Vec<(String, String)> = (0..k).map(|i| ("a".to_owned(), format!("c{i}"))).collect();
     let atom_refs: Vec<(&str, &str, &str)> = atoms
         .iter()
         .map(|(r, c)| (r.as_str(), "x", c.as_str()))
@@ -160,12 +188,14 @@ pub fn e5_branching_pair(k: usize) -> (Uc2Rpq, Uc2Rpq, Alphabet) {
 pub fn e5_refuted_pair(n: usize) -> (Uc2Rpq, Uc2Rpq, Alphabet) {
     let mut al = Alphabet::from_names(["a"]);
     let q1 = C2Rpq::parse(&["x", "y"], &[("a*", "x", "y")], &mut al).expect("valid");
-    let bounded = Regex::union(
-        (0..n).map(|i| Regex::concat(std::iter::repeat_n(letter(0), i))),
-    );
+    let bounded = Regex::union((0..n).map(|i| Regex::concat(std::iter::repeat_n(letter(0), i))));
     let q2 = C2Rpq {
         head: vec!["x".into(), "y".into()],
-        atoms: vec![rq_core::crpq::C2RpqAtom::new(TwoRpq::new(bounded), "x", "y")],
+        atoms: vec![rq_core::crpq::C2RpqAtom::new(
+            TwoRpq::new(bounded),
+            "x",
+            "y",
+        )],
     };
     (Uc2Rpq::single(q1), Uc2Rpq::single(q2), al)
 }
@@ -182,8 +212,16 @@ pub fn e6_collapsible_pair(k: usize) -> (RqQuery, RqQuery, Alphabet) {
     // body: x -a-> m1 -b-> m2 -a-> … alternating, k edges.
     let mut expr: Option<RqExpr> = None;
     for i in 0..k {
-        let from = if i == 0 { "x".to_owned() } else { format!("m{i}") };
-        let to = if i + 1 == k { "y".to_owned() } else { format!("m{}", i + 1) };
+        let from = if i == 0 {
+            "x".to_owned()
+        } else {
+            format!("m{i}")
+        };
+        let to = if i + 1 == k {
+            "y".to_owned()
+        } else {
+            format!("m{}", i + 1)
+        };
         let lbl = if i % 2 == 0 { a } else { b };
         let e = RqExpr::edge(lbl, from, to);
         expr = Some(match expr {
@@ -195,11 +233,7 @@ pub fn e6_collapsible_pair(k: usize) -> (RqQuery, RqQuery, Alphabet) {
     for i in 1..k {
         expr = expr.project(format!("m{i}"));
     }
-    let q1 = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        expr.closure("x", "y"),
-    )
-    .expect("valid");
+    let q1 = RqQuery::new(vec!["x".into(), "y".into()], expr.closure("x", "y")).expect("valid");
     // Right side: ((ab)^… )+ as a single 2RPQ.
     let chain = Regex::concat((0..k).map(|i| if i % 2 == 0 { letter(0) } else { letter(1) }));
     let q2 = RqQuery::new(
@@ -218,11 +252,7 @@ pub fn e6_triangle_pair() -> (RqQuery, RqQuery, Alphabet) {
         .and(RqExpr::edge(r, "y", "z"))
         .and(RqExpr::edge(r, "z", "x"))
         .project("z");
-    let q1 = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        body.closure("x", "y"),
-    )
-    .expect("valid");
+    let q1 = RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).expect("valid");
     let q2 = RqQuery::new(
         vec!["x".into(), "y".into()],
         RqExpr::rel2(TwoRpq::new(letter(0).plus()), "x", "y"),
@@ -241,11 +271,7 @@ pub fn e6_refuted_pair() -> (RqQuery, RqQuery, Alphabet) {
             .and(RqExpr::edge(r, "z", "x"))
             .project("z")
     };
-    let q1 = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        body().closure("x", "y"),
-    )
-    .expect("valid");
+    let q1 = RqQuery::new(vec!["x".into(), "y".into()], body().closure("x", "y")).expect("valid");
     let q2 = RqQuery::new(vec!["x".into(), "y".into()], body()).expect("valid");
     (q1, q2, al)
 }

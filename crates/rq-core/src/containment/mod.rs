@@ -42,7 +42,7 @@ pub mod rq;
 pub mod two_rpq;
 pub mod uc2rpq;
 
-use rq_automata::{Alphabet, Letter};
+use rq_automata::{Alphabet, Counters, Exhaustion, Governor, Letter, Limits};
 use rq_graph::{GraphDb, NodeId};
 use std::fmt;
 
@@ -72,6 +72,31 @@ pub enum Certificate {
     EmptyLeft,
 }
 
+/// A structured account of why a check gave up: the human-readable
+/// reason, the governor budget that tripped (if one did), and the
+/// counter snapshot — states explored, words enumerated, fuel spent,
+/// elapsed wall-clock — at the moment the search stopped.
+#[derive(Debug, Clone)]
+pub struct ExhaustionReport {
+    /// What the checker was missing (a proof, a counterexample, a budget).
+    pub reason: String,
+    /// The resource budget that ran out, when the stop was governor-driven.
+    pub exhaustion: Option<Exhaustion>,
+    /// Snapshot of the governor's counters when the search stopped.
+    pub counters: Counters,
+}
+
+impl fmt::Display for ExhaustionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Exhaustion's own Display already embeds the counters.
+        if self.exhaustion.is_none() && self.counters != Counters::default() {
+            write!(f, "{}; {}", self.reason, self.counters)
+        } else {
+            f.write_str(&self.reason)
+        }
+    }
+}
+
 /// The verdict of a containment check.
 #[derive(Debug, Clone)]
 pub enum Outcome {
@@ -81,18 +106,56 @@ pub enum Outcome {
     NotContained(Box<Witness>),
     /// The search budget was exhausted before either a certificate or a
     /// counterexample was found (the problem is EXPSPACE/2EXPSPACE-complete;
-    /// raise the [`Config`] budgets to push further).
-    Unknown { reason: String },
+    /// raise the [`Config`] budgets to push further). Carries a structured
+    /// [`ExhaustionReport`] with the search counters.
+    Unknown(Box<ExhaustionReport>),
 }
 
 impl Outcome {
+    /// An `Unknown` verdict with a reason but no search counters (used for
+    /// precondition failures such as arity mismatches or translation
+    /// errors, where no search ran).
+    pub fn unknown(reason: impl Into<String>) -> Outcome {
+        Outcome::Unknown(Box::new(ExhaustionReport {
+            reason: reason.into(),
+            exhaustion: None,
+            counters: Counters::default(),
+        }))
+    }
+
+    /// An `Unknown` verdict snapshotting `gov`'s counters: the search ran
+    /// to completion within budget but was inconclusive.
+    pub fn unknown_with(reason: impl Into<String>, gov: &Governor) -> Outcome {
+        Outcome::Unknown(Box::new(ExhaustionReport {
+            reason: reason.into(),
+            exhaustion: None,
+            counters: gov.counters(),
+        }))
+    }
+
+    /// An `Unknown` verdict from a tripped resource budget.
+    pub fn exhausted(e: Exhaustion) -> Outcome {
+        Outcome::Unknown(Box::new(ExhaustionReport {
+            reason: e.to_string(),
+            counters: e.counters,
+            exhaustion: Some(e),
+        }))
+    }
+
+    /// The exhaustion report of an `Unknown` verdict.
+    pub fn report(&self) -> Option<&ExhaustionReport> {
+        match self {
+            Outcome::Unknown(r) => Some(r),
+            _ => None,
+        }
+    }
     /// `Some(true)` / `Some(false)` for definite verdicts, `None` for
     /// `Unknown`.
     pub fn decided(&self) -> Option<bool> {
         match self {
             Outcome::Contained(_) => Some(true),
             Outcome::NotContained(_) => Some(false),
-            Outcome::Unknown { .. } => None,
+            Outcome::Unknown(_) => None,
         }
     }
 
@@ -108,7 +171,7 @@ impl Outcome {
 
     /// Whether the verdict is `Unknown`.
     pub fn is_unknown(&self) -> bool {
-        matches!(self, Outcome::Unknown { .. })
+        matches!(self, Outcome::Unknown(_))
     }
 
     /// The witness of a `NotContained` verdict.
@@ -125,7 +188,7 @@ impl fmt::Display for Outcome {
         match self {
             Outcome::Contained(c) => write!(f, "contained ({c:?})"),
             Outcome::NotContained(w) => write!(f, "not contained ({})", w.description),
-            Outcome::Unknown { reason } => write!(f, "unknown ({reason})"),
+            Outcome::Unknown(r) => write!(f, "unknown ({r})"),
         }
     }
 }
@@ -157,6 +220,11 @@ pub struct Config {
     pub disable_hom_prover: bool,
     /// Ablation: disable the inductive TC prover (RQ checker).
     pub disable_induction: bool,
+    /// Resource budgets (fuel, states, wall-clock deadline) enforced by a
+    /// [`Governor`] spawned per check. Unlimited by default; when a budget
+    /// trips, the verdict is [`Outcome::Unknown`] with an
+    /// [`ExhaustionReport`].
+    pub limits: Limits,
 }
 
 impl Default for Config {
@@ -172,6 +240,7 @@ impl Default for Config {
             disable_chain_collapse: false,
             disable_hom_prover: false,
             disable_induction: false,
+            limits: Limits::unlimited(),
         }
     }
 }
@@ -245,8 +314,25 @@ mod tests {
         let o = Outcome::Contained(Certificate::EmptyLeft);
         assert_eq!(o.decided(), Some(true));
         assert!(o.is_contained() && !o.is_unknown());
-        let o = Outcome::Unknown { reason: "budget".into() };
+        let o = Outcome::unknown("budget");
         assert_eq!(o.decided(), None);
         assert!(o.witness().is_none());
+        let r = o.report().expect("unknown carries a report");
+        assert_eq!(r.reason, "budget");
+        assert!(r.exhaustion.is_none());
+    }
+
+    #[test]
+    fn exhausted_outcome_carries_the_report() {
+        use rq_automata::Resource;
+        let gov = Limits::unlimited().with_fuel(1).governor();
+        gov.tick().unwrap();
+        let e = gov.tick().unwrap_err();
+        let o = Outcome::exhausted(e);
+        assert!(o.is_unknown());
+        let r = o.report().unwrap();
+        assert_eq!(r.exhaustion.as_ref().unwrap().resource, Resource::Fuel);
+        assert_eq!(r.counters.fuel_spent, 2);
+        assert!(o.to_string().contains("fuel exhausted"), "{o}");
     }
 }

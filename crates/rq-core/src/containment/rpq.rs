@@ -6,25 +6,46 @@
 
 use super::{semipath_db, Certificate, Outcome, Witness};
 use crate::rpq::Rpq;
-use rq_automata::containment::check_on_the_fly;
-use rq_automata::Alphabet;
+use rq_automata::containment::check_on_the_fly_governed;
+use rq_automata::governor::expect_unlimited;
+use rq_automata::{Alphabet, Exhaustion, Governor};
 
 /// Decide `q1 ⊑ q2`. Always returns a definite verdict; a `NotContained`
 /// witness is the path database of a *shortest* counterexample word.
 pub fn check(q1: &Rpq, q2: &Rpq, alphabet: &Alphabet) -> Outcome {
-    let run = check_on_the_fly(q1.as_two_rpq().nfa(), q2.as_two_rpq().nfa());
+    expect_unlimited(check_governed(q1, q2, alphabet, &Governor::unlimited()))
+}
+
+/// [`check`] under a resource governor: every product-state expansion is
+/// metered, and a tripped budget surfaces as `Err`.
+pub fn check_governed(
+    q1: &Rpq,
+    q2: &Rpq,
+    alphabet: &Alphabet,
+    gov: &Governor,
+) -> Result<Outcome, Exhaustion> {
+    let run = check_on_the_fly_governed(q1.as_two_rpq().nfa(), q2.as_two_rpq().nfa(), gov)?;
     if run.contained {
-        return Outcome::Contained(Certificate::LanguageContainment {
+        return Ok(Outcome::Contained(Certificate::LanguageContainment {
             states_explored: run.states_explored,
-        });
+        }));
     }
-    let word = run.counterexample.expect("non-containment carries a word");
+    let Some(word) = run.counterexample else {
+        return Ok(Outcome::unknown_with(
+            "non-containment reported without a counterexample word",
+            gov,
+        ));
+    };
     let (db, s, t) = semipath_db(&word, alphabet);
     let description = format!(
         "path database of the word {} (in L(Q1) − L(Q2))",
         alphabet.word_to_string(&word)
     );
-    Outcome::NotContained(Box::new(Witness { db, tuple: vec![s, t], description }))
+    Ok(Outcome::NotContained(Box::new(Witness {
+        db,
+        tuple: vec![s, t],
+        description,
+    })))
 }
 
 #[cfg(test)]
@@ -74,6 +95,22 @@ mod tests {
         let q2 = rpq("(a*b*)*", &mut al);
         assert!(check(&q1, &q2, &al).is_contained());
         assert!(check(&q2, &q1, &al).is_contained());
+    }
+
+    #[test]
+    fn governed_check_exhausts_and_matches() {
+        use rq_automata::{Limits, Resource};
+        let mut al = Alphabet::new();
+        let q1 = rpq("(a b)*", &mut al);
+        let q2 = rpq("(a|b)*", &mut al);
+        // A starvation budget trips with a structured report.
+        let gov = Limits::unlimited().with_fuel(2).governor();
+        let e = check_governed(&q1, &q2, &al, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        // Ample budget matches the ungoverned verdict.
+        let gov = Limits::unlimited().with_fuel(1_000_000).governor();
+        let out = check_governed(&q1, &q2, &al, &gov).unwrap();
+        assert_eq!(out.decided(), check(&q1, &q2, &al).decided());
     }
 
     #[test]

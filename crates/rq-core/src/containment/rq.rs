@@ -21,11 +21,29 @@
 
 use super::{Certificate, Config, Outcome};
 use crate::rq::{RqExpr, RqQuery};
-use rq_automata::Alphabet;
+use rq_automata::{Alphabet, Exhaustion, Governor};
 
-/// Decide `q1 ⊑ q2` (same head arity; positional comparison of answers).
+/// Decide `q1 ⊑ q2` (same head arity; positional comparison of answers)
+/// under the budgets in `cfg` (including [`Config::limits`]: a tripped
+/// resource budget yields [`Outcome::Unknown`] with an exhaustion report).
 pub fn check(q1: &RqQuery, q2: &RqQuery, alphabet: &Alphabet, cfg: &Config) -> Outcome {
-    check_depth(q1, q2, alphabet, cfg, cfg.induction_depth)
+    let gov = cfg.limits.governor();
+    match check_governed(q1, q2, alphabet, cfg, &gov) {
+        Ok(out) => out,
+        Err(e) => Outcome::exhausted(e),
+    }
+}
+
+/// [`check`] against a caller-owned governor; a tripped budget surfaces
+/// as `Err`.
+pub fn check_governed(
+    q1: &RqQuery,
+    q2: &RqQuery,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+) -> Result<Outcome, Exhaustion> {
+    check_depth(q1, q2, alphabet, cfg, cfg.induction_depth, gov)
 }
 
 fn check_depth(
@@ -34,27 +52,29 @@ fn check_depth(
     alphabet: &Alphabet,
     cfg: &Config,
     depth: usize,
-) -> Outcome {
+    gov: &Governor,
+) -> Result<Outcome, Exhaustion> {
+    // Coarse boundary: one wall-clock poll per (recursive) check entry.
+    gov.check_wall()?;
+    gov.tick()?;
     if q1.head.len() != q2.head.len() {
-        return Outcome::Unknown {
-            reason: format!(
-                "head arities differ ({} vs {}); the queries are incomparable",
-                q1.head.len(),
-                q2.head.len()
-            ),
-        };
+        return Ok(Outcome::unknown(format!(
+            "head arities differ ({} vs {}); the queries are incomparable",
+            q1.head.len(),
+            q2.head.len()
+        )));
     }
     // 0. Syntactic identity (common for reflexivity checks).
     if q1.head == q2.head && q1.expr == q2.expr {
-        return Outcome::Contained(Certificate::Homomorphism {
+        return Ok(Outcome::Contained(Certificate::Homomorphism {
             description: "syntactically identical queries".into(),
-        });
+        }));
     }
     // 1. Exact closure elimination on both sides.
     let c1 = q1.collapse_exact();
     let c2 = q2.collapse_exact();
     if let (Some(u1), Some(u2)) = (&c1, &c2) {
-        return super::uc2rpq::check(u1, u2, alphabet, cfg);
+        return super::uc2rpq::check_governed(u1, u2, alphabet, cfg, gov);
     }
 
     // 2. Refutation: expansions of a sound under-approximation of q1,
@@ -64,30 +84,28 @@ fn check_depth(
         None => q1.unfold(cfg.unfold_depth, cfg.unfold_budget).ok(),
     };
     if let Some(u1) = &u1_under {
-        if let Some(w) = super::uc2rpq::refute(u1, alphabet, cfg, |db| q2.evaluate(db)) {
-            return Outcome::NotContained(Box::new(w));
+        if let Some(w) =
+            super::uc2rpq::refute_governed(u1, alphabet, cfg, gov, |db| q2.evaluate(db))?
+        {
+            return Ok(Outcome::NotContained(Box::new(w)));
         }
     }
 
     // 3. Induction for a top-level closure on the left.
     if depth > 0 && !cfg.disable_induction {
         if let RqExpr::Closure { inner, from, to } = &q1.expr {
-            if let Ok(p) = RqQuery::new(
-                vec![from.clone(), to.clone()],
-                inner.as_ref().clone(),
-            ) {
+            if let Ok(p) = RqQuery::new(vec![from.clone(), to.clone()], inner.as_ref().clone()) {
                 // Heads must be aligned with q1's output order.
                 let p = align_head(&p, &q1.head, from, to);
-                let base = check_depth(&p, q2, alphabet, cfg, depth - 1);
+                let base = check_depth(&p, q2, alphabet, cfg, depth - 1, gov)?;
                 if base.is_contained() {
                     let comp = compose(q2, &p);
-                    let step = check_depth(&comp, q2, alphabet, cfg, depth - 1);
+                    let step = check_depth(&comp, q2, alphabet, cfg, depth - 1, gov)?;
                     if step.is_contained() {
-                        return Outcome::Contained(Certificate::Induction {
+                        return Ok(Outcome::Contained(Certificate::Induction {
                             description:
-                                "P ⊑ R and R∘P ⊑ R, hence P⁺ ⊑ R by induction on path length"
-                                    .into(),
-                        });
+                                "P ⊑ R and R∘P ⊑ R, hence P⁺ ⊑ R by induction on path length".into(),
+                        }));
                     }
                 }
             }
@@ -97,31 +115,35 @@ fn check_depth(
     // 4. Left exactly a UC2RPQ: prove against an under-approximation of q2.
     if let Some(u1) = &c1 {
         if let Ok(u2_under) = q2.unfold(cfg.unfold_depth, cfg.unfold_budget) {
-            if super::uc2rpq::prove(u1, &u2_under, alphabet, cfg) {
-                return Outcome::Contained(Certificate::Homomorphism {
+            if super::uc2rpq::prove_governed(u1, &u2_under, alphabet, cfg, gov)? {
+                return Ok(Outcome::Contained(Certificate::Homomorphism {
                     description: format!(
                         "left side contained in the depth-{} unfolding of the right side",
                         cfg.unfold_depth
                     ),
-                });
+                }));
             }
         }
     }
 
-    Outcome::Unknown {
-        reason: format!(
+    Ok(Outcome::unknown_with(
+        format!(
             "closure bodies are genuinely conjunctive; no counterexample among depth-{} \
              unfoldings and no inductive certificate within depth {}",
             cfg.unfold_depth, cfg.induction_depth
         ),
-    }
+        gov,
+    ))
 }
 
 /// Reorder a binary query's head to match `target` (which is a permutation
 /// of `{from, to}`).
 fn align_head(p: &RqQuery, target: &[String], from: &str, to: &str) -> RqQuery {
     if target.len() == 2 && target[0] == to && target[1] == from {
-        RqQuery { head: vec![to.to_owned(), from.to_owned()], expr: p.expr.clone() }
+        RqQuery {
+            head: vec![to.to_owned(), from.to_owned()],
+            expr: p.expr.clone(),
+        }
     } else {
         p.clone()
     }
@@ -199,11 +221,7 @@ mod tests {
         let hop2 = RqExpr::edge(r, "x", "m")
             .and(RqExpr::edge(r, "m", "y"))
             .project("m");
-        let q1 = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            hop2.closure("x", "y"),
-        )
-        .unwrap();
+        let q1 = RqQuery::new(vec!["x".into(), "y".into()], hop2.closure("x", "y")).unwrap();
         let q2 = edge_closure(r);
         let cfg = Config::default();
         assert!(check(&q1, &q2, &al, &cfg).is_contained());
@@ -287,6 +305,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn deadline_starvation_yields_structured_unknown() {
+        use rq_automata::{Limits, Resource};
+        use std::time::Duration;
+        let mut al = Alphabet::new();
+        let r = al.intern("r");
+        let q1 = triangle_closure(r);
+        let q2 = rel2_query("r+", &mut al);
+        let cfg = Config {
+            limits: Limits::unlimited().with_deadline(Duration::ZERO),
+            ..Config::default()
+        };
+        let out = check(&q1, &q2, &al, &cfg);
+        let rep = out.report().expect("zero deadline must surface as Unknown");
+        assert_eq!(
+            rep.exhaustion.as_ref().unwrap().resource,
+            Resource::Deadline
+        );
+        // The same instance decides fine without a deadline.
+        assert!(check(&q1, &q2, &al, &Config::default()).is_contained());
     }
 
     #[test]

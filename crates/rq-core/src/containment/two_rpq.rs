@@ -16,12 +16,25 @@
 use super::{semipath_db, Certificate, Outcome, Witness};
 use crate::rpq::TwoRpq;
 use rq_automata::fold::fold_twonfa;
-use rq_automata::shepherdson::nfa_in_twonfa;
-use rq_automata::{Alphabet, Letter};
+use rq_automata::governor::expect_unlimited;
+use rq_automata::shepherdson::nfa_in_twonfa_governed;
+use rq_automata::{Alphabet, Exhaustion, Governor, Letter};
 use std::collections::BTreeSet;
 
 /// Decide `q1 ⊑ q2`.
 pub fn check(q1: &TwoRpq, q2: &TwoRpq, alphabet: &Alphabet) -> Outcome {
+    expect_unlimited(check_governed(q1, q2, alphabet, &Governor::unlimited()))
+}
+
+/// [`check`] under a resource governor: Shepherdson table constructions
+/// and product-state expansions are metered, and a tripped budget surfaces
+/// as `Err`.
+pub fn check_governed(
+    q1: &TwoRpq,
+    q2: &TwoRpq,
+    alphabet: &Alphabet,
+    gov: &Governor,
+) -> Result<Outcome, Exhaustion> {
     // Σ± universe: all labels either query mentions, both polarities.
     // (The fold walk may guess any letter occurring in a candidate
     // counterexample word, and those words come from L(Q1).)
@@ -38,19 +51,28 @@ pub fn check(q1: &TwoRpq, q2: &TwoRpq, alphabet: &Alphabet) -> Outcome {
         .flat_map(|l| [Letter::forward(l), Letter::backward(l)])
         .collect();
     let fold2 = fold_twonfa(q2.nfa(), &sigma_pm);
-    let run = nfa_in_twonfa(q1.nfa(), &fold2);
+    let run = nfa_in_twonfa_governed(q1.nfa(), &fold2, gov)?;
     if run.contained {
-        return Outcome::Contained(Certificate::FoldContainment {
+        return Ok(Outcome::Contained(Certificate::FoldContainment {
             states_explored: run.states_explored,
-        });
+        }));
     }
-    let word = run.counterexample.expect("non-containment carries a word");
+    let Some(word) = run.counterexample else {
+        return Ok(Outcome::unknown_with(
+            "non-containment reported without a counterexample word",
+            gov,
+        ));
+    };
     let (db, s, t) = semipath_db(&word, alphabet);
     let description = format!(
         "semipath database of the word {} (in L(Q1) − fold(L(Q2)))",
         alphabet.word_to_string(&word)
     );
-    Outcome::NotContained(Box::new(Witness { db, tuple: vec![s, t], description }))
+    Ok(Outcome::NotContained(Box::new(Witness {
+        db,
+        tuple: vec![s, t],
+        description,
+    })))
 }
 
 #[cfg(test)]
@@ -145,6 +167,25 @@ mod tests {
         // does hold: x (y y⁻)? x ⊒ x x.
         let q3 = q("x (y y-)? x", &mut al);
         assert!(check(&q2, &q3, &al).is_contained());
+    }
+
+    #[test]
+    fn governed_check_exhausts_and_matches() {
+        use rq_automata::{Limits, Resource};
+        let mut al = Alphabet::new();
+        let q1 = q("p", &mut al);
+        let q2 = q("p p- p", &mut al);
+        // Shepherdson table builds alone outrun a two-step fuel budget.
+        let gov = Limits::unlimited().with_fuel(2).governor();
+        let e = check_governed(&q1, &q2, &al, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        assert!(e.counters.fuel_spent > 2);
+        // Ample budget matches the ungoverned verdict, both directions.
+        let gov = Limits::unlimited().with_fuel(1_000_000).governor();
+        assert!(check_governed(&q1, &q2, &al, &gov).unwrap().is_contained());
+        assert!(check_governed(&q2, &q1, &al, &gov)
+            .unwrap()
+            .is_not_contained());
     }
 
     #[test]

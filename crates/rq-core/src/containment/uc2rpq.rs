@@ -23,59 +23,99 @@ use super::{Certificate, Config, Outcome, Witness};
 use crate::crpq::{C2Rpq, Uc2Rpq};
 use crate::expansion::{enumerate_word_choices, expand};
 use crate::rpq::TwoRpq;
-use rq_automata::{Alphabet, Regex};
+use rq_automata::governor::expect_unlimited;
+use rq_automata::{Alphabet, Exhaustion, Governor, Regex};
 use rq_graph::{GraphDb, NodeId};
 use std::collections::BTreeSet;
 
-/// Decide `q1 ⊑ q2`.
+/// Decide `q1 ⊑ q2` under the budgets in `cfg` (including
+/// [`Config::limits`]: a tripped resource budget yields
+/// [`Outcome::Unknown`] with an exhaustion report).
 pub fn check(q1: &Uc2Rpq, q2: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config) -> Outcome {
+    let gov = cfg.limits.governor();
+    match check_governed(q1, q2, alphabet, cfg, &gov) {
+        Ok(out) => out,
+        Err(e) => Outcome::exhausted(e),
+    }
+}
+
+/// [`check`] against a caller-owned governor (shared across phases or
+/// checks); a tripped budget surfaces as `Err`.
+pub fn check_governed(
+    q1: &Uc2Rpq,
+    q2: &Uc2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+) -> Result<Outcome, Exhaustion> {
+    // Coarse boundary: one wall-clock poll per check entry.
+    gov.check_wall()?;
     if q1.arity() != q2.arity() {
-        return Outcome::Unknown {
-            reason: format!(
-                "head arities differ ({} vs {}); the queries are incomparable",
-                q1.arity(),
-                q2.arity()
-            ),
-        };
+        return Ok(Outcome::unknown(format!(
+            "head arities differ ({} vs {}); the queries are incomparable",
+            q1.arity(),
+            q2.arity()
+        )));
     }
     // Syntactic identity (reflexivity).
     if q1 == q2 {
-        return Outcome::Contained(Certificate::Homomorphism {
+        return Ok(Outcome::Contained(Certificate::Homomorphism {
             description: "syntactically identical queries".into(),
-        });
+        }));
     }
     // Exact path: both sides collapse to single 2RPQs.
     if !cfg.disable_chain_collapse {
         if let (Some(t1), Some(t2)) = (q1.collapse_chains(), q2.collapse_chains()) {
-            return super::two_rpq::check(&t1, &t2, alphabet);
+            return super::two_rpq::check_governed(&t1, &t2, alphabet, gov);
         }
     }
     // Sound proof.
-    if !cfg.disable_hom_prover && prove(q1, q2, alphabet, cfg) {
-        return Outcome::Contained(Certificate::Homomorphism {
+    if !cfg.disable_hom_prover && prove_governed(q1, q2, alphabet, cfg, gov)? {
+        return Ok(Outcome::Contained(Certificate::Homomorphism {
             description: "per-disjunct atom-walk homomorphism".into(),
-        });
+        }));
     }
     // Sound refutation by expansion search.
     for phi in &q1.disjuncts {
-        if let Some(w) = refute_conjunct(phi, alphabet, cfg, |db| q2.evaluate(db)) {
-            return Outcome::NotContained(Box::new(w));
+        if let Some(w) = refute_conjunct_governed(phi, alphabet, cfg, gov, |db| q2.evaluate(db))? {
+            return Ok(Outcome::NotContained(Box::new(w)));
         }
     }
-    Outcome::Unknown {
-        reason: format!(
+    Ok(Outcome::unknown_with(
+        format!(
             "no homomorphism proof (walks ≤ {}) and no counterexample among expansions \
              (words ≤ {}, {} per atom, {} expansions per disjunct)",
             cfg.max_hom_path_len, cfg.max_word_len, cfg.words_per_atom, cfg.max_expansions
         ),
-    }
+        gov,
+    ))
 }
 
 /// Sound proof attempt: `true` implies `q1 ⊑ q2`.
 pub fn prove(q1: &Uc2Rpq, q2: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config) -> bool {
-    q1.disjuncts
-        .iter()
-        .all(|phi| prove_disjunct(phi, q2, alphabet, cfg))
+    expect_unlimited(prove_governed(
+        q1,
+        q2,
+        alphabet,
+        cfg,
+        &Governor::unlimited(),
+    ))
+}
+
+/// [`prove`] under a resource governor.
+pub fn prove_governed(
+    q1: &Uc2Rpq,
+    q2: &Uc2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
+    for phi in &q1.disjuncts {
+        if !prove_disjunct(phi, q2, alphabet, cfg, gov)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Sound refutation attempt over all left disjuncts: a returned witness
@@ -84,19 +124,46 @@ pub fn refute<F>(q1: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config, eval2: F) -> Op
 where
     F: Fn(&GraphDb) -> BTreeSet<Vec<NodeId>>,
 {
+    expect_unlimited(refute_governed(
+        q1,
+        alphabet,
+        cfg,
+        &Governor::unlimited(),
+        eval2,
+    ))
+}
+
+/// [`refute`] under a resource governor: each enumerated expansion is
+/// metered as one word.
+pub fn refute_governed<F>(
+    q1: &Uc2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+    eval2: F,
+) -> Result<Option<Witness>, Exhaustion>
+where
+    F: Fn(&GraphDb) -> BTreeSet<Vec<NodeId>>,
+{
     for phi in &q1.disjuncts {
-        if let Some(w) = refute_conjunct(phi, alphabet, cfg, &eval2) {
-            return Some(w);
+        if let Some(w) = refute_conjunct_governed(phi, alphabet, cfg, gov, &eval2)? {
+            return Ok(Some(w));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Whether a single left disjunct is provably contained in the union.
-fn prove_disjunct(phi: &C2Rpq, q2: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config) -> bool {
+fn prove_disjunct(
+    phi: &C2Rpq,
+    q2: &Uc2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
     // An empty-language atom makes the disjunct unsatisfiable.
     if phi.atoms.iter().any(|a| a.rel.nfa().is_empty()) {
-        return true;
+        return Ok(true);
     }
     // Exact pair decision when both conjuncts collapse.
     let phi_collapsed = if cfg.disable_chain_collapse {
@@ -106,27 +173,33 @@ fn prove_disjunct(phi: &C2Rpq, q2: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config) -
     };
     for psi in &q2.disjuncts {
         if let (Some(t1), Some(t2)) = (&phi_collapsed, psi.collapse_chain()) {
-            if super::two_rpq::check(t1, &t2, alphabet).is_contained() {
-                return true;
+            if super::two_rpq::check_governed(t1, &t2, alphabet, gov)?.is_contained() {
+                return Ok(true);
             }
         }
-        if hom_into(phi, psi, alphabet, cfg) {
-            return true;
+        if hom_into(phi, psi, alphabet, cfg, gov)? {
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// Search for a homomorphism from `psi`'s variables into `phi`'s, mapping
 /// heads positionally, such that every `psi` atom is discharged by a walk
 /// in `phi` (see module docs). Sound for `phi ⊑ psi`.
-fn hom_into(phi: &C2Rpq, psi: &C2Rpq, alphabet: &Alphabet, cfg: &Config) -> bool {
+fn hom_into(
+    phi: &C2Rpq,
+    psi: &C2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
     let phi_vars: Vec<&str> = phi.variables();
     // Seed the mapping with head correspondence.
     let mut map: Vec<(String, String)> = Vec::new();
     for (pv, fv) in psi.head.iter().zip(&phi.head) {
         match map.iter().find(|(k, _)| k == pv) {
-            Some((_, prev)) if prev != fv => return false,
+            Some((_, prev)) if prev != fv => return Ok(false),
             Some(_) => {}
             None => map.push((pv.clone(), fv.clone())),
         }
@@ -136,7 +209,9 @@ fn hom_into(phi: &C2Rpq, psi: &C2Rpq, alphabet: &Alphabet, cfg: &Config) -> bool
         .into_iter()
         .filter(|v| !map.iter().any(|(k, _)| k == v))
         .collect();
-    assign(phi, psi, &phi_vars, &psi_vars, 0, &mut map, alphabet, cfg)
+    assign(
+        phi, psi, &phi_vars, &psi_vars, 0, &mut map, alphabet, cfg, gov,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -149,33 +224,46 @@ fn assign(
     map: &mut Vec<(String, String)>,
     alphabet: &Alphabet,
     cfg: &Config,
-) -> bool {
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
+    gov.tick()?;
     // Check all atoms whose endpoints are both mapped.
     let lookup = |v: &str, map: &Vec<(String, String)>| -> Option<String> {
         map.iter().find(|(k, _)| k == v).map(|(_, t)| t.clone())
     };
     for atom in &psi.atoms {
         if let (Some(u), Some(v)) = (lookup(&atom.from, map), lookup(&atom.to, map)) {
-            if !atom_discharged(phi, &u, &v, &atom.rel, alphabet, cfg) {
-                return false;
+            if !atom_discharged(phi, &u, &v, &atom.rel, alphabet, cfg, gov)? {
+                return Ok(false);
             }
         }
     }
     let Some(var) = psi_vars.get(next) else {
-        return true;
+        return Ok(true);
     };
     for target in phi_vars {
         map.push(((*var).to_owned(), (*target).to_owned()));
-        if assign(phi, psi, phi_vars, psi_vars, next + 1, map, alphabet, cfg) {
-            return true;
+        if assign(
+            phi,
+            psi,
+            phi_vars,
+            psi_vars,
+            next + 1,
+            map,
+            alphabet,
+            cfg,
+            gov,
+        )? {
+            return Ok(true);
         }
         map.pop();
     }
-    false
+    Ok(false)
 }
 
 /// Whether some walk `u → v` through `phi`'s atoms has its concatenated
 /// language fold-contained in `L(lambda)`.
+#[allow(clippy::too_many_arguments)]
 fn atom_discharged(
     phi: &C2Rpq,
     u: &str,
@@ -183,14 +271,15 @@ fn atom_discharged(
     lambda: &TwoRpq,
     alphabet: &Alphabet,
     cfg: &Config,
-) -> bool {
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
     for walk_re in walks(phi, u, v, cfg.max_hom_path_len) {
         let walk_q = TwoRpq::new(walk_re);
-        if super::two_rpq::check(&walk_q, lambda, alphabet).is_contained() {
-            return true;
+        if super::two_rpq::check_governed(&walk_q, lambda, alphabet, gov)?.is_contained() {
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// All walk languages from `u` to `v` through `phi`'s atoms, up to
@@ -244,30 +333,55 @@ pub fn refute_conjunct<F>(
 where
     F: Fn(&GraphDb) -> BTreeSet<Vec<NodeId>>,
 {
-    for words in enumerate_word_choices(phi, cfg.max_word_len, cfg.words_per_atom, cfg.max_expansions)
-    {
-        let e = expand(phi, &words, alphabet)?;
+    expect_unlimited(refute_conjunct_governed(
+        phi,
+        alphabet,
+        cfg,
+        &Governor::unlimited(),
+        eval2,
+    ))
+}
+
+/// [`refute_conjunct`] under a resource governor: each enumerated
+/// expansion is metered as one word (plus one fuel).
+pub fn refute_conjunct_governed<F>(
+    phi: &C2Rpq,
+    alphabet: &Alphabet,
+    cfg: &Config,
+    gov: &Governor,
+    eval2: F,
+) -> Result<Option<Witness>, Exhaustion>
+where
+    F: Fn(&GraphDb) -> BTreeSet<Vec<NodeId>>,
+{
+    for words in enumerate_word_choices(
+        phi,
+        cfg.max_word_len,
+        cfg.words_per_atom,
+        cfg.max_expansions,
+    ) {
+        gov.count_word()?;
+        let Some(e) = expand(phi, &words, alphabet) else {
+            return Ok(None);
+        };
         debug_assert!(
             phi.evaluate(&e.db).contains(&e.head_nodes),
             "an expansion must satisfy its own conjunct"
         );
         let answers = eval2(&e.db);
         if !answers.contains(&e.head_nodes) {
-            let words_str: Vec<String> = words
-                .iter()
-                .map(|w| alphabet.word_to_string(w))
-                .collect();
-            return Some(Witness {
+            let words_str: Vec<String> = words.iter().map(|w| alphabet.word_to_string(w)).collect();
+            return Ok(Some(Witness {
                 db: e.db,
                 tuple: e.head_nodes,
                 description: format!(
                     "canonical expansion with atom words [{}]",
                     words_str.join(", ")
                 ),
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -275,10 +389,8 @@ mod tests {
     use super::*;
     use rq_graph::generate;
 
-    fn u(
-        disjuncts: &[(&[&str], &[(&str, &str, &str)])],
-        al: &mut Alphabet,
-    ) -> Uc2Rpq {
+    #[allow(clippy::type_complexity)]
+    fn u(disjuncts: &[(&[&str], &[(&str, &str, &str)])], al: &mut Alphabet) -> Uc2Rpq {
         Uc2Rpq::new(
             disjuncts
                 .iter()
@@ -306,7 +418,10 @@ mod tests {
     fn chain_collapse_exact_path() {
         let mut al = Alphabet::new();
         // (x)-a->(m)-b->(y) ⊑ (x)-a b|c->(y).
-        let q1 = u(&[(&["x", "y"], &[("a", "x", "m"), ("b", "m", "y")])], &mut al);
+        let q1 = u(
+            &[(&["x", "y"], &[("a", "x", "m"), ("b", "m", "y")])],
+            &mut al,
+        );
         let q2 = u(&[(&["x", "y"], &[("a b|c", "x", "y")])], &mut al);
         let out = check(&q1, &q2, &al, &Config::default());
         assert!(out.is_contained(), "{out}");
@@ -401,6 +516,26 @@ mod tests {
     }
 
     #[test]
+    fn config_limits_surface_as_structured_unknown() {
+        use rq_automata::{Limits, Resource};
+        let mut al = Alphabet::new();
+        let q1 = u(&[(&["x"], &[("a", "x", "y"), ("b", "x", "z")])], &mut al);
+        let q2 = u(&[(&["x"], &[("a", "x", "y")])], &mut al);
+        let cfg = Config {
+            limits: Limits::unlimited().with_fuel(1),
+            ..Config::default()
+        };
+        let out = check(&q1, &q2, &al, &cfg);
+        let r = out
+            .report()
+            .expect("fuel starvation must surface as Unknown");
+        assert_eq!(r.exhaustion.as_ref().unwrap().resource, Resource::Fuel);
+        assert!(r.counters.fuel_spent > 0);
+        // Unlimited default limits keep the definite verdict.
+        assert!(check(&q1, &q2, &al, &Config::default()).is_contained());
+    }
+
+    #[test]
     fn refutation_finds_star_length_counterexamples() {
         let mut al = Alphabet::new();
         // a* ⊑ a|ε fails with witness word aa.
@@ -438,7 +573,10 @@ mod tests {
                 &[(&["x", "y"], &[("a", "x", "m"), ("a*", "m", "y")])],
                 &mut al,
             ),
-            u(&[(&["x", "y"], &[("a", "x", "y"), ("b", "x", "w")])], &mut al),
+            u(
+                &[(&["x", "y"], &[("a", "x", "y"), ("b", "x", "w")])],
+                &mut al,
+            ),
         ];
         let cfg = Config::default();
         for (i, q1) in queries.iter().enumerate() {

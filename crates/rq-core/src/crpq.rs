@@ -13,12 +13,12 @@
 use crate::rpq::TwoRpq;
 use rq_automata::{Alphabet, Regex};
 use rq_graph::{GraphDb, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// An atom `κ(x, y)`: a 2RPQ between two variables (which may coincide).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct C2RpqAtom {
     pub rel: TwoRpq,
     pub from: String,
@@ -28,12 +28,17 @@ pub struct C2RpqAtom {
 impl C2RpqAtom {
     /// Build an atom.
     pub fn new(rel: TwoRpq, from: impl Into<String>, to: impl Into<String>) -> Self {
-        C2RpqAtom { rel, from: from.into(), to: to.into() }
+        C2RpqAtom {
+            rel,
+            from: from.into(),
+            to: to.into(),
+        }
     }
 }
 
 /// A conjunctive 2RPQ with distinguished (head) variables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct C2Rpq {
     /// Distinguished variables, in answer-tuple order.
     pub head: Vec<String>,
@@ -74,7 +79,9 @@ impl C2Rpq {
             .collect();
         for h in &head {
             if !vars.contains(h.as_str()) {
-                return Err(C2RpqError::UnsafeHead { variable: h.clone() });
+                return Err(C2RpqError::UnsafeHead {
+                    variable: h.clone(),
+                });
             }
         }
         Ok(C2Rpq { head, atoms })
@@ -166,12 +173,19 @@ impl C2Rpq {
         let mut out = BTreeSet::new();
         let mut bindings: BTreeMap<&str, NodeId> = BTreeMap::new();
         self.join(
-            db, &order, 0, &rels, &by_from, &by_to, &mut bindings, &mut out,
+            db,
+            &order,
+            0,
+            &rels,
+            &by_from,
+            &by_to,
+            &mut bindings,
+            &mut out,
         );
         out
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn join<'a>(
         &'a self,
         db: &GraphDb,
@@ -331,7 +345,8 @@ impl fmt::Display for C2Rpq {
 }
 
 /// A union of C2RPQs with equal head arity (the class UC2RPQ).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Uc2Rpq {
     pub disjuncts: Vec<C2Rpq>,
 }

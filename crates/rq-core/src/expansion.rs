@@ -41,7 +41,11 @@ pub fn expand(conjunct: &C2Rpq, words: &[Vec<Letter>], alphabet: &Alphabet) -> O
         return None;
     }
     // Union–find over variable names for ε-words.
-    let vars: Vec<String> = conjunct.variables().into_iter().map(str::to_owned).collect();
+    let vars: Vec<String> = conjunct
+        .variables()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
     let mut parent: BTreeMap<&str, &str> = vars.iter().map(|v| (v.as_str(), v.as_str())).collect();
     fn find<'a>(parent: &BTreeMap<&'a str, &'a str>, mut v: &'a str) -> &'a str {
         while parent[v] != v {
@@ -94,12 +98,12 @@ pub fn expand(conjunct: &C2Rpq, words: &[Vec<Letter>], alphabet: &Alphabet) -> O
             cur = next;
         }
     }
-    let head_nodes = conjunct
-        .head
-        .iter()
-        .map(|h| node_of[h.as_str()])
-        .collect();
-    Some(Expansion { db, head_nodes, words: words.to_vec() })
+    let head_nodes = conjunct.head.iter().map(|h| node_of[h.as_str()]).collect();
+    Some(Expansion {
+        db,
+        head_nodes,
+        words: words.to_vec(),
+    })
 }
 
 /// Enumerate per-atom word choices: the shortlex words of each atom's
@@ -146,7 +150,10 @@ mod tests {
     use crate::rpq::TwoRpq;
 
     fn atom_words(re: &str, al: &mut Alphabet, max: usize) -> Vec<Vec<Letter>> {
-        TwoRpq::parse(re, al).unwrap().nfa().enumerate_words(max, 100)
+        TwoRpq::parse(re, al)
+            .unwrap()
+            .nfa()
+            .enumerate_words(max, 100)
     }
 
     #[test]

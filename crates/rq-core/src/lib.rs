@@ -42,9 +42,9 @@ pub mod crpq;
 pub mod expansion;
 pub mod minimize;
 pub mod query_text;
-pub mod rq_text;
 pub mod rpq;
 pub mod rq;
+pub mod rq_text;
 pub mod translate;
 
 pub use crpq::{C2Rpq, C2RpqAtom, Uc2Rpq};

@@ -33,11 +33,7 @@ pub struct MinimizeStats {
 
 /// Minimize `q` by disjunct absorption and redundant-atom elimination.
 /// The result is equivalent to the input (conservative under `Unknown`).
-pub fn minimize_uc2rpq(
-    q: &Uc2Rpq,
-    alphabet: &Alphabet,
-    cfg: &Config,
-) -> (Uc2Rpq, MinimizeStats) {
+pub fn minimize_uc2rpq(q: &Uc2Rpq, alphabet: &Alphabet, cfg: &Config) -> (Uc2Rpq, MinimizeStats) {
     let mut stats = MinimizeStats::default();
 
     // 1. Disjunct absorption: d is redundant if d ⊑ (union without d).
@@ -55,8 +51,12 @@ pub fn minimize_uc2rpq(
             .filter(|&(j, _)| j != i)
             .map(|(_, d)| d.clone())
             .collect();
-        let single = Uc2Rpq { disjuncts: vec![candidate.clone()] };
-        let rest = Uc2Rpq { disjuncts: others.clone() };
+        let single = Uc2Rpq {
+            disjuncts: vec![candidate.clone()],
+        };
+        let rest = Uc2Rpq {
+            disjuncts: others.clone(),
+        };
         if uc2rpq::check(&single, &rest, alphabet, cfg).is_contained() {
             stats.disjuncts_removed += 1;
             remaining.remove(i);
@@ -81,8 +81,12 @@ pub fn minimize_uc2rpq(
                 k += 1;
                 continue;
             }
-            let relaxed = Uc2Rpq { disjuncts: vec![candidate.clone()] };
-            let original = Uc2Rpq { disjuncts: vec![cur.clone()] };
+            let relaxed = Uc2Rpq {
+                disjuncts: vec![candidate.clone()],
+            };
+            let original = Uc2Rpq {
+                disjuncts: vec![cur.clone()],
+            };
             if uc2rpq::check(&relaxed, &original, alphabet, cfg).is_contained() {
                 stats.atoms_removed += 1;
                 cur = candidate;
@@ -108,7 +112,9 @@ pub fn minimize_uc2rpq(
     }
 
     (
-        Uc2Rpq { disjuncts: simplified },
+        Uc2Rpq {
+            disjuncts: simplified,
+        },
         stats,
     )
 }
@@ -128,7 +134,10 @@ pub fn simplify_atoms(q: &Uc2Rpq) -> Uc2Rpq {
                     a
                 })
                 .collect();
-            C2Rpq { head: d.head.clone(), atoms }
+            C2Rpq {
+                head: d.head.clone(),
+                atoms,
+            }
         })
         .collect();
     Uc2Rpq { disjuncts }
@@ -150,11 +159,7 @@ mod tests {
     #[test]
     fn absorbed_disjunct_is_dropped() {
         let mut al = Alphabet::new();
-        let q = parse_uc2rpq(
-            "Q(x, y) :- [a a](x, y).\nQ(x, y) :- [a+](x, y).",
-            &mut al,
-        )
-        .unwrap();
+        let q = parse_uc2rpq("Q(x, y) :- [a a](x, y).\nQ(x, y) :- [a+](x, y).", &mut al).unwrap();
         let (m, stats) = minimize_uc2rpq(&q, &al, &Config::default());
         assert_eq!(stats.disjuncts_removed, 1);
         assert_eq!(m.disjuncts.len(), 1);
@@ -213,11 +218,7 @@ mod tests {
     fn triangle_pattern_is_untouched() {
         // No atom of the triangle is redundant.
         let mut al = Alphabet::new();
-        let q = parse_uc2rpq(
-            "Q(x, y) :- [r](x, y), [r](y, z), [r](z, x).",
-            &mut al,
-        )
-        .unwrap();
+        let q = parse_uc2rpq("Q(x, y) :- [r](x, y), [r](y, z), [r](z, x).", &mut al).unwrap();
         let (m, stats) = minimize_uc2rpq(&q, &al, &Config::default());
         assert_eq!(stats.atoms_removed, 0);
         assert_eq!(m.disjuncts[0].atoms.len(), 3);

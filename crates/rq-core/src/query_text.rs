@@ -26,7 +26,11 @@ pub struct QueryTextError {
 
 impl fmt::Display for QueryTextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "query parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -42,7 +46,10 @@ pub fn parse_uc2rpq(input: &str, alphabet: &mut Alphabet) -> Result<Uc2Rpq, Quer
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
-        let err = |message: String| QueryTextError { line: lineno + 1, message };
+        let err = |message: String| QueryTextError {
+            line: lineno + 1,
+            message,
+        };
         let line = line
             .strip_suffix('.')
             .ok_or_else(|| err("rules must end with '.'".into()))?;
@@ -109,9 +116,15 @@ pub fn parse_uc2rpq(input: &str, alphabet: &mut Alphabet) -> Result<Uc2Rpq, Quer
         disjuncts.push(conj);
     }
     if disjuncts.is_empty() {
-        return Err(QueryTextError { line: 0, message: "no rules found".into() });
+        return Err(QueryTextError {
+            line: 0,
+            message: "no rules found".into(),
+        });
     }
-    Uc2Rpq::new(disjuncts).map_err(|e| QueryTextError { line: 0, message: e.to_string() })
+    Uc2Rpq::new(disjuncts).map_err(|e| QueryTextError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 /// Render a UC2RPQ back to the rule syntax (parse ∘ render = id up to

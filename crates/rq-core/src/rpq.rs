@@ -12,12 +12,12 @@
 use rq_automata::regex::{parse, ParseError};
 use rq_automata::{Alphabet, Letter, Nfa, Regex};
 use rq_graph::{GraphDb, NodeId, Semipath};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
 /// A two-way regular path query: a regular expression over Σ±, compiled to
 /// an ε-free NFA.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoRpq {
     regex: Regex,
     nfa: Nfa,
@@ -150,7 +150,8 @@ impl TwoRpq {
 
 /// A (one-way) regular path query: a [`TwoRpq`] restricted to forward
 /// letters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rpq(TwoRpq);
 
 /// Error building an [`Rpq`].
@@ -166,7 +167,10 @@ impl std::fmt::Display for RpqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RpqError::NotForwardOnly => {
-                write!(f, "RPQs are forward-only; the expression uses an inverse letter")
+                write!(
+                    f,
+                    "RPQs are forward-only; the expression uses an inverse letter"
+                )
             }
             RpqError::Parse(e) => write!(f, "{e}"),
         }
@@ -281,7 +285,10 @@ mod tests {
     #[test]
     fn rpq_rejects_inverse() {
         let mut al = Alphabet::new();
-        assert!(matches!(Rpq::parse("a-", &mut al), Err(RpqError::NotForwardOnly)));
+        assert!(matches!(
+            Rpq::parse("a-", &mut al),
+            Err(RpqError::NotForwardOnly)
+        ));
         assert!(TwoRpq::parse("a-", &mut al).is_ok());
     }
 

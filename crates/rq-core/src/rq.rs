@@ -40,65 +40,112 @@ use crate::crpq::{C2Rpq, C2RpqAtom, Uc2Rpq};
 use crate::rpq::TwoRpq;
 use rq_automata::{Alphabet, LabelId, Letter, Regex};
 use rq_graph::{GraphDb, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// The RQ algebra over named variables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RqExpr {
     /// An atomic query `r(from, to)`.
-    Edge { label: LabelId, from: String, to: String },
+    Edge {
+        label: LabelId,
+        from: String,
+        to: String,
+    },
     /// A 2RPQ atom `κ(from, to)` (syntactic sugar; RQ subsumes UC2RPQ).
-    Rel2 { rel: TwoRpq, from: String, to: String },
+    Rel2 {
+        rel: TwoRpq,
+        from: String,
+        to: String,
+    },
     /// Selection `inner ∧ v1 = v2` (both variables stay free).
-    Select { inner: Box<RqExpr>, v1: String, v2: String },
+    Select {
+        inner: Box<RqExpr>,
+        v1: String,
+        v2: String,
+    },
     /// Projection `∃ var . inner`.
     Project { inner: Box<RqExpr>, var: String },
     /// Disjunction; both sides must have the same free variables.
-    Union { left: Box<RqExpr>, right: Box<RqExpr> },
+    Union {
+        left: Box<RqExpr>,
+        right: Box<RqExpr>,
+    },
     /// Conjunction (natural join on shared variables).
-    And { left: Box<RqExpr>, right: Box<RqExpr> },
+    And {
+        left: Box<RqExpr>,
+        right: Box<RqExpr>,
+    },
     /// Transitive closure `inner⁺` of a binary query with free variables
     /// exactly `{from, to}`.
-    Closure { inner: Box<RqExpr>, from: String, to: String },
+    Closure {
+        inner: Box<RqExpr>,
+        from: String,
+        to: String,
+    },
 }
 
 impl RqExpr {
     /// Atomic edge query.
     pub fn edge(label: LabelId, from: impl Into<String>, to: impl Into<String>) -> RqExpr {
-        RqExpr::Edge { label, from: from.into(), to: to.into() }
+        RqExpr::Edge {
+            label,
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// 2RPQ atom.
     pub fn rel2(rel: TwoRpq, from: impl Into<String>, to: impl Into<String>) -> RqExpr {
-        RqExpr::Rel2 { rel, from: from.into(), to: to.into() }
+        RqExpr::Rel2 {
+            rel,
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// Selection `self ∧ v1 = v2`.
     pub fn select_eq(self, v1: impl Into<String>, v2: impl Into<String>) -> RqExpr {
-        RqExpr::Select { inner: Box::new(self), v1: v1.into(), v2: v2.into() }
+        RqExpr::Select {
+            inner: Box::new(self),
+            v1: v1.into(),
+            v2: v2.into(),
+        }
     }
 
     /// Projection `∃ var . self`.
     pub fn project(self, var: impl Into<String>) -> RqExpr {
-        RqExpr::Project { inner: Box::new(self), var: var.into() }
+        RqExpr::Project {
+            inner: Box::new(self),
+            var: var.into(),
+        }
     }
 
     /// Disjunction.
     pub fn or(self, other: RqExpr) -> RqExpr {
-        RqExpr::Union { left: Box::new(self), right: Box::new(other) }
+        RqExpr::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Conjunction.
     pub fn and(self, other: RqExpr) -> RqExpr {
-        RqExpr::And { left: Box::new(self), right: Box::new(other) }
+        RqExpr::And {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Transitive closure of a binary query with free variables
     /// `{from, to}`.
     pub fn closure(self, from: impl Into<String>, to: impl Into<String>) -> RqExpr {
-        RqExpr::Closure { inner: Box::new(self), from: from.into(), to: to.into() }
+        RqExpr::Closure {
+            inner: Box::new(self),
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// The free variables.
@@ -119,9 +166,7 @@ impl RqExpr {
                 v.extend(right.free_vars());
                 v
             }
-            RqExpr::Closure { from, to, .. } => {
-                [from.as_str(), to.as_str()].into_iter().collect()
-            }
+            RqExpr::Closure { from, to, .. } => [from.as_str(), to.as_str()].into_iter().collect(),
         }
     }
 
@@ -187,7 +232,9 @@ impl RqExpr {
                 let free = inner.free_vars();
                 for v in [v1, v2] {
                     if !free.contains(v.as_str()) {
-                        return Err(RqError::UnknownVariable { variable: v.clone() });
+                        return Err(RqError::UnknownVariable {
+                            variable: v.clone(),
+                        });
                     }
                 }
                 Ok(())
@@ -195,7 +242,9 @@ impl RqExpr {
             RqExpr::Project { inner, var } => {
                 inner.validate()?;
                 if !inner.free_vars().contains(var.as_str()) {
-                    return Err(RqError::UnknownVariable { variable: var.clone() });
+                    return Err(RqError::UnknownVariable {
+                        variable: var.clone(),
+                    });
                 }
                 Ok(())
             }
@@ -216,8 +265,7 @@ impl RqExpr {
                 if from == to {
                     return Err(RqError::ClosureNotBinary);
                 }
-                let expected: BTreeSet<&str> =
-                    [from.as_str(), to.as_str()].into_iter().collect();
+                let expected: BTreeSet<&str> = [from.as_str(), to.as_str()].into_iter().collect();
                 if inner.free_vars() != expected {
                     return Err(RqError::ClosureNotBinary);
                 }
@@ -269,7 +317,8 @@ impl fmt::Display for RqError {
 impl std::error::Error for RqError {}
 
 /// A regular query: an [`RqExpr`] with an ordered output tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RqQuery {
     pub head: Vec<String>,
     pub expr: RqExpr,
@@ -282,9 +331,7 @@ impl RqQuery {
         expr.validate()?;
         let free = expr.free_vars();
         let head_set: BTreeSet<&str> = head.iter().map(String::as_str).collect();
-        if head_set.len() != head.len()
-            || head_set != free
-        {
+        if head_set.len() != head.len() || head_set != free {
             return Err(RqError::BadHead);
         }
         Ok(RqQuery { head, expr })
@@ -311,7 +358,12 @@ impl RqQuery {
     /// transitive closure is unrolled to at most `depth` steps. If the
     /// expression has no closures the result is exactly equivalent.
     pub fn unfold(&self, depth: usize, budget: usize) -> Result<Uc2Rpq, RqError> {
-        let mut ctx = UnfoldCtx { counter: 0, budget, exact: true, depth };
+        let mut ctx = UnfoldCtx {
+            counter: 0,
+            budget,
+            exact: true,
+            depth,
+        };
         let disjuncts = ctx.unfold(&self.expr)?;
         Ok(finish_unfold(disjuncts, &self.head))
     }
@@ -324,7 +376,12 @@ impl RqQuery {
         depth: usize,
         budget: usize,
     ) -> Result<(Uc2Rpq, bool), RqError> {
-        let mut ctx = UnfoldCtx { counter: 0, budget, exact: true, depth };
+        let mut ctx = UnfoldCtx {
+            counter: 0,
+            budget,
+            exact: true,
+            depth,
+        };
         let disjuncts = ctx.unfold(&self.expr)?;
         let exact = ctx.exact;
         Ok((finish_unfold(disjuncts, &self.head), exact))
@@ -336,7 +393,12 @@ impl RqQuery {
     /// UC2RPQ territory, like the paper's transitive closure of the
     /// triangle query).
     pub fn collapse_exact(&self) -> Option<Uc2Rpq> {
-        let mut ctx = UnfoldCtx { counter: 0, budget: 200_000, exact: true, depth: 0 };
+        let mut ctx = UnfoldCtx {
+            counter: 0,
+            budget: 200_000,
+            exact: true,
+            depth: 0,
+        };
         let disjuncts = ctx.collapse(&self.expr)?;
         Some(finish_unfold(disjuncts, &self.head))
     }
@@ -425,7 +487,7 @@ fn eval_expr(expr: &RqExpr, db: &GraphDb) -> (Cols, Rel) {
                 .collect();
             let mut rel = lr;
             for t in rr {
-                rel.insert(perm.iter().map(|&p| t[p].clone()).collect());
+                rel.insert(perm.iter().map(|&p| t[p]).collect());
             }
             (lc, rel)
         }
@@ -615,7 +677,9 @@ impl UnfoldCtx {
                     for cr in &r {
                         out.push(self.conjoin(cl, cr));
                         if out.len() > self.budget {
-                            return Err(RqError::UnfoldBudget { budget: self.budget });
+                            return Err(RqError::UnfoldBudget {
+                                budget: self.budget,
+                            });
                         }
                     }
                 }
@@ -633,7 +697,9 @@ impl UnfoldCtx {
                     }]
                 } else if require_exact {
                     self.exact = false;
-                    return Err(RqError::UnfoldBudget { budget: self.budget });
+                    return Err(RqError::UnfoldBudget {
+                        budget: self.budget,
+                    });
                 } else {
                     // Approximate: unroll 1..=depth compositions.
                     self.exact = false;
@@ -650,8 +716,7 @@ impl UnfoldCtx {
                             for step in &body {
                                 let mid = self.fresh("z");
                                 // prefix: from → mid', step: mid' → to.
-                                let renamed_prefix =
-                                    self.rename_free(prefix, to, &mid);
+                                let renamed_prefix = self.rename_free(prefix, to, &mid);
                                 let renamed_step = self.instantiate(step, from, to, &mid, to);
                                 let mut composed = self.conjoin(&renamed_prefix, &renamed_step);
                                 // The composition's endpoints are the
@@ -663,7 +728,9 @@ impl UnfoldCtx {
                                 ]);
                                 next.push(composed);
                                 if out.len() + next.len() > self.budget {
-                                    return Err(RqError::UnfoldBudget { budget: self.budget });
+                                    return Err(RqError::UnfoldBudget {
+                                        budget: self.budget,
+                                    });
                                 }
                             }
                         }
@@ -675,7 +742,9 @@ impl UnfoldCtx {
             }
         };
         if out.len() > self.budget {
-            return Err(RqError::UnfoldBudget { budget: self.budget });
+            return Err(RqError::UnfoldBudget {
+                budget: self.budget,
+            });
         }
         Ok(out)
     }
@@ -729,7 +798,9 @@ impl UnfoldCtx {
         rename.insert(rep_from.clone(), nf.to_owned());
         // If selection aliased from==to, both map to nf; the caller's nt
         // then coincides semantically via the join below.
-        rename.entry(rep_to.clone()).or_insert_with(|| nt.to_owned());
+        rename
+            .entry(rep_to.clone())
+            .or_insert_with(|| nt.to_owned());
         let mut atoms = Vec::new();
         for a in &c.atoms {
             let mut map = |v: &String| {
@@ -776,9 +847,7 @@ impl UnfoldCtx {
 }
 
 fn identity_frees<'a>(vars: impl IntoIterator<Item = &'a String>) -> BTreeMap<String, String> {
-    vars.into_iter()
-        .map(|v| (v.clone(), v.clone()))
-        .collect()
+    vars.into_iter().map(|v| (v.clone(), v.clone())).collect()
 }
 
 /// Try to collapse every body disjunct of a closure into a single 2RPQ
@@ -816,7 +885,10 @@ fn finish_unfold(disjuncts: Vec<Conj>, head: &[String]) -> Uc2Rpq {
                     head_reps.first().cloned().unwrap_or_else(|| "x".into()),
                 ));
             }
-            C2Rpq { head: head_reps, atoms }
+            C2Rpq {
+                head: head_reps,
+                atoms,
+            }
         })
         .collect();
     Uc2Rpq { disjuncts: c2rpqs }
@@ -826,11 +898,8 @@ fn finish_unfold(disjuncts: Vec<Conj>, head: &[String]) -> Uc2Rpq {
 /// (the embedding of 2RPQs into RQ).
 pub fn rq_from_two_rpq(re: &str, alphabet: &mut Alphabet) -> Result<RqQuery, String> {
     let rel = TwoRpq::parse(re, alphabet).map_err(|e| e.to_string())?;
-    RqQuery::new(
-        vec!["x".into(), "y".into()],
-        RqExpr::rel2(rel, "x", "y"),
-    )
-    .map_err(|e| e.to_string())
+    RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(rel, "x", "y"))
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -903,11 +972,7 @@ mod tests {
             .and(RqExpr::edge(r, "y", "z"))
             .and(RqExpr::edge(r, "z", "x"))
             .project("z");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            q_xy.clone().closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], q_xy.clone().closure("x", "y")).unwrap();
         let ans = q.evaluate(&db);
         assert!(ans.contains(&vec![a, b]));
         assert!(ans.contains(&vec![b, d]));
@@ -934,11 +999,7 @@ mod tests {
         let ans = q.evaluate(&db);
         assert_eq!(ans, BTreeSet::from([vec![y, y]]));
         // Project out b: nodes with an outgoing edge.
-        let q = RqQuery::new(
-            vec!["a".into()],
-            RqExpr::edge(r, "a", "b").project("b"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["a".into()], RqExpr::edge(r, "a", "b").project("b")).unwrap();
         assert_eq!(q.evaluate(&db), BTreeSet::from([vec![x], vec![y]]));
     }
 
@@ -985,11 +1046,7 @@ mod tests {
         let hop2 = RqExpr::edge(r, "x", "m")
             .and(RqExpr::edge(r, "m", "y"))
             .project("m");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            hop2.closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], hop2.closure("x", "y")).unwrap();
         let full = q.evaluate(&db);
         let (u, exact) = q.unfold_with_exactness(2, 10_000).unwrap();
         assert!(exact, "chain bodies collapse without approximation");
@@ -1016,11 +1073,7 @@ mod tests {
             .and(RqExpr::edge(r, "y", "z"))
             .and(RqExpr::edge(r, "z", "x"))
             .project("z");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            body.closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).unwrap();
         let full = q.evaluate(&db);
         assert!(full.contains(&vec![a[0], a[3]]), "depth-3 composition");
         let (u, exact) = q.unfold_with_exactness(2, 100_000).unwrap();
@@ -1029,8 +1082,14 @@ mod tests {
         for t in &approx {
             assert!(full.contains(t), "under-approximation must be sound");
         }
-        assert!(approx.contains(&vec![a[0], a[2]]), "depth-2 composition kept");
-        assert!(!approx.contains(&vec![a[0], a[3]]), "depth-3 composition missed");
+        assert!(
+            approx.contains(&vec![a[0], a[2]]),
+            "depth-2 composition kept"
+        );
+        assert!(
+            !approx.contains(&vec![a[0], a[3]]),
+            "depth-3 composition missed"
+        );
     }
 
     #[test]
@@ -1065,11 +1124,7 @@ mod tests {
             .and(RqExpr::edge(r, "y", "z"))
             .and(RqExpr::edge(r, "z", "x"))
             .project("z");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            q_xy.closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], q_xy.closure("x", "y")).unwrap();
         assert!(q.collapse_exact().is_none());
     }
 
@@ -1080,11 +1135,7 @@ mod tests {
         let mut db = db;
         let r = label(&mut db, "r");
         let inner = RqExpr::edge(r, "x", "y").closure("x", "y");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            inner.closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], inner.closure("x", "y")).unwrap();
         let u = q.collapse_exact().expect("nested chain closure collapses");
         assert_eq!(q.evaluate(&db), u.evaluate(&db));
     }
@@ -1098,11 +1149,7 @@ mod tests {
             let a = al.get("a").unwrap();
             let b = al.get("b").unwrap();
             let body = RqExpr::edge(a, "x", "y").or(RqExpr::edge(b, "x", "y"));
-            let q = RqQuery::new(
-                vec!["x".into(), "y".into()],
-                body.closure("x", "y"),
-            )
-            .unwrap();
+            let q = RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).unwrap();
             let (u, exact) = q.unfold_with_exactness(3, 10_000).unwrap();
             assert!(exact, "union-of-edges closure collapses to (a|b)+");
             assert_eq!(q.evaluate(&db), u.evaluate(&db), "seed={seed}");

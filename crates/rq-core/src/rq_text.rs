@@ -75,26 +75,32 @@ pub fn parse_rq(
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
-        let err =
-            |message: String| RqTextError { line: lineno + 1, message };
+        let err = |message: String| RqTextError {
+            line: lineno + 1,
+            message,
+        };
         let line = line
             .strip_suffix('.')
             .ok_or_else(|| err("rules must end with '.'".into()))?;
         let (head, body_src) = line
             .split_once(":-")
             .ok_or_else(|| err("expected `Head(vars) :- body`".into()))?;
-        let (name, head_vars) = parse_head(head).map_err(|m| err(m))?;
-        let body = parse_body(body_src, alphabet).map_err(|m| err(m))?;
+        let (name, head_vars) = parse_head(head).map_err(&err)?;
+        let body = parse_body(body_src, alphabet).map_err(err)?;
         if !rules.contains_key(&name) {
             order.push(name.clone());
         }
-        rules
-            .entry(name)
-            .or_default()
-            .push(ParsedRule { line: lineno + 1, head_vars, body });
+        rules.entry(name).or_default().push(ParsedRule {
+            line: lineno + 1,
+            head_vars,
+            body,
+        });
     }
     if order.is_empty() {
-        return Err(RqTextError { line: 0, message: "no rules found".into() });
+        return Err(RqTextError {
+            line: 0,
+            message: "no rules found".into(),
+        });
     }
 
     // ---- elaborate bottom-up (definition order; no forward references
@@ -107,12 +113,16 @@ pub fn parse_rq(
         let canon: Vec<String> = (0..arity).map(|i| format!("g{i}")).collect();
         let mut branches: Vec<RqExpr> = Vec::new();
         for rule in these {
-            let err = |message: String| RqTextError { line: rule.line, message };
+            let err = |message: String| RqTextError {
+                line: rule.line,
+                message,
+            };
             if rule.head_vars.len() != arity {
                 return Err(err(format!("{name} used with inconsistent arities")));
             }
-            branches.push(elaborate_rule(rule, name, &canon, &defs, &mut counter, alphabet)
-                .map_err(|m| err(m))?);
+            branches.push(
+                elaborate_rule(rule, name, &canon, &defs, &mut counter, alphabet).map_err(err)?,
+            );
         }
         let expr = branches
             .into_iter()
@@ -227,7 +237,7 @@ fn elaborate_rule(
     let rv = |v: &str| format!("{tag}_{v}");
     let mut conj: Option<RqExpr> = None;
     let mut body_vars: Vec<String> = Vec::new();
-    let mut push_var = |v: &String, body_vars: &mut Vec<String>| {
+    let push_var = |v: &String, body_vars: &mut Vec<String>| {
         if !body_vars.contains(v) {
             body_vars.push(v.clone());
         }
@@ -450,7 +460,10 @@ mod tests {
             &mut al,
         )
         .unwrap();
-        assert!(q.collapse_exact().is_none(), "genuinely conjunctive closure");
+        assert!(
+            q.collapse_exact().is_none(),
+            "genuinely conjunctive closure"
+        );
         // Semantics: two triangles sharing a vertex compose.
         let mut db = rq_graph::GraphDb::new();
         let r = db.label("r");
@@ -482,19 +495,10 @@ mod tests {
     #[test]
     fn recursion_outside_tc_is_rejected() {
         let mut al = Alphabet::new();
-        let err = parse_rq(
-            "P(a, b) :- [r](a, m), P(m, b).",
-            None,
-            &mut al,
-        )
-        .unwrap_err();
+        let err = parse_rq("P(a, b) :- [r](a, m), P(m, b).", None, &mut al).unwrap_err();
         assert!(err.message.contains("tc["), "{err}");
-        let err = parse_rq(
-            "P(a, b) :- [r](a, b).\nQ(a, b) :- R(a, b).",
-            None,
-            &mut al,
-        )
-        .unwrap_err();
+        let err =
+            parse_rq("P(a, b) :- [r](a, b).\nQ(a, b) :- R(a, b).", None, &mut al).unwrap_err();
         assert!(err.message.contains("not defined"), "{err}");
     }
 
@@ -513,12 +517,7 @@ mod tests {
     fn duplicate_arguments_and_head_vars() {
         let mut al = Alphabet::new();
         // Self-loop detection through predicate instantiation P(v, v).
-        let q = parse_rq(
-            "P(a, b) :- [r](a, b).\nLoopy(v) :- P(v, v).",
-            None,
-            &mut al,
-        )
-        .unwrap();
+        let q = parse_rq("P(a, b) :- [r](a, b).\nLoopy(v) :- P(v, v).", None, &mut al).unwrap();
         let mut db = rq_graph::GraphDb::new();
         let r = db.label("r");
         let x = db.node("x");
@@ -528,12 +527,7 @@ mod tests {
         assert_eq!(q.evaluate(&db), BTreeSet::from([vec![x]]));
 
         // Duplicate head variables: Diag(v, v).
-        let q = parse_rq(
-            "Diag(v, v) :- [r](v, w).",
-            None,
-            &mut al,
-        )
-        .unwrap();
+        let q = parse_rq("Diag(v, v) :- [r](v, w).", None, &mut al).unwrap();
         assert_eq!(q.evaluate(&db), BTreeSet::from([vec![x, x]]));
     }
 
@@ -545,10 +539,7 @@ mod tests {
             Ok(Err(_))
         ));
         assert!(matches!(
-            parse_rq_or_uc2rpq(
-                "P(a, b) :- [r](a, b).\nQ(x, y) :- tc[P](x, y).",
-                &mut al
-            ),
+            parse_rq_or_uc2rpq("P(a, b) :- [r](a, b).\nQ(x, y) :- tc[P](x, y).", &mut al),
             Ok(Ok(_))
         ));
     }

@@ -27,8 +27,7 @@ pub fn projection_pred(pred: &str, i: usize) -> String {
 /// supported and are left unchanged.
 pub fn encode_query(q: &Query) -> Query {
     let idb = q.program.idb_predicates();
-    let idb: std::collections::BTreeSet<String> =
-        idb.into_iter().map(str::to_owned).collect();
+    let idb: std::collections::BTreeSet<String> = idb.into_iter().map(str::to_owned).collect();
     let mut counter = 0usize;
     let rules = q
         .program
@@ -117,18 +116,20 @@ mod tests {
         let edb = encode_factdb(&db);
         let encoded = evaluate(&eq, &edb);
         // Compare by constant names (ids differ between databases).
-        let names = |db: &FactDb, rel: &rq_datalog::Relation| -> std::collections::BTreeSet<Vec<String>> {
-            rel.iter()
-                .map(|t| t.iter().map(|&v| db.value_name(v).to_owned()).collect())
-                .collect()
-        };
+        let names =
+            |db: &FactDb, rel: &rq_datalog::Relation| -> std::collections::BTreeSet<Vec<String>> {
+                rel.iter()
+                    .map(|t| t.iter().map(|&v| db.value_name(v).to_owned()).collect())
+                    .collect()
+            };
         assert_eq!(names(&db, &plain), names(&edb, &encoded));
         assert_eq!(plain.len(), 6);
     }
 
     #[test]
     fn binary_and_idb_atoms_pass_through() {
-        let p = parse_program("P(X, Y) :- E(X, Y), Q3(X, Y, Z).\nQ3(X, Y, Z) :- T(X, Y, Z).").unwrap();
+        let p =
+            parse_program("P(X, Y) :- E(X, Y), Q3(X, Y, Z).\nQ3(X, Y, Z) :- T(X, Y, Z).").unwrap();
         let q = Query::new(p, "P");
         let eq = encode_query(&q);
         // E stays; Q3 (an IDB) stays; T (ternary EDB) is encoded.

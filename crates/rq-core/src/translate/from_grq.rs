@@ -9,8 +9,8 @@
 
 use super::arity::encode_query;
 use crate::containment::{Config, Outcome};
-use crate::rq::{RqExpr, RqQuery};
 use crate::rpq::TwoRpq;
+use crate::rq::{RqExpr, RqQuery};
 use rq_automata::{Alphabet, Regex};
 use rq_datalog::ast::{Query, Rule, Term};
 use rq_datalog::depgraph::DepGraph;
@@ -44,7 +44,10 @@ impl fmt::Display for GrqToRqError {
                 "EDB predicate {predicate} has arity {arity}; apply the arity encoding first"
             ),
             GrqToRqError::ConstantsUnsupported { constant } => {
-                write!(f, "constant \"{constant}\" cannot be expressed in the RQ algebra")
+                write!(
+                    f,
+                    "constant \"{constant}\" cannot be expressed in the RQ algebra"
+                )
             }
             GrqToRqError::UnknownGoal { goal } => write!(f, "unknown goal {goal}"),
         }
@@ -112,7 +115,9 @@ impl<'a> FromGrq<'a> {
         }
         for (i, arg) in args.iter().enumerate() {
             if heads[i] != args[i] && dup_cols.contains(&heads[i]) {
-                expr = expr.select_eq(arg.clone(), heads[i].clone()).project(heads[i].clone());
+                expr = expr
+                    .select_eq(arg.clone(), heads[i].clone())
+                    .project(heads[i].clone());
             }
         }
         expr
@@ -125,7 +130,9 @@ impl<'a> FromGrq<'a> {
         for atom in std::iter::once(&rule.head).chain(&rule.body) {
             for t in &atom.terms {
                 if let Term::Const(c) = t {
-                    return Err(GrqToRqError::ConstantsUnsupported { constant: c.clone() });
+                    return Err(GrqToRqError::ConstantsUnsupported {
+                        constant: c.clone(),
+                    });
                 }
             }
         }
@@ -158,7 +165,7 @@ impl<'a> FromGrq<'a> {
             .body
             .iter()
             .flat_map(|a| a.variables())
-            .map(|v| rv(v))
+            .map(rv)
             .collect::<std::collections::BTreeSet<String>>()
         {
             if !head_vars.contains(&v) {
@@ -208,7 +215,11 @@ pub fn grq_to_rq(query: &Query, alphabet: &mut Alphabet) -> Result<RqQuery, GrqT
     let dg = DepGraph::new(&query.program);
     let arities = query.program.predicate_arities();
     let idb = query.program.idb_predicates();
-    let mut tr = FromGrq { alphabet, defs: BTreeMap::new(), counter: 0 };
+    let mut tr = FromGrq {
+        alphabet,
+        defs: BTreeMap::new(),
+        counter: 0,
+    };
 
     for scc in &dg.sccs {
         for &pi in scc {
@@ -263,12 +274,16 @@ pub fn grq_to_rq(query: &Query, alphabet: &mut Alphabet) -> Result<RqQuery, GrqT
         Some(def) => Ok(def.clone()),
         None => {
             // EDB goal: the identity query.
-            let k = arities
-                .get(query.goal.as_str())
-                .copied()
-                .ok_or_else(|| GrqToRqError::UnknownGoal { goal: query.goal.clone() })?;
+            let k = arities.get(query.goal.as_str()).copied().ok_or_else(|| {
+                GrqToRqError::UnknownGoal {
+                    goal: query.goal.clone(),
+                }
+            })?;
             if k != 2 {
-                return Err(GrqToRqError::NonBinaryEdb { predicate: query.goal.clone(), arity: k });
+                return Err(GrqToRqError::NonBinaryEdb {
+                    predicate: query.goal.clone(),
+                    arity: k,
+                });
             }
             let label = tr.alphabet.intern(&query.goal);
             Ok(RqQuery::new(
@@ -289,11 +304,11 @@ pub fn grq_containment(q1: &Query, q2: &Query, cfg: &Config) -> Outcome {
     let mut alphabet = Alphabet::new();
     let r1 = match grq_to_rq(&e1, &mut alphabet) {
         Ok(r) => r,
-        Err(e) => return Outcome::Unknown { reason: format!("left query: {e}") },
+        Err(e) => return Outcome::unknown(format!("left query: {e}")),
     };
     let r2 = match grq_to_rq(&e2, &mut alphabet) {
         Ok(r) => r,
-        Err(e) => return Outcome::Unknown { reason: format!("right query: {e}") },
+        Err(e) => return Outcome::unknown(format!("right query: {e}")),
     };
     crate::containment::rq::check(&r1, &r2, &alphabet, cfg)
 }
@@ -330,21 +345,14 @@ mod tests {
         let rq_ans: BTreeSet<Vec<String>> = rq
             .evaluate(&gdb)
             .into_iter()
-            .map(|t| {
-                t.into_iter()
-                    .map(|n| gdb.display_node(n))
-                    .collect()
-            })
+            .map(|t| t.into_iter().map(|n| gdb.display_node(n)).collect())
             .collect();
         assert_eq!(datalog, rq_ans);
     }
 
     #[test]
     fn tc_program_roundtrips() {
-        let p = parse_program(
-            "T(X, Y) :- e(X, Y).\nT(X, Z) :- T(X, Y), e(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("T(X, Y) :- e(X, Y).\nT(X, Z) :- T(X, Y), e(Y, Z).").unwrap();
         let q = Query::new(p, "T");
         assert_equivalent(&q, &chain_edb(6));
     }
@@ -378,10 +386,7 @@ mod tests {
     #[test]
     fn repeated_atom_arguments_roundtrip() {
         // Self-loops through an IDB definition.
-        let p = parse_program(
-            "E2(X, Y) :- e(X, Y).\nLoopy(X) :- E2(X, X).",
-        )
-        .unwrap();
+        let p = parse_program("E2(X, Y) :- e(X, Y).\nLoopy(X) :- E2(X, X).").unwrap();
         let q = Query::new(p, "Loopy");
         let mut edb = FactDb::new();
         edb.add_fact("e", &["a", "a"]);
@@ -391,10 +396,7 @@ mod tests {
 
     #[test]
     fn non_grq_is_rejected() {
-        let p = parse_program(
-            "Q(X) :- e(X, Y), Q(Y).\nQ(X) :- p(X, X).",
-        )
-        .unwrap();
+        let p = parse_program("Q(X) :- e(X, Y), Q(Y).\nQ(X) :- p(X, X).").unwrap();
         let q = Query::new(p, "Q");
         let mut al = Alphabet::new();
         assert!(matches!(

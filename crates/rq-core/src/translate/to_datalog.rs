@@ -45,14 +45,26 @@ impl<'a> Translator<'a> {
                 let lname = self.alphabet.name(*label).to_owned();
                 if from == to {
                     self.rules.push(Rule::new(
-                        Atom { predicate: p.clone(), terms: vec![dvar(from)] },
-                        vec![Atom { predicate: lname, terms: vec![dvar(from), dvar(from)] }],
+                        Atom {
+                            predicate: p.clone(),
+                            terms: vec![dvar(from)],
+                        },
+                        vec![Atom {
+                            predicate: lname,
+                            terms: vec![dvar(from), dvar(from)],
+                        }],
                     ));
                     (p, vec![from.clone()])
                 } else {
                     self.rules.push(Rule::new(
-                        Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
-                        vec![Atom { predicate: lname, terms: vec![dvar(from), dvar(to)] }],
+                        Atom {
+                            predicate: p.clone(),
+                            terms: vec![dvar(from), dvar(to)],
+                        },
+                        vec![Atom {
+                            predicate: lname,
+                            terms: vec![dvar(from), dvar(to)],
+                        }],
                     ));
                     (p, vec![from.clone(), to.clone()])
                 }
@@ -62,7 +74,10 @@ impl<'a> Translator<'a> {
                 let p = self.fresh_pred("Q");
                 if from == to {
                     self.rules.push(Rule::new(
-                        Atom { predicate: p.clone(), terms: vec![dvar(from)] },
+                        Atom {
+                            predicate: p.clone(),
+                            terms: vec![dvar(from)],
+                        },
                         vec![Atom {
                             predicate: inner,
                             terms: vec![dvar(from), dvar(from)],
@@ -71,8 +86,14 @@ impl<'a> Translator<'a> {
                     (p, vec![from.clone()])
                 } else {
                     self.rules.push(Rule::new(
-                        Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
-                        vec![Atom { predicate: inner, terms: vec![dvar(from), dvar(to)] }],
+                        Atom {
+                            predicate: p.clone(),
+                            terms: vec![dvar(from), dvar(to)],
+                        },
+                        vec![Atom {
+                            predicate: inner,
+                            terms: vec![dvar(from), dvar(to)],
+                        }],
                     ));
                     (p, vec![from.clone(), to.clone()])
                 }
@@ -87,8 +108,14 @@ impl<'a> Translator<'a> {
                     .map(|c| if c == v2 { dvar(v1) } else { dvar(c) })
                     .collect();
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: body_terms.clone() },
-                    vec![Atom { predicate: ip, terms: body_terms }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: body_terms.clone(),
+                    },
+                    vec![Atom {
+                        predicate: ip,
+                        terms: body_terms,
+                    }],
                 ));
                 (p, cols)
             }
@@ -150,8 +177,14 @@ impl<'a> Translator<'a> {
                         terms: cols.iter().map(|c| dvar(c)).collect(),
                     },
                     vec![
-                        Atom { predicate: lp, terms: lcols.iter().map(|c| dvar(c)).collect() },
-                        Atom { predicate: rp, terms: rcols.iter().map(|c| dvar(c)).collect() },
+                        Atom {
+                            predicate: lp,
+                            terms: lcols.iter().map(|c| dvar(c)).collect(),
+                        },
+                        Atom {
+                            predicate: rp,
+                            terms: rcols.iter().map(|c| dvar(c)).collect(),
+                        },
                     ],
                 ));
                 (p, cols)
@@ -170,27 +203,54 @@ impl<'a> Translator<'a> {
                     .map(|c| if c == from { x.clone() } else { y.clone() })
                     .collect();
                 self.rules.push(Rule::new(
-                    Atom { predicate: b.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: ip, terms: aligned }],
+                    Atom {
+                        predicate: b.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: ip,
+                        terms: aligned,
+                    }],
                 ));
                 // The §4.1 transitive-closure pair.
                 let t = self.fresh_pred("T");
                 self.rules.push(Rule::new(
-                    Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: b.clone(), terms: vec![x.clone(), y.clone()] }],
+                    Atom {
+                        predicate: t.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: b.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    }],
                 ));
                 self.rules.push(Rule::new(
-                    Atom { predicate: t.clone(), terms: vec![x.clone(), z.clone()] },
+                    Atom {
+                        predicate: t.clone(),
+                        terms: vec![x.clone(), z.clone()],
+                    },
                     vec![
-                        Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
-                        Atom { predicate: b, terms: vec![y.clone(), z.clone()] },
+                        Atom {
+                            predicate: t.clone(),
+                            terms: vec![x.clone(), y.clone()],
+                        },
+                        Atom {
+                            predicate: b,
+                            terms: vec![y.clone(), z.clone()],
+                        },
                     ],
                 ));
                 // Re-expose with the RQ variable names.
                 let p = self.fresh_pred("Q");
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![dvar(from), dvar(to)] },
-                    vec![Atom { predicate: t, terms: vec![dvar(from), dvar(to)] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![dvar(from), dvar(to)],
+                    },
+                    vec![Atom {
+                        predicate: t,
+                        terms: vec![dvar(from), dvar(to)],
+                    }],
                 ));
                 (p, vec![from.clone(), to.clone()])
             }
@@ -208,8 +268,14 @@ impl<'a> Translator<'a> {
                 // GRQ property of the translation).
                 let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: "__empty".into(), terms: vec![x, y] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: "__empty".into(),
+                        terms: vec![x, y],
+                    }],
                 ));
                 p
             }
@@ -218,8 +284,14 @@ impl<'a> Translator<'a> {
                 self.node_pred_used = true;
                 let x = Term::Var("X".into());
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
-                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), x.clone()],
+                    },
+                    vec![Atom {
+                        predicate: "Node".into(),
+                        terms: vec![x],
+                    }],
                 ));
                 p
             }
@@ -228,12 +300,21 @@ impl<'a> Translator<'a> {
                 let lname = self.alphabet.name(l.label).to_owned();
                 let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
                 let body = if l.inverse {
-                    Atom { predicate: lname, terms: vec![y.clone(), x.clone()] }
+                    Atom {
+                        predicate: lname,
+                        terms: vec![y.clone(), x.clone()],
+                    }
                 } else {
-                    Atom { predicate: lname, terms: vec![x.clone(), y.clone()] }
+                    Atom {
+                        predicate: lname,
+                        terms: vec![x.clone(), y.clone()],
+                    }
                 };
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x, y] },
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x, y],
+                    },
                     vec![body],
                 ));
                 p
@@ -265,8 +346,14 @@ impl<'a> Translator<'a> {
                 let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
                 for ip in inner {
                     self.rules.push(Rule::new(
-                        Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
-                        vec![Atom { predicate: ip, terms: vec![x.clone(), y.clone()] }],
+                        Atom {
+                            predicate: p.clone(),
+                            terms: vec![x.clone(), y.clone()],
+                        },
+                        vec![Atom {
+                            predicate: ip,
+                            terms: vec![x.clone(), y.clone()],
+                        }],
                     ));
                 }
                 p
@@ -277,12 +364,24 @@ impl<'a> Translator<'a> {
                 self.node_pred_used = true;
                 let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: plus, terms: vec![x.clone(), y.clone()] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: plus,
+                        terms: vec![x.clone(), y.clone()],
+                    }],
                 ));
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
-                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), x.clone()],
+                    },
+                    vec![Atom {
+                        predicate: "Node".into(),
+                        terms: vec![x],
+                    }],
                 ));
                 p
             }
@@ -295,14 +394,29 @@ impl<'a> Translator<'a> {
                     Term::Var("Z".into()),
                 );
                 self.rules.push(Rule::new(
-                    Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: base.clone(), terms: vec![x.clone(), y.clone()] }],
+                    Atom {
+                        predicate: t.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: base.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    }],
                 ));
                 self.rules.push(Rule::new(
-                    Atom { predicate: t.clone(), terms: vec![x.clone(), z.clone()] },
+                    Atom {
+                        predicate: t.clone(),
+                        terms: vec![x.clone(), z.clone()],
+                    },
                     vec![
-                        Atom { predicate: t.clone(), terms: vec![x.clone(), y.clone()] },
-                        Atom { predicate: base, terms: vec![y.clone(), z.clone()] },
+                        Atom {
+                            predicate: t.clone(),
+                            terms: vec![x.clone(), y.clone()],
+                        },
+                        Atom {
+                            predicate: base,
+                            terms: vec![y.clone(), z.clone()],
+                        },
                     ],
                 ));
                 t
@@ -313,12 +427,24 @@ impl<'a> Translator<'a> {
                 self.node_pred_used = true;
                 let (x, y) = (Term::Var("X".into()), Term::Var("Y".into()));
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), y.clone()] },
-                    vec![Atom { predicate: inner, terms: vec![x.clone(), y.clone()] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), y.clone()],
+                    },
+                    vec![Atom {
+                        predicate: inner,
+                        terms: vec![x.clone(), y.clone()],
+                    }],
                 ));
                 self.rules.push(Rule::new(
-                    Atom { predicate: p.clone(), terms: vec![x.clone(), x.clone()] },
-                    vec![Atom { predicate: "Node".into(), terms: vec![x] }],
+                    Atom {
+                        predicate: p.clone(),
+                        terms: vec![x.clone(), x.clone()],
+                    },
+                    vec![Atom {
+                        predicate: "Node".into(),
+                        terms: vec![x],
+                    }],
                 ));
                 p
             }
@@ -333,7 +459,12 @@ impl<'a> Translator<'a> {
 /// The output is a **GRQ** program: its only recursion is the §4.1
 /// transitive-closure rule pair.
 pub fn rq_to_datalog(q: &RqQuery, alphabet: &Alphabet) -> Query {
-    let mut tr = Translator { alphabet, rules: Vec::new(), counter: 0, node_pred_used: false };
+    let mut tr = Translator {
+        alphabet,
+        rules: Vec::new(),
+        counter: 0,
+        node_pred_used: false,
+    };
     let (top, cols) = tr.expr(&q.expr);
     let goal = "Goal".to_owned();
     tr.rules.push(Rule::new(
@@ -341,7 +472,10 @@ pub fn rq_to_datalog(q: &RqQuery, alphabet: &Alphabet) -> Query {
             predicate: goal.clone(),
             terms: q.head.iter().map(|h| dvar(h)).collect(),
         },
-        vec![Atom { predicate: top, terms: cols.iter().map(|c| dvar(c)).collect() }],
+        vec![Atom {
+            predicate: top,
+            terms: cols.iter().map(|c| dvar(c)).collect(),
+        }],
     ));
     if tr.node_pred_used {
         tr.rules.push(Rule::new(
@@ -400,11 +534,8 @@ mod tests {
         let mut al = db.alphabet().clone();
         for re in ["a b", "a|b", "a+", "a*", "a?", "a b-", "(a|b)* a"] {
             let rel = TwoRpq::parse(re, &mut al).unwrap();
-            let q = RqQuery::new(
-                vec!["x".into(), "y".into()],
-                RqExpr::rel2(rel, "x", "y"),
-            )
-            .unwrap();
+            let q =
+                RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(rel, "x", "y")).unwrap();
             assert_equivalent(&q, &db, &al);
         }
     }
@@ -416,11 +547,7 @@ mod tests {
         db.add_node(); // isolated
         let mut al = db.alphabet().clone();
         let rel = TwoRpq::parse("r*", &mut al).unwrap();
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            RqExpr::rel2(rel, "x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(rel, "x", "y")).unwrap();
         assert_equivalent(&q, &db, &al);
     }
 
@@ -454,11 +581,7 @@ mod tests {
             .and(RqExpr::edge(r, "y", "z"))
             .and(RqExpr::edge(r, "z", "x"))
             .project("z");
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            body.closure("x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], body.closure("x", "y")).unwrap();
         assert_equivalent(&q, &db, &al);
     }
 
@@ -467,11 +590,7 @@ mod tests {
         let db = generate::chain(3, "r");
         let mut al = db.alphabet().clone();
         let rel = TwoRpq::parse("∅", &mut al).unwrap();
-        let q = RqQuery::new(
-            vec!["x".into(), "y".into()],
-            RqExpr::rel2(rel, "x", "y"),
-        )
-        .unwrap();
+        let q = RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(rel, "x", "y")).unwrap();
         assert_equivalent(&q, &db, &al);
     }
 }

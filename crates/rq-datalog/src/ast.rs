@@ -6,12 +6,12 @@
 //! are implicitly existentially quantified. Predicates occurring in rule
 //! heads are *intensional* (IDB); the rest are *extensional* (EDB).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A term: a variable or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Term {
     /// A variable (Prolog convention: names start with an uppercase letter
     /// or `_` in the concrete syntax).
@@ -40,7 +40,8 @@ impl fmt::Display for Term {
 }
 
 /// An atom `p(t₁, …, tₗ)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Atom {
     pub predicate: String,
     pub terms: Vec<Term>,
@@ -80,7 +81,8 @@ impl fmt::Display for Atom {
 }
 
 /// A Horn rule `head :- body₁, …, bodyₖ.`
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rule {
     pub head: Atom,
     pub body: Vec<Atom>,
@@ -133,7 +135,8 @@ impl fmt::Display for Rule {
 }
 
 /// A Datalog program: a set of rules.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Program {
     pub rules: Vec<Rule>,
 }
@@ -146,7 +149,10 @@ impl Program {
 
     /// The IDB predicates: those occurring in some rule head.
     pub fn idb_predicates(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect()
     }
 
     /// The EDB predicates: those occurring only in rule bodies.
@@ -165,7 +171,8 @@ impl Program {
     pub fn predicate_arities(&self) -> std::collections::BTreeMap<&str, usize> {
         let mut out = std::collections::BTreeMap::new();
         for r in &self.rules {
-            out.entry(r.head.predicate.as_str()).or_insert(r.head.arity());
+            out.entry(r.head.predicate.as_str())
+                .or_insert(r.head.arity());
             for a in &r.body {
                 out.entry(a.predicate.as_str()).or_insert(a.arity());
             }
@@ -193,7 +200,8 @@ impl fmt::Display for Program {
 /// A Datalog query: a program plus a designated goal predicate.
 ///
 /// `Q(D) = P^∞_Π(D)` for the goal predicate `P` (§2.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Query {
     pub program: Program,
     pub goal: String,
@@ -202,12 +210,18 @@ pub struct Query {
 impl Query {
     /// Build a query.
     pub fn new(program: Program, goal: impl Into<String>) -> Query {
-        Query { program, goal: goal.into() }
+        Query {
+            program,
+            goal: goal.into(),
+        }
     }
 
     /// The goal predicate's arity.
     pub fn goal_arity(&self) -> Option<usize> {
-        self.program.predicate_arities().get(self.goal.as_str()).copied()
+        self.program
+            .predicate_arities()
+            .get(self.goal.as_str())
+            .copied()
     }
 }
 
@@ -224,7 +238,10 @@ mod tests {
     fn tc_program() -> Program {
         // The paper's transitive-closure program (§2.3).
         Program::new(vec![
-            Rule::new(Atom::new("Tc", &["X", "Y"]), vec![Atom::new("E", &["X", "Y"])]),
+            Rule::new(
+                Atom::new("Tc", &["X", "Y"]),
+                vec![Atom::new("E", &["X", "Y"])],
+            ),
             Rule::new(
                 Atom::new("Tc", &["X", "Z"]),
                 vec![Atom::new("Tc", &["X", "Y"]), Atom::new("E", &["Y", "Z"])],

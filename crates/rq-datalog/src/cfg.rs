@@ -16,12 +16,12 @@
 
 use crate::ast::{Atom, Program, Query, Rule};
 use crate::relation::FactDb;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A grammar symbol.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Sym {
     /// A terminal (edge label in the chain encoding). Lowercase by
     /// convention.
@@ -31,7 +31,8 @@ pub enum Sym {
 }
 
 /// An ε-free context-free grammar.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grammar {
     pub start: String,
     pub productions: Vec<(String, Vec<Sym>)>,
@@ -50,7 +51,10 @@ impl fmt::Display for GrammarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GrammarError::EpsilonProduction { nonterminal } => {
-                write!(f, "ε-production for {nonterminal} (chain encoding requires ε-free grammars)")
+                write!(
+                    f,
+                    "ε-production for {nonterminal} (chain encoding requires ε-free grammars)"
+                )
             }
             GrammarError::UselessStart => write!(f, "start symbol has no productions"),
         }
@@ -68,7 +72,9 @@ impl Grammar {
         let start = start.into();
         for (nt, rhs) in &productions {
             if rhs.is_empty() {
-                return Err(GrammarError::EpsilonProduction { nonterminal: nt.clone() });
+                return Err(GrammarError::EpsilonProduction {
+                    nonterminal: nt.clone(),
+                });
             }
         }
         if !productions.iter().any(|(nt, _)| *nt == start) {
@@ -99,7 +105,10 @@ impl Grammar {
         let mut rules = Vec::new();
         for (nt, rhs) in &self.productions {
             let vars: Vec<String> = (0..=rhs.len()).map(|i| format!("X{i}")).collect();
-            let head = Atom::new(&nt_pred(nt), &[&vars[0], &vars[rhs.len()]].map(|s| s as &str));
+            let head = Atom::new(
+                nt_pred(nt),
+                &[&vars[0], &vars[rhs.len()]].map(|s| s as &str),
+            );
             let body = rhs
                 .iter()
                 .enumerate()
@@ -134,7 +143,7 @@ impl Grammar {
                     match sym {
                         Sym::Terminal(t) => {
                             for w in &partial {
-                                if w.len() + 1 <= max_len {
+                                if w.len() < max_len {
                                     let mut w2 = w.clone();
                                     w2.push(t.clone());
                                     next.push(w2);

@@ -16,14 +16,14 @@
 //! side of UC2RPQ/RQ containment.
 
 use crate::ast::{Atom, Program, Query, Rule, Term};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A conjunctive query: `head(x̄) :- body₁, …, bodyₖ` where the body atoms
 /// range over EDB predicates. Body variables not in the head are
 /// existential.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cq {
     pub head: Atom,
     pub body: Vec<Atom>,
@@ -53,7 +53,8 @@ impl fmt::Display for Cq {
 }
 
 /// A union of conjunctive queries with compatible heads.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ucq {
     pub disjuncts: Vec<Cq>,
 }
@@ -279,7 +280,10 @@ mod tests {
     #[test]
     fn chandra_merlin_path_queries() {
         // Q1: path of length 2; Q2: edge exists from x (projected).
-        let q1 = cq(("Q", &["X", "Z"]), &[("E", &["X", "Y"]), ("E", &["Y", "Z"])]);
+        let q1 = cq(
+            ("Q", &["X", "Z"]),
+            &[("E", &["X", "Y"]), ("E", &["Y", "Z"])],
+        );
         let q2 = cq(("Q", &["X", "Z"]), &[("E", &["X", "Z"])]);
         // Q2 ⊑ Q1? hom from Q1 into {E(x,z)} needs E-path of length 2: no.
         assert!(!cq_contained(&q2, &q1));
@@ -352,24 +356,32 @@ mod tests {
     #[test]
     fn ucq_containment_per_disjunct() {
         let path1 = cq(("Q", &["X", "Y"]), &[("E", &["X", "Y"])]);
-        let path2 = cq(("Q", &["X", "Z"]), &[("E", &["X", "Y"]), ("E", &["Y", "Z"])]);
-        let u1 = Ucq { disjuncts: vec![path1.clone()] };
-        let u12 = Ucq { disjuncts: vec![path1.clone(), path2.clone()] };
+        let path2 = cq(
+            ("Q", &["X", "Z"]),
+            &[("E", &["X", "Y"]), ("E", &["Y", "Z"])],
+        );
+        let u1 = Ucq {
+            disjuncts: vec![path1.clone()],
+        };
+        let u12 = Ucq {
+            disjuncts: vec![path1.clone(), path2.clone()],
+        };
         assert!(ucq_contained(&u1, &u12));
         assert!(!ucq_contained(&u12, &u1));
         // Though each disjunct alone is not equivalent, a union can absorb.
-        let u2 = Ucq { disjuncts: vec![path2] };
+        let u2 = Ucq {
+            disjuncts: vec![path2],
+        };
         assert!(ucq_contained(&u2, &u12));
     }
 
     #[test]
     fn minimize_ucq_drops_absorbed_disjuncts() {
-        let narrow = cq(
-            ("Q", &["X"]),
-            &[("E", &["X", "Y"]), ("E", &["Y", "Y"])],
-        );
+        let narrow = cq(("Q", &["X"]), &[("E", &["X", "Y"]), ("E", &["Y", "Y"])]);
         let wide = cq(("Q", &["X"]), &[("E", &["X", "Y"])]);
-        let u = Ucq { disjuncts: vec![narrow.clone(), wide.clone()] };
+        let u = Ucq {
+            disjuncts: vec![narrow.clone(), wide.clone()],
+        };
         let m = minimize_ucq(&u);
         assert_eq!(m.disjuncts.len(), 1);
         assert!(cq_equivalent(&m.disjuncts[0], &wide));
@@ -379,7 +391,9 @@ mod tests {
     fn minimize_ucq_keeps_one_of_equivalent_pair() {
         let a = cq(("Q", &["X"]), &[("E", &["X", "Y"])]);
         let b = cq(("Q", &["X"]), &[("E", &["X", "Z"])]);
-        let u = Ucq { disjuncts: vec![a, b] };
+        let u = Ucq {
+            disjuncts: vec![a, b],
+        };
         let m = minimize_ucq(&u);
         assert_eq!(m.disjuncts.len(), 1);
     }
@@ -398,10 +412,7 @@ mod tests {
         use crate::parser::parse_program;
         let q = |text: &str, goal: &str| Query::new(parse_program(text).unwrap(), goal);
         // Path-2 ∪ edge vs edge-reachability-by-≤2: equivalent programs.
-        let a = q(
-            "P(X, Z) :- E(X, Y), E(Y, Z).\nP(X, Y) :- E(X, Y).",
-            "P",
-        );
+        let a = q("P(X, Z) :- E(X, Y), E(Y, Z).\nP(X, Y) :- E(X, Y).", "P");
         let b = q(
             "Hop(X, Y) :- E(X, Y).\nP2(X, Z) :- Hop(X, Y), Hop(Y, Z).\n\
              Ans(X, Y) :- P2(X, Y).\nAns(X, Y) :- Hop(X, Y).",

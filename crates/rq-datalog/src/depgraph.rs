@@ -54,7 +54,13 @@ impl DepGraph {
             }
         }
         let (scc_of, sccs) = tarjan(&edges);
-        DepGraph { predicates, index, edges, scc_of, sccs }
+        DepGraph {
+            predicates,
+            index,
+            edges,
+            scc_of,
+            sccs,
+        }
     }
 
     /// The index of `predicate`, if it occurs in the program.
@@ -85,9 +91,7 @@ impl DepGraph {
     pub fn recursive_sccs(&self) -> Vec<Vec<&str>> {
         self.sccs
             .iter()
-            .filter(|scc| {
-                scc.len() > 1 || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0]))
-            })
+            .filter(|scc| scc.len() > 1 || (scc.len() == 1 && self.edges[scc[0]].contains(&scc[0])))
             .map(|scc| scc.iter().map(|&i| self.predicates[i].as_str()).collect())
             .collect()
     }
@@ -193,10 +197,7 @@ mod tests {
 
     #[test]
     fn tc_program_is_recursive_not_monadic() {
-        let p = parse_program(
-            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).").unwrap();
         let dg = DepGraph::new(&p);
         assert!(dg.is_recursive("Tc"));
         assert!(!dg.is_recursive("E"));
@@ -207,30 +208,23 @@ mod tests {
 
     #[test]
     fn paper_monadic_reachability_is_monadic() {
-        let p = parse_program(
-            "Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).",
-        )
-        .unwrap();
+        let p = parse_program("Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).").unwrap();
         assert!(is_monadic(&p));
         assert!(!is_nonrecursive(&p));
     }
 
     #[test]
     fn nonrecursive_program() {
-        let p = parse_program(
-            "Path2(X, Z) :- E(X, Y), E(Y, Z).\nAns(X) :- Path2(X, Y), P(Y).",
-        )
-        .unwrap();
+        let p = parse_program("Path2(X, Z) :- E(X, Y), E(Y, Z).\nAns(X) :- Path2(X, Y), P(Y).")
+            .unwrap();
         assert!(is_nonrecursive(&p));
         assert!(is_monadic(&p), "vacuously monadic: no recursive predicates");
     }
 
     #[test]
     fn mutual_recursion_forms_one_scc() {
-        let p = parse_program(
-            "A(X) :- E(X, Y), B(Y).\nB(X) :- E(X, Y), A(Y).\nA(X) :- P(X).",
-        )
-        .unwrap();
+        let p =
+            parse_program("A(X) :- E(X, Y), B(Y).\nB(X) :- E(X, Y), A(Y).\nA(X) :- P(X).").unwrap();
         let dg = DepGraph::new(&p);
         assert!(dg.is_recursive("A"));
         assert!(dg.is_recursive("B"));
@@ -254,10 +248,7 @@ mod tests {
 
     #[test]
     fn scc_order_is_reverse_topological() {
-        let p = parse_program(
-            "A(X) :- B(X).\nB(X) :- C(X, Y).\nC(X, Y) :- E(X, Y).",
-        )
-        .unwrap();
+        let p = parse_program("A(X) :- B(X).\nB(X) :- C(X, Y).\nC(X, Y) :- E(X, Y).").unwrap();
         let dg = DepGraph::new(&p);
         // E → C → B → A: callee SCCs must come first.
         let pos = |name: &str| dg.scc_of[dg.predicate_index(name).unwrap()];

@@ -17,6 +17,7 @@
 use crate::ast::{Program, Query, Rule, Term};
 use crate::depgraph::DepGraph;
 use crate::relation::{FactDb, Relation, Value};
+use rq_automata::governor::{expect_unlimited, Exhaustion, Governor};
 use std::collections::{BTreeSet, HashMap};
 
 /// Counters describing an evaluation run (used by the E8 ablation).
@@ -33,15 +34,38 @@ pub struct EvalStats {
 /// Evaluate `query` on `edb` with the semi-naive engine; returns the goal
 /// relation.
 pub fn evaluate(query: &Query, edb: &FactDb) -> Relation {
-    let (db, _) = evaluate_program(&query.program, edb);
-    goal_relation(query, &db)
+    expect_unlimited(evaluate_governed(query, edb, &Governor::unlimited()))
+}
+
+/// [`evaluate`] under a resource [`Governor`]: each derived fact is charged
+/// as a tuple, each join candidate spends one fuel, and the wall clock /
+/// cancellation flag is polled at every stratum and fixpoint round (plus
+/// periodically inside the joins). On exhaustion the partially saturated
+/// database is discarded and the structured report is returned.
+pub fn evaluate_governed(
+    query: &Query,
+    edb: &FactDb,
+    gov: &Governor,
+) -> Result<Relation, Exhaustion> {
+    let (db, _) = evaluate_program_governed(&query.program, edb, gov)?;
+    Ok(goal_relation(query, &db))
 }
 
 /// Evaluate `query` on `edb` with the naive engine; returns the goal
 /// relation. Semantically identical to [`evaluate`].
 pub fn evaluate_naive(query: &Query, edb: &FactDb) -> Relation {
-    let (db, _) = evaluate_program_naive(&query.program, edb);
-    goal_relation(query, &db)
+    expect_unlimited(evaluate_naive_governed(query, edb, &Governor::unlimited()))
+}
+
+/// [`evaluate_naive`] under a resource [`Governor`] (same metering as
+/// [`evaluate_governed`]).
+pub fn evaluate_naive_governed(
+    query: &Query,
+    edb: &FactDb,
+    gov: &Governor,
+) -> Result<Relation, Exhaustion> {
+    let (db, _) = evaluate_program_naive_governed(&query.program, edb, gov)?;
+    Ok(goal_relation(query, &db))
 }
 
 fn goal_relation(query: &Query, db: &FactDb) -> Relation {
@@ -54,12 +78,29 @@ fn goal_relation(query: &Query, db: &FactDb) -> Relation {
 /// Evaluate all IDB predicates of `program` over `edb`, semi-naively.
 /// Returns the saturated database and statistics.
 pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) {
+    expect_unlimited(evaluate_program_governed(
+        program,
+        edb,
+        &Governor::unlimited(),
+    ))
+}
+
+/// [`evaluate_program`] under a resource [`Governor`].
+///
+/// The deadline and cancellation flag are checked at every stratum (SCC)
+/// boundary and every semi-naive fixpoint round; every fact inserted into
+/// the database counts against the tuple cap; join candidates spend fuel.
+pub fn evaluate_program_governed(
+    program: &Program,
+    edb: &FactDb,
+    gov: &Governor,
+) -> Result<(FactDb, EvalStats), Exhaustion> {
     let mut db = prepare(program, edb);
     let mut stats = EvalStats::default();
     let dg = DepGraph::new(program);
     for scc in &dg.sccs {
-        let scc_preds: BTreeSet<&str> =
-            scc.iter().map(|&i| dg.predicates[i].as_str()).collect();
+        gov.check_wall()?;
+        let scc_preds: BTreeSet<&str> = scc.iter().map(|&i| dg.predicates[i].as_str()).collect();
         let rules: Vec<&Rule> = program
             .rules
             .iter()
@@ -71,16 +112,14 @@ pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) 
         // Round 0: full evaluation of the SCC's rules.
         let mut new_facts: Vec<(String, Vec<Value>)> = Vec::new();
         for rule in &rules {
-            join_rule(&mut db, rule, None, &mut stats, &mut new_facts);
+            join_rule(&mut db, rule, None, &mut stats, &mut new_facts, gov)?;
         }
         stats.iterations += 1;
         let mut deltas: HashMap<String, Relation> = HashMap::new();
         for (pred, tuple) in new_facts.drain(..) {
             let arity = tuple.len();
-            if db
-                .ensure_relation(&pred, arity)
-                .insert(tuple.clone())
-            {
+            if db.ensure_relation(&pred, arity).insert(tuple.clone()) {
+                gov.derive_tuple()?;
                 stats.facts_derived += 1;
                 deltas
                     .entry(pred)
@@ -101,11 +140,10 @@ pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) 
             }
         }
         // Semi-naive rounds.
-        let is_recursive_scc = scc.len() > 1
-            || scc
-                .first()
-                .is_some_and(|&i| dg.edges[i].contains(&i));
+        let is_recursive_scc =
+            scc.len() > 1 || scc.first().is_some_and(|&i| dg.edges[i].contains(&i));
         while is_recursive_scc && deltas.values().any(|d| !d.is_empty()) {
+            gov.check_wall()?;
             stats.iterations += 1;
             let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
             for rule in &rules {
@@ -122,13 +160,21 @@ pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) 
                     // Clone keeps the borrow checker happy; deltas are the
                     // small frontier relations.
                     let delta = delta.clone();
-                    join_rule(&mut db, rule, Some((pos, &delta)), &mut stats, &mut derived);
+                    join_rule(
+                        &mut db,
+                        rule,
+                        Some((pos, &delta)),
+                        &mut stats,
+                        &mut derived,
+                        gov,
+                    )?;
                 }
             }
             let mut next_deltas: HashMap<String, Relation> = HashMap::new();
             for (pred, tuple) in derived {
                 let arity = tuple.len();
                 if db.ensure_relation(&pred, arity).insert(tuple.clone()) {
+                    gov.derive_tuple()?;
                     stats.facts_derived += 1;
                     next_deltas
                         .entry(pred)
@@ -139,29 +185,45 @@ pub fn evaluate_program(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) 
             deltas = next_deltas;
         }
     }
-    (db, stats)
+    Ok((db, stats))
 }
 
 /// Evaluate all IDB predicates of `program` over `edb` naively.
 pub fn evaluate_program_naive(program: &Program, edb: &FactDb) -> (FactDb, EvalStats) {
+    expect_unlimited(evaluate_program_naive_governed(
+        program,
+        edb,
+        &Governor::unlimited(),
+    ))
+}
+
+/// [`evaluate_program_naive`] under a resource [`Governor`] (same metering
+/// as [`evaluate_program_governed`]; rounds play the role of strata).
+pub fn evaluate_program_naive_governed(
+    program: &Program,
+    edb: &FactDb,
+    gov: &Governor,
+) -> Result<(FactDb, EvalStats), Exhaustion> {
     let mut db = prepare(program, edb);
     let mut stats = EvalStats::default();
     loop {
+        gov.check_wall()?;
         stats.iterations += 1;
         let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
         for rule in &program.rules {
-            join_rule(&mut db, rule, None, &mut stats, &mut derived);
+            join_rule(&mut db, rule, None, &mut stats, &mut derived, gov)?;
         }
         let mut changed = false;
         for (pred, tuple) in derived {
             let arity = tuple.len();
             if db.ensure_relation(&pred, arity).insert(tuple) {
+                gov.derive_tuple()?;
                 stats.facts_derived += 1;
                 changed = true;
             }
         }
         if !changed {
-            return (db, stats);
+            return Ok((db, stats));
         }
     }
 }
@@ -169,12 +231,20 @@ pub fn evaluate_program_naive(program: &Program, edb: &FactDb) -> (FactDb, EvalS
 /// `Pⁱ_Π(D)`: the goal facts derivable with at most `i` rounds of rule
 /// application (naive semantics, §2.2).
 pub fn evaluate_steps(query: &Query, edb: &FactDb, rounds: usize) -> Relation {
+    let gov = Governor::unlimited();
     let mut db = prepare(&query.program, edb);
     let mut stats = EvalStats::default();
     for _ in 0..rounds {
         let mut derived: Vec<(String, Vec<Value>)> = Vec::new();
         for rule in &query.program.rules {
-            join_rule(&mut db, rule, None, &mut stats, &mut derived);
+            expect_unlimited(join_rule(
+                &mut db,
+                rule,
+                None,
+                &mut stats,
+                &mut derived,
+                &gov,
+            ));
         }
         let mut changed = false;
         for (pred, tuple) in derived {
@@ -218,7 +288,8 @@ fn join_rule(
     delta: Option<(usize, &Relation)>,
     stats: &mut EvalStats,
     out: &mut Vec<(String, Vec<Value>)>,
-) {
+    gov: &Governor,
+) -> Result<(), Exhaustion> {
     // Greedy atom order: the delta atom first, then repeatedly the atom
     // with the fewest unbound variables (ties: smaller relation).
     let natoms = rule.body.len();
@@ -247,7 +318,11 @@ fn join_rule(
                 best = Some(key);
             }
         }
-        let (_, _, i) = best.expect("some atom remains");
+        // Unreachable in practice (an unused atom always remains while
+        // `order` is short), but degrade gracefully rather than panic.
+        let Some((_, _, i)) = best else {
+            return Ok(());
+        };
         used[i] = true;
         bound_vars.extend(rule.body[i].variables());
         order.push(i);
@@ -257,7 +332,7 @@ fn join_rule(
     // for program constants).
     // Backtracking join.
     let mut bindings: HashMap<&str, Value> = HashMap::new();
-    join_rec(db, rule, &order, 0, delta, &mut bindings, stats, out);
+    join_rec(db, rule, &order, 0, delta, &mut bindings, stats, out, gov)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -270,7 +345,8 @@ fn join_rec<'a>(
     bindings: &mut HashMap<&'a str, Value>,
     stats: &mut EvalStats,
     out: &mut Vec<(String, Vec<Value>)>,
-) {
+    gov: &Governor,
+) -> Result<(), Exhaustion> {
     if depth == order.len() {
         // Construct the head tuple.
         let mut tuple = Vec::with_capacity(rule.head.arity());
@@ -278,17 +354,18 @@ fn join_rec<'a>(
             match t {
                 Term::Var(v) => match bindings.get(v.as_str()) {
                     Some(&val) => tuple.push(val),
-                    None => return, // unsafe rule: skip silently (validated upstream)
+                    // Unsafe rule: skip silently (validated upstream).
+                    None => return Ok(()),
                 },
                 Term::Const(c) => match db.find_value(c) {
                     Some(val) => tuple.push(val),
-                    None => return,
+                    None => return Ok(()),
                 },
             }
         }
         stats.rule_firings += 1;
         out.push((rule.head.predicate.clone(), tuple));
-        return;
+        return Ok(());
     }
     let pos = order[depth];
     let atom = &rule.body[pos];
@@ -299,7 +376,7 @@ fn join_rec<'a>(
             Term::Var(v) => pattern.push(bindings.get(v.as_str()).copied()),
             Term::Const(c) => match db.find_value(c) {
                 Some(val) => pattern.push(Some(val)),
-                None => return,
+                None => return Ok(()),
             },
         }
     }
@@ -316,9 +393,11 @@ fn join_rec<'a>(
             let first_bound = pattern.iter().position(Option::is_some);
             match first_bound {
                 Some(col) => {
-                    let v = pattern[col].expect("position found above");
+                    let Some(v) = pattern[col] else {
+                        return Ok(()); // col was found via is_some above
+                    };
                     let Some(rel) = db.relation_mut(&atom.predicate) else {
-                        return;
+                        return Ok(());
                     };
                     let rows: Vec<usize> = rel.rows_with(col, v).to_vec();
                     rows.into_iter()
@@ -328,7 +407,7 @@ fn join_rec<'a>(
                 }
                 None => {
                     let Some(rel) = db.relation(&atom.predicate) else {
-                        return;
+                        return Ok(());
                     };
                     rel.iter().map(<[Value]>::to_vec).collect()
                 }
@@ -337,6 +416,7 @@ fn join_rec<'a>(
     };
 
     for tuple in candidates {
+        gov.tick()?;
         // Bind this atom's variables; remember which were fresh.
         let mut fresh: Vec<&str> = Vec::new();
         let mut ok = true;
@@ -355,13 +435,17 @@ fn join_rec<'a>(
                 }
             }
         }
-        if ok {
-            join_rec(db, rule, order, depth + 1, delta, bindings, stats, out);
-        }
+        let result = if ok {
+            join_rec(db, rule, order, depth + 1, delta, bindings, stats, out, gov)
+        } else {
+            Ok(())
+        };
         for v in fresh {
             bindings.remove(v);
         }
+        result?;
     }
+    Ok(())
 }
 
 fn matches_pattern(tuple: &[Value], pattern: &[Option<Value>]) -> bool {
@@ -370,7 +454,7 @@ fn matches_pattern(tuple: &[Value], pattern: &[Option<Value>]) -> bool {
     tuple
         .iter()
         .zip(pattern)
-        .all(|(&v, p)| p.map_or(true, |pv| pv == v))
+        .all(|(&v, p)| p.is_none_or(|pv| pv == v))
 }
 
 #[cfg(test)]
@@ -387,10 +471,7 @@ mod tests {
     }
 
     fn tc_query() -> Query {
-        let p = parse_program(
-            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).").unwrap();
         Query::new(p, "Tc")
     }
 
@@ -432,10 +513,7 @@ mod tests {
     #[test]
     fn monadic_reachability_example() {
         // §2.3: Q = elements with a path to a node in P.
-        let p = parse_program(
-            "Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).",
-        )
-        .unwrap();
+        let p = parse_program("Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).").unwrap();
         let mut edb = FactDb::new();
         edb.add_fact("E", &["a", "b"]);
         edb.add_fact("E", &["b", "c"]);
@@ -512,6 +590,37 @@ mod tests {
         edb.add_fact("E", &["a", "b"]);
         let r = evaluate(&Query::new(p, "E"), &edb);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn governed_eval_respects_tuple_cap_and_deadline() {
+        use rq_automata::governor::{Limits, Resource};
+        let edb = chain_edb(30);
+        let gov = Limits::unlimited().with_tuples(10).governor();
+        let e = evaluate_governed(&tc_query(), &edb, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Tuples);
+        assert!(e.counters.tuples_derived > 10);
+        let gov = Limits::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .governor();
+        let e = evaluate_governed(&tc_query(), &edb, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Deadline);
+        // Ample budget: identical verdict to the ungoverned engine.
+        let gov = Limits::unlimited().with_tuples(100_000).governor();
+        let r = evaluate_governed(&tc_query(), &edb, &gov).unwrap();
+        assert_eq!(r, evaluate(&tc_query(), &edb));
+    }
+
+    #[test]
+    fn governed_naive_eval_exhausts_gracefully() {
+        use rq_automata::governor::{Limits, Resource};
+        let edb = chain_edb(20);
+        let gov = Limits::unlimited().with_fuel(50).governor();
+        let e = evaluate_naive_governed(&tc_query(), &edb, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        let gov = Limits::unlimited().governor();
+        let r = evaluate_naive_governed(&tc_query(), &edb, &gov).unwrap();
+        assert_eq!(r, evaluate(&tc_query(), &edb));
     }
 
     #[test]

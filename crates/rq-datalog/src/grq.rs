@@ -19,11 +19,11 @@
 
 use crate::ast::{Program, Rule, Term};
 use crate::depgraph::DepGraph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the recursive step rule of a TC definition is written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StepShape {
     /// `T(x,z) :- B(x,y), T(y,z)`.
     LeftLinear,
@@ -34,7 +34,8 @@ pub enum StepShape {
 }
 
 /// A recognized transitive-closure definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TcDef {
     /// The recursive predicate (`T`, the paper's `Q⁺`).
     pub tc_pred: String,
@@ -59,13 +60,23 @@ impl fmt::Display for GrqViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GrqViolation::MutualRecursion { predicates } => {
-                write!(f, "mutually recursive predicates: {}", predicates.join(", "))
+                write!(
+                    f,
+                    "mutually recursive predicates: {}",
+                    predicates.join(", ")
+                )
             }
             GrqViolation::NotBinary { predicate, arity } => {
-                write!(f, "recursive predicate {predicate} has arity {arity}, not 2")
+                write!(
+                    f,
+                    "recursive predicate {predicate} has arity {arity}, not 2"
+                )
             }
             GrqViolation::NotTransitiveClosure { predicate, reason } => {
-                write!(f, "rules for {predicate} are not a transitive-closure pair: {reason}")
+                write!(
+                    f,
+                    "rules for {predicate} are not a transitive-closure pair: {reason}"
+                )
             }
         }
     }
@@ -92,7 +103,10 @@ pub fn analyze_grq(program: &Program) -> Result<GrqAnalysis, GrqViolation> {
         let t = scc[0];
         let arity = arities.get(t).copied().unwrap_or(0);
         if arity != 2 {
-            return Err(GrqViolation::NotBinary { predicate: t.to_owned(), arity });
+            return Err(GrqViolation::NotBinary {
+                predicate: t.to_owned(),
+                arity,
+            });
         }
         tc_defs.push(recognize_tc(program, t)?);
     }
@@ -132,7 +146,10 @@ fn recognize_tc(program: &Program, t: &str) -> Result<TcDef, GrqViolation> {
     };
     let rules: Vec<&Rule> = program.rules_for(t).collect();
     if rules.len() != 2 {
-        return Err(err(&format!("expected exactly 2 rules, found {}", rules.len())));
+        return Err(err(&format!(
+            "expected exactly 2 rules, found {}",
+            rules.len()
+        )));
     }
     // Identify base rule: single body atom with predicate ≠ t.
     let (base_rule, step_rule) = {
@@ -162,8 +179,10 @@ fn recognize_tc(program: &Program, t: &str) -> Result<TcDef, GrqViolation> {
     let (sx, sz) = binary_vars(&step_rule.head)
         .ok_or_else(|| err("step head must be T(x,z) with distinct variables"))?;
     let (a, b) = (&step_rule.body[0], &step_rule.body[1]);
-    let (ax, ay) = binary_vars(a).ok_or_else(|| err("step body atoms must be binary over distinct variables"))?;
-    let (bx2, bz) = binary_vars(b).ok_or_else(|| err("step body atoms must be binary over distinct variables"))?;
+    let (ax, ay) = binary_vars(a)
+        .ok_or_else(|| err("step body atoms must be binary over distinct variables"))?;
+    let (bx2, bz) = binary_vars(b)
+        .ok_or_else(|| err("step body atoms must be binary over distinct variables"))?;
     // Atoms may appear in either order; normalize so the chain is
     // (sx, m) then (m, sz).
     let chains = |p: (&str, &str), q: (&str, &str)| -> bool {
@@ -186,7 +205,11 @@ fn recognize_tc(program: &Program, t: &str) -> Result<TcDef, GrqViolation> {
             ))
         }
     };
-    Ok(TcDef { tc_pred: t.to_owned(), base_pred, step: shape })
+    Ok(TcDef {
+        tc_pred: t.to_owned(),
+        base_pred,
+        step: shape,
+    })
 }
 
 #[cfg(test)]
@@ -197,10 +220,7 @@ mod tests {
     #[test]
     fn paper_tc_is_grq() {
         // §2.3's transitive-closure program, right-linear as in §4.1.
-        let p = parse_program(
-            "Ep(X, Y) :- E(X, Y).\nEp(X, Z) :- Ep(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Ep(X, Y) :- E(X, Y).\nEp(X, Z) :- Ep(X, Y), E(Y, Z).").unwrap();
         let a = analyze_grq(&p).unwrap();
         assert_eq!(
             a.tc_defs,
@@ -215,33 +235,30 @@ mod tests {
 
     #[test]
     fn left_linear_and_doubling_variants() {
-        let p = parse_program(
-            "T(X, Y) :- B(X, Y).\nT(X, Z) :- B(X, Y), T(Y, Z).",
-        )
-        .unwrap();
-        assert_eq!(analyze_grq(&p).unwrap().tc_defs[0].step, StepShape::LeftLinear);
-        let p = parse_program(
-            "T(X, Y) :- B(X, Y).\nT(X, Z) :- T(X, Y), T(Y, Z).",
-        )
-        .unwrap();
-        assert_eq!(analyze_grq(&p).unwrap().tc_defs[0].step, StepShape::Doubling);
+        let p = parse_program("T(X, Y) :- B(X, Y).\nT(X, Z) :- B(X, Y), T(Y, Z).").unwrap();
+        assert_eq!(
+            analyze_grq(&p).unwrap().tc_defs[0].step,
+            StepShape::LeftLinear
+        );
+        let p = parse_program("T(X, Y) :- B(X, Y).\nT(X, Z) :- T(X, Y), T(Y, Z).").unwrap();
+        assert_eq!(
+            analyze_grq(&p).unwrap().tc_defs[0].step,
+            StepShape::Doubling
+        );
     }
 
     #[test]
     fn swapped_body_order_is_accepted() {
-        let p = parse_program(
-            "T(X, Y) :- B(X, Y).\nT(X, Z) :- B(Y, Z), T(X, Y).",
-        )
-        .unwrap();
-        assert_eq!(analyze_grq(&p).unwrap().tc_defs[0].step, StepShape::RightLinear);
+        let p = parse_program("T(X, Y) :- B(X, Y).\nT(X, Z) :- B(Y, Z), T(X, Y).").unwrap();
+        assert_eq!(
+            analyze_grq(&p).unwrap().tc_defs[0].step,
+            StepShape::RightLinear
+        );
     }
 
     #[test]
     fn monadic_recursion_is_not_grq() {
-        let p = parse_program(
-            "Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).",
-        )
-        .unwrap();
+        let p = parse_program("Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).").unwrap();
         assert!(matches!(
             analyze_grq(&p),
             Err(GrqViolation::NotBinary { arity: 1, .. })
@@ -263,28 +280,20 @@ mod tests {
     #[test]
     fn wrong_chain_is_rejected() {
         // "Same-generation"-ish pattern is recursion but not TC.
-        let p = parse_program(
-            "Sg(X, Y) :- E(X, Y).\nSg(X, Z) :- E(X, Y), Sg(Y, W), E(W, Z).",
-        )
-        .unwrap();
+        let p =
+            parse_program("Sg(X, Y) :- E(X, Y).\nSg(X, Z) :- E(X, Y), Sg(Y, W), E(W, Z).").unwrap();
         assert!(matches!(
             analyze_grq(&p),
             Err(GrqViolation::NotTransitiveClosure { .. })
         ));
         // Inverted chain direction: T(x,z) :- T(y,x), B(y,z) is not TC.
-        let p = parse_program(
-            "T(X, Y) :- B(X, Y).\nT(X, Z) :- T(Y, X), B(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("T(X, Y) :- B(X, Y).\nT(X, Z) :- T(Y, X), B(Y, Z).").unwrap();
         assert!(!is_grq(&p));
     }
 
     #[test]
     fn nonrecursive_programs_are_trivially_grq() {
-        let p = parse_program(
-            "P2(X, Z) :- E(X, Y), E(Y, Z).\nAns(X) :- P2(X, Y).",
-        )
-        .unwrap();
+        let p = parse_program("P2(X, Z) :- E(X, Y), E(Y, Z).\nAns(X) :- P2(X, Y).").unwrap();
         let a = analyze_grq(&p).unwrap();
         assert!(a.tc_defs.is_empty());
     }
@@ -308,10 +317,9 @@ mod tests {
 
     #[test]
     fn three_rules_for_tc_pred_rejected() {
-        let p = parse_program(
-            "T(X, Y) :- B(X, Y).\nT(X, Y) :- C(X, Y).\nT(X, Z) :- T(X, Y), B(Y, Z).",
-        )
-        .unwrap();
+        let p =
+            parse_program("T(X, Y) :- B(X, Y).\nT(X, Y) :- C(X, Y).\nT(X, Z) :- T(X, Y), B(Y, Z).")
+                .unwrap();
         assert!(!is_grq(&p));
     }
 }

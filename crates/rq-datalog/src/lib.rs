@@ -49,6 +49,6 @@ pub mod unfold;
 pub mod validate;
 
 pub use ast::{Atom, Program, Query, Rule, Term};
-pub use eval::{evaluate, evaluate_naive};
+pub use eval::{evaluate, evaluate_governed, evaluate_naive};
 pub use parser::parse_program;
 pub use relation::{FactDb, Relation, Value};

@@ -14,20 +14,42 @@
 use crate::ast::{Atom, Program, Rule, Term};
 use std::fmt;
 
-/// Error raised by [`parse_program`], with a byte offset.
+/// Error raised by [`parse_program`], with a byte offset and the
+/// corresponding 1-based line/column position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
     pub position: usize,
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// 1-based column of the failure (in characters, not bytes).
+    pub column: usize,
+    /// What the parser expected or found.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "datalog parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// 1-based (line, column) of byte offset `pos` in `input` (columns count
+/// characters; `pos` past the end reports the position after the last char).
+fn line_column(input: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(input.len());
+    let before = &input[..pos];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let column = before[line_start..].chars().count() + 1;
+    (line, column)
+}
 
 /// Parse a whole program (a sequence of rules).
 pub fn parse_program(input: &str) -> Result<Program, ParseError> {
@@ -62,7 +84,13 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        let (line, column) = line_column(self.input, self.pos);
+        ParseError {
+            position: self.pos,
+            line,
+            column,
+            message: message.into(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -160,7 +188,9 @@ impl<'a> Parser<'a> {
             }
             _ => {
                 let name = self.parse_ident()?;
-                let first = name.chars().next().expect("idents are nonempty");
+                let Some(first) = name.chars().next() else {
+                    return Err(self.error("expected an identifier"));
+                };
                 if first.is_ascii_uppercase() || first == '_' {
                     Ok(Term::Var(name))
                 } else {
@@ -284,5 +314,55 @@ mod tests {
     fn underscore_is_a_variable() {
         let r = parse_rule("P(_ignore, X) :- E(_ignore, X).").unwrap();
         assert_eq!(r.head.terms[0], Term::Var("_ignore".into()));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // Failure on line 2: the second rule is missing its period.
+        let e = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z)").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 30);
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("column 30"), "{msg}");
+
+        // Failure mid-line: the dangling comma inside the atom.
+        let e = parse_program("P(X,) .").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 5));
+
+        // First-line, first-column failure.
+        let e = parse_program(":- P(X).").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 1);
+    }
+
+    #[test]
+    fn negative_inputs_error_without_panicking() {
+        for bad in [
+            "P(X",              // unclosed atom
+            "P(X))",            // stray close paren
+            "P(X) :-",          // body never starts
+            "P(X) :- Q(Y),",    // body never ends
+            "P(\"unterminated", // unterminated string
+            "(X).",             // missing predicate
+            "P(X) Q(Y).",       // two atoms, no separator
+            "P(X) :- Q(Y)Z.",   // junk after body atom
+            "ρ(X).",            // non-ASCII identifier start
+            "P(X) : - Q(Y).",   // split ':-'
+        ] {
+            let e = parse_program(bad).unwrap_err();
+            assert!(e.line >= 1 && e.column >= 1, "{bad:?} -> {e}");
+            assert!(!e.message.is_empty(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn line_column_tracks_multibyte_characters() {
+        // 'é' is two bytes but one column: the dangling comma's ')' sits at
+        // character column 7 (byte offset 7, which would be column 8 if
+        // columns counted bytes).
+        let e = parse_program("P(\"é\",) .").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 7));
+        assert_eq!(e.position, 7);
     }
 }

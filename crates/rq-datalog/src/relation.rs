@@ -1,22 +1,23 @@
 //! Relations and fact databases for bottom-up evaluation.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An interned constant of the active domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Value(pub u32);
 
 /// A relation: a set of fixed-arity tuples with lazily built per-column
 /// hash indexes (used by the join in [`crate::eval`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Relation {
     arity: usize,
     tuples: Vec<Vec<Value>>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     set: HashSet<Vec<Value>>,
     /// `indexes[col]`: value → row ids. Built on first use of that column.
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     indexes: Vec<Option<HashMap<Value, Vec<usize>>>>,
 }
 
@@ -123,10 +124,11 @@ impl PartialEq for Relation {
 impl Eq for Relation {}
 
 /// A database of facts: named relations over an interned constant domain.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FactDb {
     constants: Vec<String>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     constant_index: HashMap<String, Value>,
     relations: BTreeMap<String, Relation>,
 }

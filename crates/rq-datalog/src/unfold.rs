@@ -74,7 +74,9 @@ fn unfold_with_depth(query: &Query, depth: usize, budget: usize) -> Result<Ucq, 
     let idb: BTreeSet<&str> = query.program.idb_predicates();
     let goal_arity = query
         .goal_arity()
-        .ok_or_else(|| UnfoldError::NoRulesForGoal { goal: query.goal.clone() })?;
+        .ok_or_else(|| UnfoldError::NoRulesForGoal {
+            goal: query.goal.clone(),
+        })?;
     // Canonical head X0..Xk-1.
     let head_vars: Vec<String> = (0..goal_arity).map(|i| format!("X{i}")).collect();
     let head = Atom {
@@ -87,10 +89,16 @@ fn unfold_with_depth(query: &Query, depth: usize, budget: usize) -> Result<Ucq, 
     let mut work: Vec<Partial> = Vec::new();
 
     if idb.contains(query.goal.as_str()) {
-        work.push(Partial { head: head.clone(), body: vec![(head.clone(), depth)] });
+        work.push(Partial {
+            head: head.clone(),
+            body: vec![(head.clone(), depth)],
+        });
     } else {
         // EDB goal: the identity CQ.
-        done.push(Cq { head: head.clone(), body: vec![head.clone()] });
+        done.push(Cq {
+            head: head.clone(),
+            body: vec![head.clone()],
+        });
     }
 
     while let Some(p) = work.pop() {
@@ -150,7 +158,10 @@ fn expand(
     let rule_body: Vec<Atom> = rule
         .body
         .iter()
-        .map(|a| Atom { predicate: a.predicate.clone(), terms: a.terms.iter().map(rename).collect() })
+        .map(|a| Atom {
+            predicate: a.predicate.clone(),
+            terms: a.terms.iter().map(rename).collect(),
+        })
         .collect();
 
     // Unify rule_head with atom.terms, building a substitution.
@@ -193,7 +204,10 @@ fn expand(
                 }
             }
         };
-        Atom { predicate: a.predicate.clone(), terms: a.terms.iter().map(&mut resolve2).collect() }
+        Atom {
+            predicate: a.predicate.clone(),
+            terms: a.terms.iter().map(&mut resolve2).collect(),
+        }
     };
 
     let mut new_body: Vec<(Atom, usize)> = Vec::new();
@@ -206,7 +220,10 @@ fn expand(
             new_body.push((apply(a, &subst), *d));
         }
     }
-    Some(Partial { head: apply(&partial.head, &subst), body: new_body })
+    Some(Partial {
+        head: apply(&partial.head, &subst),
+        body: new_body,
+    })
 }
 
 #[cfg(test)]
@@ -238,20 +255,14 @@ mod tests {
 
     #[test]
     fn recursive_program_is_rejected() {
-        let p = parse_program(
-            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).").unwrap();
         let q = Query::new(p, "Tc");
         assert_eq!(unfold_nonrecursive(&q, 100), Err(UnfoldError::Recursive));
     }
 
     #[test]
     fn bounded_unfolding_matches_bounded_evaluation() {
-        let p = parse_program(
-            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).").unwrap();
         let q = Query::new(p, "Tc");
         let ucq = unfold_bounded(&q, 3, 1000).unwrap();
         // Depth 3 gives paths of length 1, 2, and 3.
@@ -281,7 +292,11 @@ mod tests {
         // 2^5 disjuncts via a chain of unions.
         let mut text = String::from("P0(X, Y) :- E(X, Y).\nP0(X, Y) :- F(X, Y).\n");
         for i in 1..5 {
-            text.push_str(&format!("P{i}(X, Z) :- P{}(X, Y), P{}(Y, Z).\n", i - 1, i - 1));
+            text.push_str(&format!(
+                "P{i}(X, Z) :- P{}(X, Y), P{}(Y, Z).\n",
+                i - 1,
+                i - 1
+            ));
         }
         let p = parse_program(&text).unwrap();
         let q = Query::new(p, "P4");
@@ -295,10 +310,7 @@ mod tests {
 
     #[test]
     fn constants_propagate_through_unfolding() {
-        let p = parse_program(
-            "Likes(X) :- E(X, alice).\nAns(X) :- Likes(X).",
-        )
-        .unwrap();
+        let p = parse_program("Likes(X) :- E(X, alice).\nAns(X) :- Likes(X).").unwrap();
         let q = Query::new(p, "Ans");
         let ucq = unfold_nonrecursive(&q, 100).unwrap();
         assert_eq!(ucq.disjuncts.len(), 1);

@@ -10,7 +10,11 @@ pub enum ValidationError {
     /// A head variable does not occur in the rule body (unsafe rule).
     UnsafeRule { rule: String, variable: String },
     /// A predicate is used with two different arities.
-    ArityMismatch { predicate: String, first: usize, second: usize },
+    ArityMismatch {
+        predicate: String,
+        first: usize,
+        second: usize,
+    },
     /// The query's goal predicate never occurs in the program.
     UnknownGoal { goal: String },
 }
@@ -22,7 +26,11 @@ impl fmt::Display for ValidationError {
                 f,
                 "unsafe rule `{rule}`: head variable {variable} does not occur in the body"
             ),
-            ValidationError::ArityMismatch { predicate, first, second } => write!(
+            ValidationError::ArityMismatch {
+                predicate,
+                first,
+                second,
+            } => write!(
                 f,
                 "predicate {predicate} used with arities {first} and {second}"
             ),
@@ -79,8 +87,14 @@ pub fn validate_program(program: &Program) -> Result<(), ValidationError> {
 /// Validate a query: its program must validate and the goal must occur.
 pub fn validate_query(query: &Query) -> Result<(), ValidationError> {
     validate_program(&query.program)?;
-    if !query.program.predicate_arities().contains_key(query.goal.as_str()) {
-        return Err(ValidationError::UnknownGoal { goal: query.goal.clone() });
+    if !query
+        .program
+        .predicate_arities()
+        .contains_key(query.goal.as_str())
+    {
+        return Err(ValidationError::UnknownGoal {
+            goal: query.goal.clone(),
+        });
     }
     Ok(())
 }
@@ -92,10 +106,7 @@ mod tests {
 
     #[test]
     fn accepts_valid_programs() {
-        let p = parse_program(
-            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).").unwrap();
         assert!(validate_program(&p).is_ok());
     }
 

@@ -1,12 +1,12 @@
 //! The edge-labeled graph database.
 
 use rq_automata::{Alphabet, LabelId, Letter};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// Identifier of an object (node) in a [`GraphDb`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -29,16 +29,17 @@ impl NodeId {
 /// "The edge alphabet of a graph database is simply part of the data and
 /// can be changed simply by updating the database" — labels (and nodes) are
 /// interned on first use.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphDb {
     alphabet: Alphabet,
     node_names: Vec<Option<String>>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     node_index: HashMap<String, NodeId>,
     out_edges: Vec<Vec<(LabelId, NodeId)>>,
     in_edges: Vec<Vec<(LabelId, NodeId)>>,
     edges_by_label: Vec<Vec<(NodeId, NodeId)>>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     edge_set: HashSet<(NodeId, LabelId, NodeId)>,
 }
 
@@ -93,7 +94,10 @@ impl GraphDb {
     /// the edge was new.
     pub fn add_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
         assert!(src.index() < self.num_nodes() && dst.index() < self.num_nodes());
-        assert!(label.index() < self.edges_by_label.len(), "label not interned");
+        assert!(
+            label.index() < self.edges_by_label.len(),
+            "label not interned"
+        );
         if !self.edge_set.insert((src, label, dst)) {
             return false;
         }
@@ -189,9 +193,7 @@ impl GraphDb {
             .edges_by_label
             .iter()
             .enumerate()
-            .flat_map(|(l, v)| {
-                v.iter().map(move |&(s, d)| (s, LabelId(l as u32), d))
-            })
+            .flat_map(|(l, v)| v.iter().map(move |&(s, d)| (s, LabelId(l as u32), d)))
             .collect();
         let mut alphabet = std::mem::take(&mut self.alphabet);
         alphabet.rebuild_index();
@@ -227,7 +229,7 @@ mod tests {
         assert_eq!(db.node("a"), a);
         assert_eq!(db.num_nodes(), 3);
         assert_eq!(db.alphabet().len(), 2);
-        assert_eq!(db.find_node("b").is_some(), true);
+        assert!(db.find_node("b").is_some());
         assert_eq!(db.find_node("zz"), None);
     }
 

@@ -35,13 +35,7 @@ pub fn to_dot(db: &GraphDb, options: &DotOptions) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  n{} [label=\"{}\"{}];",
-            n.0,
-            escape(&label),
-            shape
-        );
+        let _ = writeln!(out, "  n{} [label=\"{}\"{}];", n.0, escape(&label), shape);
     }
     for label in db.alphabet().labels() {
         let lname = db.alphabet().name(label).to_owned();
@@ -62,7 +56,13 @@ pub fn to_dot(db: &GraphDb, options: &DotOptions) -> String {
 fn sanitize_id(s: &str) -> String {
     let cleaned: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("_{cleaned}")
@@ -112,7 +112,11 @@ mod tests {
         let (db, a, _) = tiny();
         let dot = to_dot(
             &db,
-            &DotOptions { highlight: vec![a], horizontal: true, ..Default::default() },
+            &DotOptions {
+                highlight: vec![a],
+                horizontal: true,
+                ..Default::default()
+            },
         );
         assert!(dot.contains("rankdir=LR"));
         assert!(dot.contains("doublecircle"));
@@ -123,7 +127,10 @@ mod tests {
         let (db, ..) = tiny();
         let dot = to_dot(
             &db,
-            &DotOptions { name: Some("1 weird-name!".into()), ..Default::default() },
+            &DotOptions {
+                name: Some("1 weird-name!".into()),
+                ..Default::default()
+            },
         );
         assert!(dot.starts_with("digraph _1_weird_name_ {"));
     }

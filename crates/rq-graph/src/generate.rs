@@ -55,12 +55,7 @@ pub fn grid(w: usize, h: usize, right: &str, down: &str) -> GraphDb {
 /// Uniform random multigraph G(n, m) per label: `edges_per_label` random
 /// edges for each of `labels` labels (self-loops allowed, duplicates
 /// coalesced by the set semantics of [`GraphDb`]).
-pub fn random_gnm(
-    nodes: usize,
-    edges_per_label: usize,
-    labels: &[&str],
-    seed: u64,
-) -> GraphDb {
+pub fn random_gnm(nodes: usize, edges_per_label: usize, labels: &[&str], seed: u64) -> GraphDb {
     assert!(nodes >= 1);
     let mut rng = SplitMix64::new(seed);
     let mut db = GraphDb::new();

@@ -7,10 +7,10 @@
 
 use crate::db::{GraphDb, NodeId};
 use rq_automata::{Letter, Nfa};
-use serde::{Deserialize, Serialize};
 
 /// A semipath: interleaved nodes and letters, `nodes.len() == word.len()+1`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Semipath {
     nodes: Vec<NodeId>,
     word: Vec<Letter>,
@@ -19,7 +19,10 @@ pub struct Semipath {
 impl Semipath {
     /// The trivial semipath at `node` (labeled ε).
     pub fn trivial(node: NodeId) -> Self {
-        Semipath { nodes: vec![node], word: Vec::new() }
+        Semipath {
+            nodes: vec![node],
+            word: Vec::new(),
+        }
     }
 
     /// Build from interleaved parts; panics unless

@@ -23,7 +23,11 @@ pub struct TextError {
 
 impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph text error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "graph text error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -51,9 +55,7 @@ pub fn parse(input: &str) -> Result<GraphDb, TextError> {
             _ => {
                 return Err(TextError {
                     line: i + 1,
-                    message: format!(
-                        "expected `src label dst` or `node name`, got {line:?}"
-                    ),
+                    message: format!("expected `src label dst` or `node name`, got {line:?}"),
                 })
             }
         }

@@ -43,7 +43,10 @@ fn main() {
         "p p⁻ p ⇝ p? {}   (the zigzag walk 0,1,0,1)",
         folds_onto(&v, &u)
     );
-    println!("p ⇝ p p⁻ p? {}   (cannot end at position 3)", folds_onto(&u, &v));
+    println!(
+        "p ⇝ p p⁻ p? {}   (cannot end at position 3)",
+        folds_onto(&u, &v)
+    );
 
     // ----- Lemma 3: the fold 2NFA -----------------------------------------
     println!("\n=== Lemma 3: fold(L) as a small 2NFA ===");

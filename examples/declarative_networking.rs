@@ -29,7 +29,10 @@ fn main() {
 
     println!("routing program:\n{program}");
     println!("nonrecursive? {}", is_nonrecursive(&program));
-    println!("Monadic Datalog? {} (recursive Route is binary)", is_monadic(&program));
+    println!(
+        "Monadic Datalog? {} (recursive Route is binary)",
+        is_monadic(&program)
+    );
     println!("GRQ? {}", is_grq(&program));
     let analysis = analyze_grq(&program).expect("GRQ");
     for tc in &analysis.tc_defs {

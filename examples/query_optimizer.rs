@@ -32,17 +32,17 @@ fn main() {
     // only if… let the checker decide).
     let bloated = cq(
         ("Q", &["X"]),
-        &[
-            ("E", &["X", "Y"]),
-            ("E", &["X", "Z"]),
-            ("E", &["Z", "W"]),
-        ],
+        &[("E", &["X", "Y"]), ("E", &["X", "Z"]), ("E", &["Z", "W"])],
     );
     let core = minimize_cq(&bloated);
     println!("bloated CQ : {bloated}");
     println!("core       : {core}");
     assert!(cq_equivalent(&bloated, &core));
-    println!("equivalent ✓ ({} → {} atoms)\n", bloated.body.len(), core.body.len());
+    println!(
+        "equivalent ✓ ({} → {} atoms)\n",
+        bloated.body.len(),
+        core.body.len()
+    );
 
     // ----- 2. UCQ disjunct elimination ----------------------------------
     let narrow = cq(
@@ -50,9 +50,15 @@ fn main() {
         &[("E", &["X", "Y"]), ("E", &["Y", "Z"]), ("E", &["X", "Z"])],
     );
     let wide = cq(("Q", &["X", "Z"]), &[("E", &["X", "Z"])]);
-    let union = Ucq { disjuncts: vec![narrow, wide] };
+    let union = Ucq {
+        disjuncts: vec![narrow, wide],
+    };
     let minimized = minimize_ucq(&union);
-    println!("UCQ with {} disjuncts minimizes to {}:", union.disjuncts.len(), minimized.disjuncts.len());
+    println!(
+        "UCQ with {} disjuncts minimizes to {}:",
+        union.disjuncts.len(),
+        minimized.disjuncts.len()
+    );
     print!("{minimized}");
     assert!(ucq_contained(&union, &minimized) && ucq_contained(&minimized, &union));
     println!("equivalent ✓\n");

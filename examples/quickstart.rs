@@ -47,17 +47,17 @@ fn main() {
     // People x, y such that x knows someone who works at y's employer.
     let q = C2Rpq::parse(
         &["x", "y"],
-        &[("knows", "x", "m"), ("worksAt", "m", "e"), ("worksAt", "y", "e")],
+        &[
+            ("knows", "x", "m"),
+            ("worksAt", "m", "e"),
+            ("worksAt", "y", "e"),
+        ],
         &mut al,
     )
     .unwrap();
     println!("\nconjunctive pattern answers:");
     for t in q.evaluate(&db) {
-        println!(
-            "  x={}, y={}",
-            db.display_node(t[0]),
-            db.display_node(t[1])
-        );
+        println!("  x={}, y={}", db.display_node(t[0]), db.display_node(t[1]));
     }
 
     // ----- RQ: transitive closure of a conjunctive query ----------------
@@ -67,12 +67,11 @@ fn main() {
         .and(RqExpr::edge(works_at, "y", "e"))
         .project("m")
         .project("e");
-    let rq = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        step.closure("x", "y"),
-    )
-    .unwrap();
-    println!("\nRQ (closure of the pattern) answers: {:?}", rq.evaluate(&db).len());
+    let rq = RqQuery::new(vec!["x".into(), "y".into()], step.closure("x", "y")).unwrap();
+    println!(
+        "\nRQ (closure of the pattern) answers: {:?}",
+        rq.evaluate(&db).len()
+    );
 
     // ----- containment ---------------------------------------------------
     let q1 = Rpq::parse("knows", &mut al).unwrap();
@@ -93,11 +92,7 @@ fn main() {
     // RQ containment with a budgeted checker.
     let cfg = Config::default();
     let r_plus = TwoRpq::parse("knows+", &mut al).unwrap();
-    let rq2 = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        RqExpr::rel2(r_plus, "x", "y"),
-    )
-    .unwrap();
+    let rq2 = RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(r_plus, "x", "y")).unwrap();
     let tc_knows = RqQuery::new(
         vec!["x".into(), "y".into()],
         RqExpr::edge(knows, "x", "y").closure("x", "y"),

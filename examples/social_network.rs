@@ -77,11 +77,7 @@ fn main() {
     let corroborated = RqExpr::edge(knows, "x", "y")
         .and(RqExpr::edge(follows, "w", "y"))
         .project("w");
-    let rq = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        corroborated.closure("x", "y"),
-    )
-    .unwrap();
+    let rq = RqQuery::new(vec!["x".into(), "y".into()], corroborated.closure("x", "y")).unwrap();
     let infl = rq.evaluate(&db);
     println!(
         "corroborated-influence closure: {} pairs (genuinely beyond UC2RPQ)",

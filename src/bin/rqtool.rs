@@ -13,6 +13,12 @@
 //! rqtool contain-rq <query1.rq> <query2.rq>
 //! ```
 //!
+//! Resource budgets: `--fuel=N` caps abstract search steps and
+//! `--timeout-ms=N` sets a wall-clock deadline for `contain`,
+//! `contain-cq`, `contain-rq`, and `datalog`. An exhausted budget is not
+//! an error: the verdict degrades to `unknown` (or a partial fact count)
+//! and the partial-progress counters are printed.
+//!
 //! `.rq` files use the full-RQ rule syntax with `tc[Pred]` closure atoms
 //! (`Tri(x,y) :- [r](x,y), [r](y,z), [r](z,x).` / `Ans(x,y) :- tc[Tri](x,y).`).
 //!
@@ -52,22 +58,37 @@ fn main() -> ExitCode {
         .position(|f| f.starts_with("--goal="))
         .map(|i| flags[i]["--goal=".len()..].to_owned());
 
-    let result = match positional.as_slice() {
+    // A typo'd budget flag silently running an unbounded search would
+    // defeat the point of having budgets; reject anything unrecognized.
+    let unknown = flags.iter().find(|f| {
+        !(***f == "--dot"
+            || f.starts_with("--from=")
+            || f.starts_with("--goal=")
+            || f.starts_with("--fuel=")
+            || f.starts_with("--timeout-ms="))
+    });
+
+    let result = match unknown {
+        Some(f) => Err(format!("unknown flag {f}\n{}", usage())),
+        None => Ok(()),
+    }
+    .and_then(|()| parse_limits(&flags))
+    .and_then(|limits| match positional.as_slice() {
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
             ("eval", [graph, query]) => cmd_eval(graph, query, from.as_deref(), want_dot),
-            ("contain", [q1, q2]) => cmd_contain(q1, q2, want_dot),
+            ("contain", [q1, q2]) => cmd_contain(q1, q2, want_dot, &limits),
             ("simplify", [query]) => cmd_simplify(query),
-            ("datalog", [program, goal, graph]) => cmd_datalog(program, goal, graph),
+            ("datalog", [program, goal, graph]) => cmd_datalog(program, goal, graph, &limits),
             ("recognize", [program]) => cmd_recognize(program),
             ("to-datalog", [query]) => cmd_to_datalog(query),
             ("eval-cq", [graph, query]) => cmd_eval_cq(graph, query),
-            ("contain-cq", [q1, q2]) => cmd_contain_cq(q1, q2),
+            ("contain-cq", [q1, q2]) => cmd_contain_cq(q1, q2, &limits),
             ("eval-rq", [graph, query]) => cmd_eval_rq(graph, query, goal.as_deref()),
-            ("contain-rq", [q1, q2]) => cmd_contain_rq(q1, q2),
+            ("contain-rq", [q1, q2]) => cmd_contain_rq(q1, q2, &limits),
             _ => Err(usage()),
         },
         _ => Err(usage()),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -87,13 +108,40 @@ fn usage() -> String {
      rqtool eval-cq <graph.txt> <query.cq>\n  \
      rqtool contain-cq <query1.cq> <query2.cq>\n  \
      rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]\n  \
-     rqtool contain-rq <query1.rq> <query2.rq>"
+     rqtool contain-rq <query1.rq> <query2.rq>\n\
+     budget flags (contain*, datalog): --fuel=N --timeout-ms=N"
         .to_owned()
 }
 
+/// Parse the `--fuel=N` / `--timeout-ms=N` budget flags into [`Limits`].
+fn parse_limits(flags: &[&String]) -> Result<Limits, String> {
+    let mut limits = Limits::unlimited();
+    for f in flags {
+        if let Some(v) = f.strip_prefix("--fuel=") {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--fuel expects an integer, got {v:?}"))?;
+            limits = limits.with_fuel(n);
+        } else if let Some(v) = f.strip_prefix("--timeout-ms=") {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("--timeout-ms expects an integer, got {v:?}"))?;
+            limits = limits.with_deadline(std::time::Duration::from_millis(ms));
+        }
+    }
+    Ok(limits)
+}
+
+/// Print the partial-progress counters of an exhausted / inconclusive
+/// verdict so the user sees how far the search got before it stopped.
+fn print_partial_progress(out: &Outcome) {
+    if let Some(r) = out.report() {
+        println!("  partial progress: {}", r.counters);
+    }
+}
+
 fn load_graph(path: &str) -> Result<GraphDb, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     text::parse(&content).map_err(|e| e.to_string())
 }
 
@@ -126,13 +174,18 @@ fn cmd_eval(graph: &str, query: &str, from: Option<&str>, want_dot: bool) -> Res
     Ok(())
 }
 
-fn cmd_contain(s1: &str, s2: &str, want_dot: bool) -> Result<(), String> {
+fn cmd_contain(s1: &str, s2: &str, want_dot: bool, limits: &Limits) -> Result<(), String> {
     let mut al = Alphabet::new();
     let q1 = TwoRpq::parse(s1, &mut al).map_err(|e| e.to_string())?;
     let q2 = TwoRpq::parse(s2, &mut al).map_err(|e| e.to_string())?;
     for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
-        let out = two_rpq::check(a, b, &al);
+        let gov = limits.governor();
+        let out = match two_rpq::check_governed(a, b, &al, &gov) {
+            Ok(out) => out,
+            Err(e) => Outcome::exhausted(e),
+        };
         println!("{label}: {out}");
+        print_partial_progress(&out);
         if let Some(w) = out.witness() {
             if want_dot {
                 let dot = to_dot(
@@ -165,7 +218,7 @@ fn cmd_simplify(query: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_datalog(program: &str, goal: &str, graph: &str) -> Result<(), String> {
+fn cmd_datalog(program: &str, goal: &str, graph: &str, limits: &Limits) -> Result<(), String> {
     let content =
         std::fs::read_to_string(program).map_err(|e| format!("cannot read {program}: {e}"))?;
     let p = parse_program(&content).map_err(|e| e.to_string())?;
@@ -173,11 +226,19 @@ fn cmd_datalog(program: &str, goal: &str, graph: &str) -> Result<(), String> {
     let q = DatalogQuery::new(p, goal);
     let db = load_graph(graph)?;
     let facts = graphdb_to_factdb(&db);
-    let rel = regular_queries::datalog::evaluate(&q, &facts);
-    println!("{} facts for {goal}:", rel.len());
-    for t in rel.iter() {
-        let names: Vec<&str> = t.iter().map(|&v| facts.value_name(v)).collect();
-        println!("  {goal}({})", names.join(", "));
+    let gov = limits.governor();
+    match regular_queries::datalog::evaluate_governed(&q, &facts, &gov) {
+        Ok(rel) => {
+            println!("{} facts for {goal}:", rel.len());
+            for t in rel.iter() {
+                let names: Vec<&str> = t.iter().map(|&v| facts.value_name(v)).collect();
+                println!("  {goal}({})", names.join(", "));
+            }
+        }
+        Err(e) => {
+            println!("evaluation stopped early: {e}");
+            println!("  partial progress: {}", e.counters);
+        }
     }
     Ok(())
 }
@@ -207,11 +268,8 @@ fn cmd_recognize(program: &str) -> Result<(), String> {
 fn cmd_to_datalog(query: &str) -> Result<(), String> {
     let mut al = Alphabet::new();
     let rel = TwoRpq::parse(query, &mut al).map_err(|e| e.to_string())?;
-    let q = RqQuery::new(
-        vec!["x".into(), "y".into()],
-        RqExpr::rel2(rel, "x", "y"),
-    )
-    .map_err(|e| e.to_string())?;
+    let q = RqQuery::new(vec!["x".into(), "y".into()], RqExpr::rel2(rel, "x", "y"))
+        .map_err(|e| e.to_string())?;
     let dq = regular_queries::core::translate::rq_to_datalog(&q, &al);
     print!("{}", dq.program);
     println!("% goal: {}", dq.goal);
@@ -219,8 +277,7 @@ fn cmd_to_datalog(query: &str) -> Result<(), String> {
 }
 
 fn load_uc2rpq(path: &str, al: &mut Alphabet) -> Result<regular_queries::core::Uc2Rpq, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     regular_queries::core::query_text::parse_uc2rpq(&content, al).map_err(|e| e.to_string())
 }
 
@@ -237,15 +294,19 @@ fn cmd_eval_cq(graph: &str, query: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_contain_cq(p1: &str, p2: &str) -> Result<(), String> {
+fn cmd_contain_cq(p1: &str, p2: &str, limits: &Limits) -> Result<(), String> {
     use regular_queries::core::containment::{uc2rpq, Config};
     let mut al = Alphabet::new();
     let q1 = load_uc2rpq(p1, &mut al)?;
     let q2 = load_uc2rpq(p2, &mut al)?;
-    let cfg = Config::default();
+    let cfg = Config {
+        limits: limits.clone(),
+        ..Config::default()
+    };
     for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
         let out = uc2rpq::check(a, b, &al, &cfg);
         println!("{label}: {out}");
+        print_partial_progress(&out);
         if let Some(w) = out.witness() {
             for line in text::to_text(&w.db).lines() {
                 println!("    {line}");
@@ -258,8 +319,7 @@ fn cmd_contain_cq(p1: &str, p2: &str) -> Result<(), String> {
 }
 
 fn load_rq(path: &str, goal: Option<&str>, al: &mut Alphabet) -> Result<RqQuery, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     regular_queries::core::rq_text::parse_rq(&content, goal, al).map_err(|e| e.to_string())
 }
 
@@ -276,15 +336,19 @@ fn cmd_eval_rq(graph: &str, query: &str, goal: Option<&str>) -> Result<(), Strin
     Ok(())
 }
 
-fn cmd_contain_rq(p1: &str, p2: &str) -> Result<(), String> {
+fn cmd_contain_rq(p1: &str, p2: &str, limits: &Limits) -> Result<(), String> {
     use regular_queries::core::containment::{rq, Config};
     let mut al = Alphabet::new();
     let q1 = load_rq(p1, None, &mut al)?;
     let q2 = load_rq(p2, None, &mut al)?;
-    let cfg = Config::default();
+    let cfg = Config {
+        limits: limits.clone(),
+        ..Config::default()
+    };
     for (label, a, b) in [("Q1 ⊑ Q2", &q1, &q2), ("Q2 ⊑ Q1", &q2, &q1)] {
         let out = rq::check(a, b, &al, &cfg);
         println!("{label}: {out}");
+        print_partial_progress(&out);
         if let Some(w) = out.witness() {
             for line in text::to_text(&w.db).lines() {
                 println!("    {line}");

@@ -45,10 +45,15 @@ pub use rq_graph as graph;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
-    pub use rq_automata::{Alphabet, LabelId, Letter, Nfa, Regex};
+    pub use rq_automata::{
+        Alphabet, Counters, EngineError, Exhaustion, Governor, LabelId, Letter, Limits, Nfa, Regex,
+        Resource,
+    };
     pub use rq_core::containment::rpq::check as rpq_containment;
     pub use rq_core::containment::two_rpq::check as two_rpq_containment;
-    pub use rq_core::containment::{Certificate, Config as ContainmentConfig, Outcome, Witness};
+    pub use rq_core::containment::{
+        Certificate, Config as ContainmentConfig, ExhaustionReport, Outcome, Witness,
+    };
     pub use rq_core::query_text::parse_uc2rpq;
     pub use rq_core::{C2Rpq, Rpq, RqExpr, RqQuery, TwoRpq, Uc2Rpq};
     pub use rq_datalog::{FactDb, Program, Query as DatalogQuery};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial_limits-665956fa86bb335c.d: tests/adversarial_limits.rs
+
+/root/repo/target/debug/deps/adversarial_limits-665956fa86bb335c: tests/adversarial_limits.rs
+
+tests/adversarial_limits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial_limits-66848bd1677c6b35.d: tests/adversarial_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial_limits-66848bd1677c6b35.rmeta: tests/adversarial_limits.rs Cargo.toml
+
+tests/adversarial_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment_soundness-aece1c5e68e0ebb2.d: tests/containment_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment_soundness-aece1c5e68e0ebb2.rmeta: tests/containment_soundness.rs Cargo.toml
+
+tests/containment_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

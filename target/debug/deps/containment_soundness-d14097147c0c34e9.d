@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment_soundness-d14097147c0c34e9.d: tests/containment_soundness.rs
+
+/root/repo/target/debug/deps/containment_soundness-d14097147c0c34e9: tests/containment_soundness.rs
+
+tests/containment_soundness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment_soundness-d9d11ee538c9c508.d: tests/containment_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment_soundness-d9d11ee538c9c508.rmeta: tests/containment_soundness.rs Cargo.toml
+
+tests/containment_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-718257c9af2fd263.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-718257c9af2fd263: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_rpq_eval-c4092ae6ffc5e86f.d: crates/rq-bench/benches/e10_rpq_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_rpq_eval-c4092ae6ffc5e86f.rmeta: crates/rq-bench/benches/e10_rpq_eval.rs Cargo.toml
+
+crates/rq-bench/benches/e10_rpq_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

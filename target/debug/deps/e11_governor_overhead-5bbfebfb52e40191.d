@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_governor_overhead-5bbfebfb52e40191.d: crates/rq-bench/benches/e11_governor_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_governor_overhead-5bbfebfb52e40191.rmeta: crates/rq-bench/benches/e11_governor_overhead.rs Cargo.toml
+
+crates/rq-bench/benches/e11_governor_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_rpq_containment-9bb61d145ba0f1a1.d: crates/rq-bench/benches/e1_rpq_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_rpq_containment-9bb61d145ba0f1a1.rmeta: crates/rq-bench/benches/e1_rpq_containment.rs Cargo.toml
+
+crates/rq-bench/benches/e1_rpq_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_fold_construction-3fd4956ce2d1ad51.d: crates/rq-bench/benches/e2_fold_construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_fold_construction-3fd4956ce2d1ad51.rmeta: crates/rq-bench/benches/e2_fold_construction.rs Cargo.toml
+
+crates/rq-bench/benches/e2_fold_construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_complement_blowup-56fab31ff8add180.d: crates/rq-bench/benches/e3_complement_blowup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_complement_blowup-56fab31ff8add180.rmeta: crates/rq-bench/benches/e3_complement_blowup.rs Cargo.toml
+
+crates/rq-bench/benches/e3_complement_blowup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_tworpq_containment-36258e1c7735bb59.d: crates/rq-bench/benches/e4_tworpq_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_tworpq_containment-36258e1c7735bb59.rmeta: crates/rq-bench/benches/e4_tworpq_containment.rs Cargo.toml
+
+crates/rq-bench/benches/e4_tworpq_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_tworpq_containment-86716b54807bd31d.d: crates/rq-bench/benches/e4_tworpq_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_tworpq_containment-86716b54807bd31d.rmeta: crates/rq-bench/benches/e4_tworpq_containment.rs Cargo.toml
+
+crates/rq-bench/benches/e4_tworpq_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_uc2rpq_containment-68e17e775d7a9816.d: crates/rq-bench/benches/e5_uc2rpq_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_uc2rpq_containment-68e17e775d7a9816.rmeta: crates/rq-bench/benches/e5_uc2rpq_containment.rs Cargo.toml
+
+crates/rq-bench/benches/e5_uc2rpq_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

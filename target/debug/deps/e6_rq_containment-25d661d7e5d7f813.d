@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_rq_containment-25d661d7e5d7f813.d: crates/rq-bench/benches/e6_rq_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_rq_containment-25d661d7e5d7f813.rmeta: crates/rq-bench/benches/e6_rq_containment.rs Cargo.toml
+
+crates/rq-bench/benches/e6_rq_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_grq_reduction-59cbb0a6f4fbec4a.d: crates/rq-bench/benches/e7_grq_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_grq_reduction-59cbb0a6f4fbec4a.rmeta: crates/rq-bench/benches/e7_grq_reduction.rs Cargo.toml
+
+crates/rq-bench/benches/e7_grq_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

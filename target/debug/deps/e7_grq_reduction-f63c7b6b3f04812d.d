@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_grq_reduction-f63c7b6b3f04812d.d: crates/rq-bench/benches/e7_grq_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_grq_reduction-f63c7b6b3f04812d.rmeta: crates/rq-bench/benches/e7_grq_reduction.rs Cargo.toml
+
+crates/rq-bench/benches/e7_grq_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_datalog_eval-1c74335351281d3b.d: crates/rq-bench/benches/e8_datalog_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_datalog_eval-1c74335351281d3b.rmeta: crates/rq-bench/benches/e8_datalog_eval.rs Cargo.toml
+
+crates/rq-bench/benches/e8_datalog_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_monadic_reachability-70f2873b61314a7d.d: crates/rq-bench/benches/e9_monadic_reachability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_monadic_reachability-70f2873b61314a7d.rmeta: crates/rq-bench/benches/e9_monadic_reachability.rs Cargo.toml
+
+crates/rq-bench/benches/e9_monadic_reachability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-4696797870f661a0.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-4696797870f661a0: tests/edge_cases.rs
+
+tests/edge_cases.rs:

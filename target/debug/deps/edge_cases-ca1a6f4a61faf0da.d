@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-ca1a6f4a61faf0da.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-ca1a6f4a61faf0da.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/example_data-3e465ccf2d97806a.d: tests/example_data.rs
+
+/root/repo/target/debug/deps/example_data-3e465ccf2d97806a: tests/example_data.rs
+
+tests/example_data.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/example_data-f55a3c34ca4fb8fe.d: tests/example_data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexample_data-f55a3c34ca4fb8fe.rmeta: tests/example_data.rs Cargo.toml
+
+tests/example_data.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

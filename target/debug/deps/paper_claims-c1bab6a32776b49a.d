@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c1bab6a32776b49a.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c1bab6a32776b49a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_automata-8e86edcd9f905cd8.d: tests/proptest_automata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_automata-8e86edcd9f905cd8.rmeta: tests/proptest_automata.rs Cargo.toml
+
+tests/proptest_automata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_automata-ba712cdabc67c562.d: tests/proptest_automata.rs
+
+/root/repo/target/debug/deps/proptest_automata-ba712cdabc67c562: tests/proptest_automata.rs
+
+tests/proptest_automata.rs:

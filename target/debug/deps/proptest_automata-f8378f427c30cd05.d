@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_automata-f8378f427c30cd05.d: tests/proptest_automata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_automata-f8378f427c30cd05.rmeta: tests/proptest_automata.rs Cargo.toml
+
+tests/proptest_automata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

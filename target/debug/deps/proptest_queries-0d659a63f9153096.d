@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_queries-0d659a63f9153096.d: tests/proptest_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_queries-0d659a63f9153096.rmeta: tests/proptest_queries.rs Cargo.toml
+
+tests/proptest_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

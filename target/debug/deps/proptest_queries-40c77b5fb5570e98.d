@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_queries-40c77b5fb5570e98.d: tests/proptest_queries.rs
+
+/root/repo/target/debug/deps/proptest_queries-40c77b5fb5570e98: tests/proptest_queries.rs
+
+tests/proptest_queries.rs:

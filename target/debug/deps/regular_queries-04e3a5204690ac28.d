@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/regular_queries-04e3a5204690ac28.d: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-04e3a5204690ac28.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-04e3a5204690ac28.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regular_queries-3234967e886ed107.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregular_queries-3234967e886ed107.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/regular_queries-33405a94cd128e7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-33405a94cd128e7d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-33405a94cd128e7d.rmeta: src/lib.rs
+
+src/lib.rs:

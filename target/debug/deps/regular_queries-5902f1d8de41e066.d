@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/regular_queries-5902f1d8de41e066.d: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-5902f1d8de41e066.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libregular_queries-5902f1d8de41e066.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regular_queries-eaded7928e8255d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/regular_queries-eaded7928e8255d1: src/lib.rs
+
+src/lib.rs:

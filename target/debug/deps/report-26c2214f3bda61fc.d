@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-26c2214f3bda61fc.d: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-26c2214f3bda61fc.rmeta: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+crates/rq-bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

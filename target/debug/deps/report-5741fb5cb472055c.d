@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-5741fb5cb472055c.d: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-5741fb5cb472055c.rmeta: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+crates/rq-bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-b2b5024d02ed0001.d: crates/rq-bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-b2b5024d02ed0001: crates/rq-bench/src/bin/report.rs
+
+crates/rq-bench/src/bin/report.rs:

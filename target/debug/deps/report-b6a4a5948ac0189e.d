@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-b6a4a5948ac0189e.d: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-b6a4a5948ac0189e.rmeta: crates/rq-bench/src/bin/report.rs Cargo.toml
+
+crates/rq-bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

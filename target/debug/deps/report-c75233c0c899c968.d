@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-c75233c0c899c968.d: crates/rq-bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-c75233c0c899c968: crates/rq-bench/src/bin/report.rs
+
+crates/rq-bench/src/bin/report.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rq_automata-15eb0241f984056a.d: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+/root/repo/target/debug/deps/rq_automata-15eb0241f984056a: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+crates/rq-automata/src/lib.rs:
+crates/rq-automata/src/alphabet.rs:
+crates/rq-automata/src/complement2.rs:
+crates/rq-automata/src/containment.rs:
+crates/rq-automata/src/dfa.rs:
+crates/rq-automata/src/fold.rs:
+crates/rq-automata/src/governor.rs:
+crates/rq-automata/src/nfa.rs:
+crates/rq-automata/src/random.rs:
+crates/rq-automata/src/regex.rs:
+crates/rq-automata/src/regex/parser.rs:
+crates/rq-automata/src/regex/simplify.rs:
+crates/rq-automata/src/shepherdson.rs:
+crates/rq-automata/src/to_regex.rs:
+crates/rq-automata/src/twonfa.rs:

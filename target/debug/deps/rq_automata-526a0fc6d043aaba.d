@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rq_automata-526a0fc6d043aaba.d: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_automata-526a0fc6d043aaba.rmeta: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs Cargo.toml
+
+crates/rq-automata/src/lib.rs:
+crates/rq-automata/src/alphabet.rs:
+crates/rq-automata/src/complement2.rs:
+crates/rq-automata/src/containment.rs:
+crates/rq-automata/src/dfa.rs:
+crates/rq-automata/src/fold.rs:
+crates/rq-automata/src/governor.rs:
+crates/rq-automata/src/nfa.rs:
+crates/rq-automata/src/random.rs:
+crates/rq-automata/src/regex.rs:
+crates/rq-automata/src/regex/parser.rs:
+crates/rq-automata/src/regex/simplify.rs:
+crates/rq-automata/src/shepherdson.rs:
+crates/rq-automata/src/to_regex.rs:
+crates/rq-automata/src/twonfa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

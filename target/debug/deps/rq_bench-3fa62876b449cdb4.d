@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rq_bench-3fa62876b449cdb4.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/debug/deps/rq_bench-3fa62876b449cdb4: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rq_bench-9a3bfffe06f75769.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_bench-9a3bfffe06f75769.rmeta: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs Cargo.toml
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

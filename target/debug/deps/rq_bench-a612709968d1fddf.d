@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rq_bench-a612709968d1fddf.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/debug/deps/librq_bench-a612709968d1fddf.rlib: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/debug/deps/librq_bench-a612709968d1fddf.rmeta: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rq_bench-c40d41178f88f9f9.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_bench-c40d41178f88f9f9.rmeta: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs Cargo.toml
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rq_bench-ec9ccd618611bf67.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/debug/deps/librq_bench-ec9ccd618611bf67.rlib: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/debug/deps/librq_bench-ec9ccd618611bf67.rmeta: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/rq_core-14fd46b238c421a8.d: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+/root/repo/target/debug/deps/librq_core-14fd46b238c421a8.rlib: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+/root/repo/target/debug/deps/librq_core-14fd46b238c421a8.rmeta: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+crates/rq-core/src/lib.rs:
+crates/rq-core/src/containment/mod.rs:
+crates/rq-core/src/containment/rpq.rs:
+crates/rq-core/src/containment/rq.rs:
+crates/rq-core/src/containment/two_rpq.rs:
+crates/rq-core/src/containment/uc2rpq.rs:
+crates/rq-core/src/crpq.rs:
+crates/rq-core/src/expansion.rs:
+crates/rq-core/src/minimize.rs:
+crates/rq-core/src/query_text.rs:
+crates/rq-core/src/rpq.rs:
+crates/rq-core/src/rq.rs:
+crates/rq-core/src/rq_text.rs:
+crates/rq-core/src/translate/mod.rs:
+crates/rq-core/src/translate/arity.rs:
+crates/rq-core/src/translate/bridge.rs:
+crates/rq-core/src/translate/from_grq.rs:
+crates/rq-core/src/translate/to_datalog.rs:

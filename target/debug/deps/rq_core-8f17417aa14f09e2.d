@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/rq_core-8f17417aa14f09e2.d: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_core-8f17417aa14f09e2.rmeta: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs Cargo.toml
+
+crates/rq-core/src/lib.rs:
+crates/rq-core/src/containment/mod.rs:
+crates/rq-core/src/containment/rpq.rs:
+crates/rq-core/src/containment/rq.rs:
+crates/rq-core/src/containment/two_rpq.rs:
+crates/rq-core/src/containment/uc2rpq.rs:
+crates/rq-core/src/crpq.rs:
+crates/rq-core/src/expansion.rs:
+crates/rq-core/src/minimize.rs:
+crates/rq-core/src/query_text.rs:
+crates/rq-core/src/rpq.rs:
+crates/rq-core/src/rq.rs:
+crates/rq-core/src/rq_text.rs:
+crates/rq-core/src/translate/mod.rs:
+crates/rq-core/src/translate/arity.rs:
+crates/rq-core/src/translate/bridge.rs:
+crates/rq-core/src/translate/from_grq.rs:
+crates/rq-core/src/translate/to_datalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

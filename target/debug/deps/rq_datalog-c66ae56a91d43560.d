@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rq_datalog-c66ae56a91d43560.d: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_datalog-c66ae56a91d43560.rmeta: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs Cargo.toml
+
+crates/rq-datalog/src/lib.rs:
+crates/rq-datalog/src/ast.rs:
+crates/rq-datalog/src/cfg.rs:
+crates/rq-datalog/src/containment.rs:
+crates/rq-datalog/src/depgraph.rs:
+crates/rq-datalog/src/eval.rs:
+crates/rq-datalog/src/grq.rs:
+crates/rq-datalog/src/parser.rs:
+crates/rq-datalog/src/relation.rs:
+crates/rq-datalog/src/unfold.rs:
+crates/rq-datalog/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rq_datalog-f78ca1de9c7bcfe7.d: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs
+
+/root/repo/target/debug/deps/rq_datalog-f78ca1de9c7bcfe7: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs
+
+crates/rq-datalog/src/lib.rs:
+crates/rq-datalog/src/ast.rs:
+crates/rq-datalog/src/cfg.rs:
+crates/rq-datalog/src/containment.rs:
+crates/rq-datalog/src/depgraph.rs:
+crates/rq-datalog/src/eval.rs:
+crates/rq-datalog/src/grq.rs:
+crates/rq-datalog/src/parser.rs:
+crates/rq-datalog/src/relation.rs:
+crates/rq-datalog/src/unfold.rs:
+crates/rq-datalog/src/validate.rs:

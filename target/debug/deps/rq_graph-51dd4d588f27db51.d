@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rq_graph-51dd4d588f27db51.d: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/librq_graph-51dd4d588f27db51.rmeta: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs Cargo.toml
+
+crates/rq-graph/src/lib.rs:
+crates/rq-graph/src/db.rs:
+crates/rq-graph/src/dot.rs:
+crates/rq-graph/src/generate.rs:
+crates/rq-graph/src/semipath.rs:
+crates/rq-graph/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

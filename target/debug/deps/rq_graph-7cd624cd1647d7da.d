@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rq_graph-7cd624cd1647d7da.d: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+/root/repo/target/debug/deps/librq_graph-7cd624cd1647d7da.rlib: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+/root/repo/target/debug/deps/librq_graph-7cd624cd1647d7da.rmeta: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+crates/rq-graph/src/lib.rs:
+crates/rq-graph/src/db.rs:
+crates/rq-graph/src/dot.rs:
+crates/rq-graph/src/generate.rs:
+crates/rq-graph/src/semipath.rs:
+crates/rq-graph/src/text.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rq_graph-83f7d624a0dfb415.d: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+/root/repo/target/debug/deps/rq_graph-83f7d624a0dfb415: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+crates/rq-graph/src/lib.rs:
+crates/rq-graph/src/db.rs:
+crates/rq-graph/src/dot.rs:
+crates/rq-graph/src/generate.rs:
+crates/rq-graph/src/semipath.rs:
+crates/rq-graph/src/text.rs:

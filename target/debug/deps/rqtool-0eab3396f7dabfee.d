@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rqtool-0eab3396f7dabfee.d: src/bin/rqtool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librqtool-0eab3396f7dabfee.rmeta: src/bin/rqtool.rs Cargo.toml
+
+src/bin/rqtool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

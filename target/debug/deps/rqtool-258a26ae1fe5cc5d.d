@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rqtool-258a26ae1fe5cc5d.d: src/bin/rqtool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librqtool-258a26ae1fe5cc5d.rmeta: src/bin/rqtool.rs Cargo.toml
+
+src/bin/rqtool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rqtool-687b51b3164097dc.d: src/bin/rqtool.rs
+
+/root/repo/target/debug/deps/rqtool-687b51b3164097dc: src/bin/rqtool.rs
+
+src/bin/rqtool.rs:

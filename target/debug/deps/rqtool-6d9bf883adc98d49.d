@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rqtool-6d9bf883adc98d49.d: src/bin/rqtool.rs
+
+/root/repo/target/debug/deps/rqtool-6d9bf883adc98d49: src/bin/rqtool.rs
+
+src/bin/rqtool.rs:

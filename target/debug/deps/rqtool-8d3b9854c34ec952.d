@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rqtool-8d3b9854c34ec952.d: src/bin/rqtool.rs
+
+/root/repo/target/debug/deps/rqtool-8d3b9854c34ec952: src/bin/rqtool.rs
+
+src/bin/rqtool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rqtool-cbe8f52f7ecc041b.d: src/bin/rqtool.rs
+
+/root/repo/target/debug/deps/rqtool-cbe8f52f7ecc041b: src/bin/rqtool.rs
+
+src/bin/rqtool.rs:

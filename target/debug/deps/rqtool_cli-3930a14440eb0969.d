@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rqtool_cli-3930a14440eb0969.d: tests/rqtool_cli.rs
+
+/root/repo/target/debug/deps/rqtool_cli-3930a14440eb0969: tests/rqtool_cli.rs
+
+tests/rqtool_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rqtool=/root/repo/target/debug/rqtool
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

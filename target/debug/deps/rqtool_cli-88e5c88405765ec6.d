@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rqtool_cli-88e5c88405765ec6.d: tests/rqtool_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librqtool_cli-88e5c88405765ec6.rmeta: tests/rqtool_cli.rs Cargo.toml
+
+tests/rqtool_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rqtool=placeholder:rqtool
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-22e7be74cb4f44e1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22e7be74cb4f44e1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22e7be74cb4f44e1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

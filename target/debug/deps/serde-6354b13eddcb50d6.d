@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-6354b13eddcb50d6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-6354b13eddcb50d6: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

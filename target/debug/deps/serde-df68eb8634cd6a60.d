@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-df68eb8634cd6a60.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-df68eb8634cd6a60.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/automata_theory-8910315578467186.d: examples/automata_theory.rs
+
+/root/repo/target/debug/examples/automata_theory-8910315578467186: examples/automata_theory.rs
+
+examples/automata_theory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/automata_theory-e65b88a326229c04.d: examples/automata_theory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautomata_theory-e65b88a326229c04.rmeta: examples/automata_theory.rs Cargo.toml
+
+examples/automata_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/containment_explorer-0ba5cc5d6b2bae9a.d: examples/containment_explorer.rs
+
+/root/repo/target/debug/examples/containment_explorer-0ba5cc5d6b2bae9a: examples/containment_explorer.rs
+
+examples/containment_explorer.rs:

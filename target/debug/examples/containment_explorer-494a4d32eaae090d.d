@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/containment_explorer-494a4d32eaae090d.d: examples/containment_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontainment_explorer-494a4d32eaae090d.rmeta: examples/containment_explorer.rs Cargo.toml
+
+examples/containment_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/containment_explorer-61f2538931e76420.d: examples/containment_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontainment_explorer-61f2538931e76420.rmeta: examples/containment_explorer.rs Cargo.toml
+
+examples/containment_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/declarative_networking-446ddbb482551390.d: examples/declarative_networking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeclarative_networking-446ddbb482551390.rmeta: examples/declarative_networking.rs Cargo.toml
+
+examples/declarative_networking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

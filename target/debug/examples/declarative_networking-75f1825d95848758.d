@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/declarative_networking-75f1825d95848758.d: examples/declarative_networking.rs
+
+/root/repo/target/debug/examples/declarative_networking-75f1825d95848758: examples/declarative_networking.rs
+
+examples/declarative_networking.rs:

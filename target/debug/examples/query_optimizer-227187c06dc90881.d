@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_optimizer-227187c06dc90881.d: examples/query_optimizer.rs
+
+/root/repo/target/debug/examples/query_optimizer-227187c06dc90881: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e088abbc97558db5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e088abbc97558db5: examples/quickstart.rs
+
+examples/quickstart.rs:

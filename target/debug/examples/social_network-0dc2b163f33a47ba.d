@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_network-0dc2b163f33a47ba.d: examples/social_network.rs
+
+/root/repo/target/debug/examples/social_network-0dc2b163f33a47ba: examples/social_network.rs
+
+examples/social_network.rs:

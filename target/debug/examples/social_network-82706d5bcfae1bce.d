@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_network-82706d5bcfae1bce.d: examples/social_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_network-82706d5bcfae1bce.rmeta: examples/social_network.rs Cargo.toml
+
+examples/social_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_governor_overhead-1cbe629ccf01782d.d: crates/rq-bench/benches/e11_governor_overhead.rs
+
+/root/repo/target/release/deps/e11_governor_overhead-1cbe629ccf01782d: crates/rq-bench/benches/e11_governor_overhead.rs
+
+crates/rq-bench/benches/e11_governor_overhead.rs:

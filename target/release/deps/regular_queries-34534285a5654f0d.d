@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/regular_queries-34534285a5654f0d.d: src/lib.rs
+
+/root/repo/target/release/deps/libregular_queries-34534285a5654f0d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libregular_queries-34534285a5654f0d.rmeta: src/lib.rs
+
+src/lib.rs:

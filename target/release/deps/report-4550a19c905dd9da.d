@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-4550a19c905dd9da.d: crates/rq-bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-4550a19c905dd9da: crates/rq-bench/src/bin/report.rs
+
+crates/rq-bench/src/bin/report.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/rq_automata-c0b5bde7da5f6e9a.d: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+/root/repo/target/release/deps/librq_automata-c0b5bde7da5f6e9a.rlib: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+/root/repo/target/release/deps/librq_automata-c0b5bde7da5f6e9a.rmeta: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+crates/rq-automata/src/lib.rs:
+crates/rq-automata/src/alphabet.rs:
+crates/rq-automata/src/complement2.rs:
+crates/rq-automata/src/containment.rs:
+crates/rq-automata/src/dfa.rs:
+crates/rq-automata/src/fold.rs:
+crates/rq-automata/src/governor.rs:
+crates/rq-automata/src/nfa.rs:
+crates/rq-automata/src/random.rs:
+crates/rq-automata/src/regex.rs:
+crates/rq-automata/src/regex/parser.rs:
+crates/rq-automata/src/regex/simplify.rs:
+crates/rq-automata/src/shepherdson.rs:
+crates/rq-automata/src/to_regex.rs:
+crates/rq-automata/src/twonfa.rs:

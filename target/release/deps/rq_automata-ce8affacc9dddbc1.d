@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/rq_automata-ce8affacc9dddbc1.d: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+/root/repo/target/release/deps/librq_automata-ce8affacc9dddbc1.rlib: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+/root/repo/target/release/deps/librq_automata-ce8affacc9dddbc1.rmeta: crates/rq-automata/src/lib.rs crates/rq-automata/src/alphabet.rs crates/rq-automata/src/complement2.rs crates/rq-automata/src/containment.rs crates/rq-automata/src/dfa.rs crates/rq-automata/src/fold.rs crates/rq-automata/src/governor.rs crates/rq-automata/src/nfa.rs crates/rq-automata/src/random.rs crates/rq-automata/src/regex.rs crates/rq-automata/src/regex/parser.rs crates/rq-automata/src/regex/simplify.rs crates/rq-automata/src/shepherdson.rs crates/rq-automata/src/to_regex.rs crates/rq-automata/src/twonfa.rs
+
+crates/rq-automata/src/lib.rs:
+crates/rq-automata/src/alphabet.rs:
+crates/rq-automata/src/complement2.rs:
+crates/rq-automata/src/containment.rs:
+crates/rq-automata/src/dfa.rs:
+crates/rq-automata/src/fold.rs:
+crates/rq-automata/src/governor.rs:
+crates/rq-automata/src/nfa.rs:
+crates/rq-automata/src/random.rs:
+crates/rq-automata/src/regex.rs:
+crates/rq-automata/src/regex/parser.rs:
+crates/rq-automata/src/regex/simplify.rs:
+crates/rq-automata/src/shepherdson.rs:
+crates/rq-automata/src/to_regex.rs:
+crates/rq-automata/src/twonfa.rs:

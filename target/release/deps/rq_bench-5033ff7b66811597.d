@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rq_bench-5033ff7b66811597.d: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/release/deps/librq_bench-5033ff7b66811597.rlib: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+/root/repo/target/release/deps/librq_bench-5033ff7b66811597.rmeta: crates/rq-bench/src/lib.rs crates/rq-bench/src/workloads.rs
+
+crates/rq-bench/src/lib.rs:
+crates/rq-bench/src/workloads.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/rq_core-2560804d360a8256.d: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+/root/repo/target/release/deps/librq_core-2560804d360a8256.rlib: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+/root/repo/target/release/deps/librq_core-2560804d360a8256.rmeta: crates/rq-core/src/lib.rs crates/rq-core/src/containment/mod.rs crates/rq-core/src/containment/rpq.rs crates/rq-core/src/containment/rq.rs crates/rq-core/src/containment/two_rpq.rs crates/rq-core/src/containment/uc2rpq.rs crates/rq-core/src/crpq.rs crates/rq-core/src/expansion.rs crates/rq-core/src/minimize.rs crates/rq-core/src/query_text.rs crates/rq-core/src/rpq.rs crates/rq-core/src/rq.rs crates/rq-core/src/rq_text.rs crates/rq-core/src/translate/mod.rs crates/rq-core/src/translate/arity.rs crates/rq-core/src/translate/bridge.rs crates/rq-core/src/translate/from_grq.rs crates/rq-core/src/translate/to_datalog.rs
+
+crates/rq-core/src/lib.rs:
+crates/rq-core/src/containment/mod.rs:
+crates/rq-core/src/containment/rpq.rs:
+crates/rq-core/src/containment/rq.rs:
+crates/rq-core/src/containment/two_rpq.rs:
+crates/rq-core/src/containment/uc2rpq.rs:
+crates/rq-core/src/crpq.rs:
+crates/rq-core/src/expansion.rs:
+crates/rq-core/src/minimize.rs:
+crates/rq-core/src/query_text.rs:
+crates/rq-core/src/rpq.rs:
+crates/rq-core/src/rq.rs:
+crates/rq-core/src/rq_text.rs:
+crates/rq-core/src/translate/mod.rs:
+crates/rq-core/src/translate/arity.rs:
+crates/rq-core/src/translate/bridge.rs:
+crates/rq-core/src/translate/from_grq.rs:
+crates/rq-core/src/translate/to_datalog.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rq_datalog-7b0c55c7f184d861.d: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs
+
+/root/repo/target/release/deps/librq_datalog-7b0c55c7f184d861.rlib: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs
+
+/root/repo/target/release/deps/librq_datalog-7b0c55c7f184d861.rmeta: crates/rq-datalog/src/lib.rs crates/rq-datalog/src/ast.rs crates/rq-datalog/src/cfg.rs crates/rq-datalog/src/containment.rs crates/rq-datalog/src/depgraph.rs crates/rq-datalog/src/eval.rs crates/rq-datalog/src/grq.rs crates/rq-datalog/src/parser.rs crates/rq-datalog/src/relation.rs crates/rq-datalog/src/unfold.rs crates/rq-datalog/src/validate.rs
+
+crates/rq-datalog/src/lib.rs:
+crates/rq-datalog/src/ast.rs:
+crates/rq-datalog/src/cfg.rs:
+crates/rq-datalog/src/containment.rs:
+crates/rq-datalog/src/depgraph.rs:
+crates/rq-datalog/src/eval.rs:
+crates/rq-datalog/src/grq.rs:
+crates/rq-datalog/src/parser.rs:
+crates/rq-datalog/src/relation.rs:
+crates/rq-datalog/src/unfold.rs:
+crates/rq-datalog/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rq_graph-de58f6159cddd48d.d: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+/root/repo/target/release/deps/librq_graph-de58f6159cddd48d.rlib: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+/root/repo/target/release/deps/librq_graph-de58f6159cddd48d.rmeta: crates/rq-graph/src/lib.rs crates/rq-graph/src/db.rs crates/rq-graph/src/dot.rs crates/rq-graph/src/generate.rs crates/rq-graph/src/semipath.rs crates/rq-graph/src/text.rs
+
+crates/rq-graph/src/lib.rs:
+crates/rq-graph/src/db.rs:
+crates/rq-graph/src/dot.rs:
+crates/rq-graph/src/generate.rs:
+crates/rq-graph/src/semipath.rs:
+crates/rq-graph/src/text.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rqtool-1d7226e9716c4cd5.d: src/bin/rqtool.rs
+
+/root/repo/target/release/deps/rqtool-1d7226e9716c4cd5: src/bin/rqtool.rs
+
+src/bin/rqtool.rs:

@@ -15,7 +15,12 @@ use regular_queries::graph::generate;
 use regular_queries::prelude::*;
 
 fn random_two_rpq(rng: &mut SplitMix64, leaves: usize) -> TwoRpq {
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves, repeat_prob: 0.35 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.3,
+        leaves,
+        repeat_prob: 0.35,
+    };
     TwoRpq::new(random_regex(rng, &cfg))
 }
 

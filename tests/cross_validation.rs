@@ -20,7 +20,12 @@ use std::collections::BTreeSet;
 #[test]
 fn three_engines_agree_on_two_rpqs() {
     let mut rng = SplitMix64::new(31);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves: 5, repeat_prob: 0.35 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.3,
+        leaves: 5,
+        repeat_prob: 0.35,
+    };
     for trial in 0..25 {
         let re = random_regex(&mut rng, &cfg);
         let q = TwoRpq::new(re.clone());
@@ -95,16 +100,17 @@ fn database_bridge_preserves_answers() {
             // Compare by node names.
             // Anonymous nodes are named `_n<id>` by the bridge, so
             // normalize both sides through `node_constant`.
-            let names = |db: &GraphDb, ans: BTreeSet<(NodeId, NodeId)>| -> BTreeSet<(String, String)> {
-                ans.into_iter()
-                    .map(|(x, y)| {
-                        (
-                            regular_queries::core::translate::node_constant(db, x),
-                            regular_queries::core::translate::node_constant(db, y),
-                        )
-                    })
-                    .collect()
-            };
+            let names =
+                |db: &GraphDb, ans: BTreeSet<(NodeId, NodeId)>| -> BTreeSet<(String, String)> {
+                    ans.into_iter()
+                        .map(|(x, y)| {
+                            (
+                                regular_queries::core::translate::node_constant(db, x),
+                                regular_queries::core::translate::node_constant(db, y),
+                            )
+                        })
+                        .collect()
+                };
             assert_eq!(
                 names(&db, q1.evaluate(&db)),
                 names(&back, q2.evaluate(&back)),
@@ -174,14 +180,22 @@ fn arity_encoding_pipeline_preserves_answers() {
 #[test]
 fn union_and_collapse_semantics() {
     let mut rng = SplitMix64::new(77);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.25, leaves: 4, repeat_prob: 0.3 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.25,
+        leaves: 4,
+        repeat_prob: 0.3,
+    };
     for trial in 0..15 {
         let db = generate::random_gnm(7, 15, &["a", "b"], trial);
         let r1 = TwoRpq::new(random_regex(&mut rng, &cfg));
         let r2 = TwoRpq::new(random_regex(&mut rng, &cfg));
         let d1 = C2Rpq::new(
             vec!["x".into(), "y".into()],
-            vec![C2RpqAtom::new(r1.clone(), "x", "m"), C2RpqAtom::new(r2.clone(), "m", "y")],
+            vec![
+                C2RpqAtom::new(r1.clone(), "x", "m"),
+                C2RpqAtom::new(r2.clone(), "m", "y"),
+            ],
         )
         .unwrap();
         let d2 = C2Rpq::new(
@@ -192,7 +206,11 @@ fn union_and_collapse_semantics() {
         let union = Uc2Rpq::new(vec![d1.clone(), d2.clone()]).unwrap();
         let mut expect = d1.evaluate(&db);
         expect.extend(d2.evaluate(&db));
-        assert_eq!(union.evaluate(&db), expect, "trial {trial}: union semantics");
+        assert_eq!(
+            union.evaluate(&db),
+            expect,
+            "trial {trial}: union semantics"
+        );
 
         if let Some(collapsed) = union.collapse_chains() {
             let via: BTreeSet<Vec<NodeId>> = collapsed
@@ -210,7 +228,12 @@ fn union_and_collapse_semantics() {
 #[test]
 fn witness_semipaths_are_minimal_certificates() {
     let mut rng = SplitMix64::new(5);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves: 4, repeat_prob: 0.3 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.3,
+        leaves: 4,
+        repeat_prob: 0.3,
+    };
     for trial in 0..20 {
         let db = generate::random_gnm(6, 14, &["a", "b"], trial);
         let q = TwoRpq::new(random_regex(&mut rng, &cfg));

@@ -76,7 +76,7 @@ fn deeply_nested_algebra_evaluates() {
     }
     let q = RqQuery::new(vec!["x".into(), "y".into()], expr).unwrap();
     assert_eq!(q.evaluate(&db).len(), 15); // TC of the 6-chain
-    // Nested closures collapse exactly to r+.
+                                           // Nested closures collapse exactly to r+.
     let u = q.collapse_exact().expect("chain closure tower collapses");
     assert_eq!(u.evaluate(&db).len(), 15);
 }
@@ -113,9 +113,16 @@ fn zero_budget_configs_degrade_to_unknown_not_wrong() {
     // This pair is NOT contained; with zero expansion budget the checker
     // cannot refute, and the hom prover cannot prove — it must say Unknown
     // (never a wrong definite answer).
-    let cfg = Config { max_expansions: 0, max_hom_path_len: 0, ..Config::default() };
+    let cfg = Config {
+        max_expansions: 0,
+        max_hom_path_len: 0,
+        ..Config::default()
+    };
     let out = containment::uc2rpq::check(&q1, &q2, &al, &cfg);
-    assert!(!out.is_contained(), "a wrong Contained would be unsound: {out}");
+    assert!(
+        !out.is_contained(),
+        "a wrong Contained would be unsound: {out}"
+    );
 }
 
 #[test]
@@ -207,7 +214,10 @@ fn ablation_flags_change_the_path_not_the_soundness() {
     let full = uc2rpq::check(&q1, &q2, &al, &Config::default());
     assert!(full.is_contained());
     // …is still decided without it (the hom prover picks it up).
-    let no_collapse = Config { disable_chain_collapse: true, ..Config::default() };
+    let no_collapse = Config {
+        disable_chain_collapse: true,
+        ..Config::default()
+    };
     let out = uc2rpq::check(&q1, &q2, &al, &no_collapse);
     assert!(out.is_contained(), "{out}");
     // With both provers off, the checker degrades to Unknown, never to a
@@ -234,6 +244,9 @@ fn ablation_flags_change_the_path_not_the_soundness() {
     )
     .unwrap();
     assert!(rq::check(&tri, &rplus, &al, &Config::default()).is_contained());
-    let no_induction = Config { disable_induction: true, ..Config::default() };
+    let no_induction = Config {
+        disable_induction: true,
+        ..Config::default()
+    };
     assert!(rq::check(&tri, &rplus, &al, &no_induction).is_unknown());
 }

@@ -3,7 +3,9 @@
 
 use regular_queries::automata::complement2::vardi_complement;
 use regular_queries::automata::containment::check_on_the_fly;
-use regular_queries::automata::fold::{fold_membership, fold_twonfa, folds_onto, lemma3_state_bound};
+use regular_queries::automata::fold::{
+    fold_membership, fold_twonfa, folds_onto, lemma3_state_bound,
+};
 use regular_queries::automata::random::{random_regex, RegexConfig, SplitMix64};
 use regular_queries::automata::regex::parse;
 use regular_queries::automata::shepherdson::nfa_in_twonfa;
@@ -22,7 +24,12 @@ use regular_queries::prelude::*;
 #[test]
 fn lemma1_rpq_containment_is_language_containment() {
     let mut rng = SplitMix64::new(2016);
-    let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.0, leaves: 6, repeat_prob: 0.3 };
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob: 0.0,
+        leaves: 6,
+        repeat_prob: 0.3,
+    };
     let al = Alphabet::from_names(["a", "b"]);
     for _ in 0..40 {
         let e1 = random_regex(&mut rng, &cfg);
@@ -57,7 +64,10 @@ fn lemma2_folding_separates_words_from_graphs() {
     assert!(containment::two_rpq::check(&p, &zigzag, &al).is_contained());
     for seed in 0..10u64 {
         let db = generate::random_gnm(6, 12, &["p"], seed);
-        assert!(p.evaluate(&db).is_subset(&zigzag.evaluate(&db)), "seed {seed}");
+        assert!(
+            p.evaluate(&db).is_subset(&zigzag.evaluate(&db)),
+            "seed {seed}"
+        );
     }
     // And the fold relation itself: p p⁻ p ⇝ p.
     let lp = Letter::forward(al.get("p").unwrap());
@@ -71,11 +81,19 @@ fn lemma3_fold_twonfa_size_and_language() {
     let mut rng = SplitMix64::new(7);
     let sigma: Vec<Letter> = Alphabet::from_names(["a", "b"]).sigma_pm().collect();
     for _ in 0..10 {
-        let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.4, leaves: 5, repeat_prob: 0.3 };
+        let cfg = RegexConfig {
+            num_labels: 2,
+            inverse_prob: 0.4,
+            leaves: 5,
+            repeat_prob: 0.3,
+        };
         let e = random_regex(&mut rng, &cfg);
         let nfa = Nfa::from_regex(&e).eliminate_epsilon();
         let m = fold_twonfa(&nfa, &sigma);
-        assert_eq!(m.num_states(), lemma3_state_bound(nfa.num_states(), sigma.len()));
+        assert_eq!(
+            m.num_states(),
+            lemma3_state_bound(nfa.num_states(), sigma.len())
+        );
         // Sample words up to length 3.
         let mut words: Vec<Vec<Letter>> = vec![vec![]];
         let mut frontier = vec![Vec::<Letter>::new()];
@@ -135,7 +153,12 @@ fn lemma4_complement_is_complement() {
 fn theorem5_machinery_agrees_with_enumeration() {
     let mut al = Alphabet::new();
     let sigma: Vec<Letter> = Alphabet::from_names(["a", "b"]).sigma_pm().collect();
-    for (s1, s2) in [("a b", "a b"), ("a", "a a- a"), ("a b-", "a"), ("(a|b)", "a")] {
+    for (s1, s2) in [
+        ("a b", "a b"),
+        ("a", "a a- a"),
+        ("a b-", "a"),
+        ("(a|b)", "a"),
+    ] {
         let q1 = Nfa::from_regex(&parse(s1, &mut al).unwrap());
         let q2 = Nfa::from_regex(&parse(s2, &mut al).unwrap());
         let m = fold_twonfa(&q2, &sigma);
@@ -193,7 +216,9 @@ fn section41_rq_embeds_in_grq_datalog() {
     let q = RqQuery::new(
         vec!["x".into(), "y".into()],
         RqExpr::edge(r, "x", "y")
-            .or(RqExpr::edge(s, "x", "m").and(RqExpr::edge(r, "m", "y")).project("m"))
+            .or(RqExpr::edge(s, "x", "m")
+                .and(RqExpr::edge(r, "m", "y"))
+                .project("m"))
             .closure("x", "y"),
     )
     .unwrap();

@@ -1,15 +1,16 @@
-//! Property-based tests over query evaluation and the engines' agreement:
-//! C2RPQ joins vs brute force, RQ evaluation vs exact unfolding, Datalog
-//! naive vs semi-naive, and the RQ → Datalog translation.
+//! Randomized property tests over query evaluation and the engines'
+//! agreement: C2RPQ joins vs brute force, RQ evaluation vs exact
+//! unfolding, Datalog naive vs semi-naive, and the RQ → Datalog
+//! translation. Instances come from the in-repo seeded [`SplitMix64`]
+//! PRNG — reproducible everywhere, no external dependencies.
 
-use proptest::prelude::*;
 use regular_queries::automata::random::{random_regex, RegexConfig, SplitMix64};
 use regular_queries::core::crpq::{C2Rpq, C2RpqAtom};
 use regular_queries::core::rq::{RqExpr, RqQuery};
 use regular_queries::core::translate::{graphdb_to_factdb, node_constant, rq_to_datalog};
 use regular_queries::datalog::eval::{evaluate_program, evaluate_program_naive};
-use regular_queries::graph::generate;
 use regular_queries::datalog::Relation;
+use regular_queries::graph::generate;
 use regular_queries::prelude::*;
 use std::collections::BTreeSet;
 
@@ -19,7 +20,7 @@ fn db_from_seed(seed: u64) -> GraphDb {
 }
 
 /// A random RQ expression over variables x, y (binary head), built from a
-/// seed so shrinking stays meaningful.
+/// seed so failures reproduce from the seed alone.
 fn rq_from_seed(seed: u64) -> RqQuery {
     let mut rng = SplitMix64::new(seed);
     let a = LabelId(0);
@@ -66,15 +67,21 @@ fn rq_from_seed(seed: u64) -> RqQuery {
     RqQuery::new(vec!["x".into(), "y".into()], expr).expect("constructed to be valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// C2RPQ join evaluation equals brute-force variable enumeration.
-    #[test]
-    fn c2rpq_join_equals_bruteforce(seed in 0u64..500, db_seed in 0u64..50) {
+/// C2RPQ join evaluation equals brute-force variable enumeration.
+#[test]
+fn c2rpq_join_equals_bruteforce() {
+    for case in 0..32u64 {
+        let mut meta = SplitMix64::new(case);
+        let seed = meta.next_u64() % 500;
+        let db_seed = meta.next_u64() % 50;
         let db = db_from_seed(db_seed);
         let mut rng = SplitMix64::new(seed);
-        let cfg = RegexConfig { num_labels: 2, inverse_prob: 0.3, leaves: 3, repeat_prob: 0.4 };
+        let cfg = RegexConfig {
+            num_labels: 2,
+            inverse_prob: 0.3,
+            leaves: 3,
+            repeat_prob: 0.4,
+        };
         // 2–3 atoms over variables {x, y, z, w}.
         let vars = ["x", "y", "z", "w"];
         let n_atoms = 2 + rng.below(2);
@@ -90,7 +97,9 @@ proptest! {
             let mut u = Vec::new();
             for a in &atoms {
                 for v in [a.from.as_str(), a.to.as_str()] {
-                    if !u.contains(&v) { u.push(v); }
+                    if !u.contains(&v) {
+                        u.push(v);
+                    }
                 }
             }
             u
@@ -110,57 +119,87 @@ proptest! {
             let assign = |v: &str| -> NodeId {
                 nodes[idx[used.iter().position(|u| *u == v).expect("used")]]
             };
-            if atoms.iter().zip(&rels).all(|(a, r)| {
-                r.contains(&(assign(&a.from), assign(&a.to)))
-            }) {
+            if atoms
+                .iter()
+                .zip(&rels)
+                .all(|(a, r)| r.contains(&(assign(&a.from), assign(&a.to))))
+            {
                 slow.insert(head.iter().map(|h| assign(h)).collect::<Vec<_>>());
             }
             // Odometer.
             let mut c = 0;
             loop {
-                if c == k { break; }
+                if c == k {
+                    break;
+                }
                 idx[c] += 1;
-                if idx[c] < nodes.len() { break; }
+                if idx[c] < nodes.len() {
+                    break;
+                }
                 idx[c] = 0;
                 c += 1;
             }
-            if c == k { break; }
+            if c == k {
+                break;
+            }
         }
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case} (seed {seed}, db {db_seed})");
     }
+}
 
-    /// RQ semantic evaluation agrees with exact unfolding whenever the
-    /// unfolding reports exactness.
-    #[test]
-    fn rq_eval_matches_exact_unfold(seed in 0u64..300, db_seed in 0u64..30) {
+/// RQ semantic evaluation agrees with exact unfolding whenever the
+/// unfolding reports exactness.
+#[test]
+fn rq_eval_matches_exact_unfold() {
+    for case in 0..48u64 {
+        let mut meta = SplitMix64::new(case);
+        let seed = meta.next_u64() % 300;
+        let db_seed = meta.next_u64() % 30;
         let q = rq_from_seed(seed);
         if let Ok((u, true)) = q.unfold_with_exactness(3, 20_000) {
             let db = db_from_seed(db_seed);
-            prop_assert_eq!(q.evaluate(&db), u.evaluate(&db));
+            assert_eq!(
+                q.evaluate(&db),
+                u.evaluate(&db),
+                "case {case} (seed {seed})"
+            );
         }
     }
+}
 
-    /// Unfoldings are sound under-approximations even when inexact.
-    #[test]
-    fn rq_unfold_is_sound(seed in 0u64..300, db_seed in 0u64..30) {
+/// Unfoldings are sound under-approximations even when inexact.
+#[test]
+fn rq_unfold_is_sound() {
+    for case in 0..48u64 {
+        let mut meta = SplitMix64::new(case);
+        let seed = meta.next_u64() % 300;
+        let db_seed = meta.next_u64() % 30;
         let q = rq_from_seed(seed);
         if let Ok(u) = q.unfold(2, 20_000) {
             let db = db_from_seed(db_seed);
             let full = q.evaluate(&db);
             for t in u.evaluate(&db) {
-                prop_assert!(full.contains(&t));
+                assert!(full.contains(&t), "case {case} (seed {seed})");
             }
         }
     }
+}
 
-    /// The §4.1 translation preserves semantics on random databases.
-    #[test]
-    fn rq_to_datalog_preserves_semantics(seed in 0u64..200, db_seed in 0u64..20) {
+/// The §4.1 translation preserves semantics on random databases.
+#[test]
+fn rq_to_datalog_preserves_semantics() {
+    for case in 0..48u64 {
+        let mut meta = SplitMix64::new(case);
+        let seed = meta.next_u64() % 200;
+        let db_seed = meta.next_u64() % 20;
         let q = rq_from_seed(seed);
         let db = db_from_seed(db_seed);
         let al = db.alphabet().clone();
         let dq = rq_to_datalog(&q, &al);
-        prop_assert!(regular_queries::datalog::grq::is_grq(&dq.program));
+        assert!(
+            regular_queries::datalog::grq::is_grq(&dq.program),
+            "case {case} (seed {seed})"
+        );
         let facts = graphdb_to_factdb(&db);
         let rel = regular_queries::datalog::evaluate(&dq, &facts);
         let datalog: BTreeSet<Vec<String>> = rel
@@ -172,12 +211,14 @@ proptest! {
             .into_iter()
             .map(|t| t.into_iter().map(|n| node_constant(&db, n)).collect())
             .collect();
-        prop_assert_eq!(datalog, direct);
+        assert_eq!(datalog, direct, "case {case} (seed {seed}, db {db_seed})");
     }
+}
 
-    /// Naive and semi-naive Datalog evaluation always agree.
-    #[test]
-    fn datalog_engines_agree(seed in 0u64..100) {
+/// Naive and semi-naive Datalog evaluation always agree.
+#[test]
+fn datalog_engines_agree() {
+    for seed in 0..48u64 {
         let q = rq_from_seed(seed);
         let db = db_from_seed(seed % 17);
         let al = db.alphabet().clone();
@@ -187,18 +228,24 @@ proptest! {
         let (naive, _) = evaluate_program_naive(&dq.program, &facts);
         let goal_semi = semi.relation(&dq.goal).cloned();
         let goal_naive = naive.relation(&dq.goal).cloned();
-        prop_assert_eq!(
+        assert_eq!(
             goal_semi.as_ref().map(Relation::len),
-            goal_naive.as_ref().map(Relation::len)
+            goal_naive.as_ref().map(Relation::len),
+            "seed {seed}"
         );
         if let (Some(a), Some(b)) = (goal_semi, goal_naive) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}");
         }
     }
+}
 
-    /// Evaluation is monotone under edge addition (RQ queries are positive).
-    #[test]
-    fn rq_eval_is_monotone(seed in 0u64..200, db_seed in 0u64..20) {
+/// Evaluation is monotone under edge addition (RQ queries are positive).
+#[test]
+fn rq_eval_is_monotone() {
+    for case in 0..48u64 {
+        let mut meta = SplitMix64::new(case);
+        let seed = meta.next_u64() % 200;
+        let db_seed = meta.next_u64() % 20;
         let q = rq_from_seed(seed);
         let db = db_from_seed(db_seed);
         let before = q.evaluate(&db);
@@ -215,7 +262,30 @@ proptest! {
         }
         let after = q.evaluate(&bigger);
         for t in before {
-            prop_assert!(after.contains(&t));
+            assert!(after.contains(&t), "case {case} (seed {seed})");
         }
+    }
+}
+
+/// Governed semi-naive evaluation with ample budget matches ungoverned
+/// evaluation exactly, over random GRQ-translated programs.
+#[test]
+fn governed_datalog_matches_ungoverned() {
+    use regular_queries::automata::Limits;
+    for seed in 0..24u64 {
+        let q = rq_from_seed(seed);
+        let db = db_from_seed(seed % 11);
+        let al = db.alphabet().clone();
+        let dq = rq_to_datalog(&q, &al);
+        let facts = graphdb_to_factdb(&db);
+        let plain = regular_queries::datalog::evaluate(&dq, &facts);
+        let gov = Limits::unlimited().with_tuples(1_000_000).governor();
+        let governed = regular_queries::datalog::evaluate_governed(&dq, &facts, &gov)
+            .expect("ample budget never exhausts on small instances");
+        assert_eq!(plain, governed, "seed {seed}");
+        assert!(
+            gov.counters().tuples_derived > 0 || plain.is_empty(),
+            "seed {seed}"
+        );
     }
 }

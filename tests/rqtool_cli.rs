@@ -44,7 +44,10 @@ fn contain_command_shows_witness() {
     assert!(ok);
     assert!(stdout.contains("Q1 ⊑ Q2: contained"), "{stdout}");
     assert!(stdout.contains("Q2 ⊑ Q1: not contained"), "{stdout}");
-    assert!(stdout.contains("n0 p n1"), "witness database printed: {stdout}");
+    assert!(
+        stdout.contains("n0 p n1"),
+        "witness database printed: {stdout}"
+    );
 }
 
 #[test]
@@ -64,7 +67,12 @@ fn simplify_command() {
 
 #[test]
 fn datalog_and_recognize_commands() {
-    let (stdout, _, ok) = rqtool(&["datalog", &data("routing.dl"), "Route", &data("social.graph")]);
+    let (stdout, _, ok) = rqtool(&[
+        "datalog",
+        &data("routing.dl"),
+        "Route",
+        &data("social.graph"),
+    ]);
     assert!(ok);
     assert!(stdout.contains("Route(alice, erin)"), "{stdout}");
 

@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion`, implementing exactly the API surface
+//! the `rq-bench` benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The registry crate cannot be resolved under the workspace's
+//! zero-dependency guarantee, and the benches are measurement *harnesses*
+//! (EXPERIMENTS.md tables), so this shim does honest wall-clock timing —
+//! warmup, then a fixed measurement window, median-of-batches reporting —
+//! without the statistical machinery. Results print as
+//! `name/param  time: [median ns/iter]` lines, greppable by the report
+//! binary and stable enough for A/B overhead comparisons like
+//! `e11_governor_overhead`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point. `default()` gives laptop-scale windows; the
+/// benches only ever pass it by `&mut` reference.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (the real crate reads CLI filters here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warmup: self.warmup,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id.into(), f);
+    }
+}
+
+/// A named benchmark id: `from_parameter(8)` or `new("naive", 8)`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { repr: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { repr: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warmup: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion semantics: number of samples per benchmark. The shim uses
+    /// it to scale the measurement window down for slow benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let label = if self.name.is_empty() {
+            id.repr
+        } else {
+            format!("{}/{}", self.name, id.repr)
+        };
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            result_ns: None,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("{label:<52} time: [{} per iter]", format_ns(ns)),
+            None => println!("{label:<52} time: [no iterations run]"),
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under timing. `iter` may be called once per
+/// `bench_function` invocation (as in all the rq-bench benches).
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    samples: usize,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: run until the warmup window elapses (at least once),
+        // estimating the per-iteration cost as we go.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_iters == 0 || warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measurement: `samples` batches sized to fill the window, median
+        // batch mean reported.
+        let batch = ((self.measurement.as_secs_f64() / self.samples as f64 / per_iter.max(1e-9))
+            .ceil() as u64)
+            .clamp(1, 10_000_000);
+        let mut batch_means: Vec<f64> = Vec::with_capacity(self.samples);
+        let window_start = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch_means.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            // Hard cap: never let one benchmark run more than 4 windows.
+            if window_start.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+        batch_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = Some(batch_means[batch_means.len() / 2]);
+    }
+
+    /// Median nanoseconds per iteration from the last `iter` call (shim
+    /// extension used by `e11_governor_overhead` for A/B comparisons).
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.result_ns
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Median ns/iter of `f`, measured standalone — the building block the
+/// `e11_governor_overhead` bench uses for direct A/B ratios.
+pub fn time_median_ns<O, F: FnMut() -> O>(f: F) -> f64 {
+    let mut b = Bencher {
+        warmup: Duration::from_millis(150),
+        measurement: Duration::from_millis(400),
+        samples: 15,
+        result_ns: None,
+    };
+    b.iter(f);
+    b.result_ns.expect("iter ran")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_trivial_work() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            sample_size: 5,
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = b.last_median_ns().is_some();
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(8).repr, "8");
+        assert_eq!(BenchmarkId::new("naive", 8).repr, "naive/8");
+    }
+}

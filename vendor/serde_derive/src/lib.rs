@@ -1,0 +1,43 @@
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored marker-trait `serde` crate.
+//!
+//! The macro only needs the type's name: it scans the token stream for the
+//! `struct` / `enum` keyword and takes the following identifier. All the
+//! workspace types deriving serde traits are non-generic, so the emitted
+//! impl needs no type parameters (a generic type would fail to compile
+//! here, loudly, rather than silently misbehave). The inert `serde`
+//! attribute (`#[serde(skip)]` etc.) is registered and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in the input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
