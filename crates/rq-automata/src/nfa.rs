@@ -156,6 +156,26 @@ impl Nfa {
         current.iter().any(|s| self.finals.contains(s))
     }
 
+    /// [`Nfa::accepts`] under a resource [`Governor`]: each simulation step
+    /// spends one fuel unit per active state, so adversarially long words
+    /// (or wide subset frontiers) respect fuel/deadline budgets. Used by
+    /// the serving engine's cache-filtering membership re-checks.
+    pub fn accepts_governed(
+        &self,
+        word: &[Letter],
+        gov: &crate::governor::Governor,
+    ) -> Result<bool, crate::governor::Exhaustion> {
+        let mut current = self.epsilon_closure(self.initial.iter().copied());
+        for &l in word {
+            if current.is_empty() {
+                return Ok(false);
+            }
+            gov.spend(current.len() as u64)?;
+            current = self.epsilon_closure(self.step(&current, l));
+        }
+        Ok(current.iter().any(|s| self.finals.contains(s)))
+    }
+
     // ------------------------------------------------------------------
     // Thompson construction
     // ------------------------------------------------------------------
@@ -839,5 +859,22 @@ mod tests {
         let inv = n.map_letters(Letter::inv);
         assert!(inv.accepts(&w(&a, "p-")));
         assert!(!inv.accepts(&w(&a, "p")));
+    }
+
+    #[test]
+    fn accepts_governed_matches_and_exhausts() {
+        use crate::governor::{Governor, Limits, Resource};
+        let (n, a) = nfa_of("(a|b)*a b b");
+        for word in ["a b b", "a b", "b a b b", ""] {
+            let word = w(&a, word);
+            assert_eq!(
+                n.accepts_governed(&word, &Governor::unlimited()).unwrap(),
+                n.accepts(&word)
+            );
+        }
+        let long = w(&a, &"a ".repeat(600));
+        let gov = Limits::unlimited().with_fuel(10).governor();
+        let e = n.accepts_governed(&long, &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
     }
 }

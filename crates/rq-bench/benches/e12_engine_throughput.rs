@@ -1,0 +1,79 @@
+//! E12 — rq-engine serving throughput: parallel product-BFS vs the
+//! sequential evaluator, and batch serving with the semantic cache.
+//!
+//! The all-pairs group reuses the E10 G(n, 3n) workload so the speedup is
+//! measured against the same baseline as the scaling tables; the engine at
+//! ≥2 threads must beat `TwoRpq::evaluate`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{e10_graph, e12_batch};
+use rq_core::rpq::TwoRpq;
+use rq_engine::{Engine, EngineConfig};
+use std::hint::black_box;
+
+fn engine_on(db: &rq_graph::GraphDb, threads: usize) -> Engine {
+    Engine::new(
+        db.clone(),
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12/all_pairs");
+    g.sample_size(10);
+    for nodes in [100usize, 200] {
+        let db = e10_graph(nodes, 3);
+        let mut al = db.alphabet().clone();
+        let q = TwoRpq::parse("a(b|a)*", &mut al).unwrap();
+        g.bench_with_input(BenchmarkId::new("sequential", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(q.evaluate(&db).len()))
+        });
+        for threads in [1usize, 2, 4] {
+            let engine = engine_on(&db, threads);
+            let q = engine.parse("a(b|a)*").unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("engine_t{threads}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        // Clear so every iteration measures a cold
+                        // parallel evaluation, not a cache hit.
+                        engine.clear_cache();
+                        black_box(engine.run(&q).unwrap().answer.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_serve_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12/serve_batch");
+    g.sample_size(10);
+    let db = e10_graph(100, 3);
+    let texts = e12_batch(32);
+    for threads in [1usize, 2, 4] {
+        let engine = engine_on(&db, threads);
+        let queries: Vec<TwoRpq> = texts.iter().map(|t| engine.parse(t).unwrap()).collect();
+        g.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, _| {
+            b.iter(|| {
+                engine.clear_cache();
+                black_box(engine.run_batch(&queries).items.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("warm", threads), &threads, |b, _| {
+            // Warm: the cache already holds every canonical key, so
+            // the batch is served from exact hits.
+            engine.run_batch(&queries);
+            b.iter(|| black_box(engine.run_batch(&queries).items.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e12, bench_all_pairs, bench_serve_batch);
+criterion_main!(e12);

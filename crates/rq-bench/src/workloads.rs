@@ -1,4 +1,4 @@
-//! Deterministic workload generators for experiments E1–E10.
+//! Deterministic workload generators for experiments E1–E10 and E12.
 
 use rq_automata::random::{random_regex, RegexConfig, SplitMix64};
 use rq_automata::{Alphabet, LabelId, Letter, Regex};
@@ -368,6 +368,30 @@ pub fn e10_graph(nodes: usize, seed: u64) -> GraphDb {
 /// A social-style preferential-attachment graph.
 pub fn e10_social(nodes: usize, seed: u64) -> GraphDb {
     rq_graph::generate::preferential_attachment(nodes, 3, &["knows", "follows"], seed)
+}
+
+// ---------------------------------------------------------------------
+// E12: serving workloads
+// ---------------------------------------------------------------------
+
+/// A serving batch: `count` 2RPQ strings over `{a, b}` cycling through a
+/// fixed pool that mixes a broad Σ±* superset, narrower queries it
+/// subsumes, and (once `count` exceeds the pool) exact duplicates — so a
+/// semantic cache sees every disposition.
+pub fn e12_batch(count: usize) -> Vec<String> {
+    const POOL: [&str; 8] = [
+        "(a|b|a-|b-)*",
+        "a(b|a)*",
+        "(a|b)+",
+        "a+",
+        "a b",
+        "b- a*",
+        "(a b)+",
+        "b+ a",
+    ];
+    (0..count)
+        .map(|i| POOL[i % POOL.len()].to_string())
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,97 @@
+//! A cheap-first containment facade for the serving path.
+//!
+//! The exact 2RPQ checker ([`super::two_rpq`]) is PSPACE machinery
+//! (Lemmas 2–4 / Theorem 5); an engine probing its cache for subsuming
+//! queries cannot afford to open with it. [`check_quick`] runs a ladder of
+//! successively more expensive tests, each sound on its own:
+//!
+//! 1. syntactic equality of the simplified expressions;
+//! 2. empty left-hand language (`∅ ⊑ Q` always — [`Certificate::EmptyLeft`]);
+//! 3. canonical-key equality (same minimal DFA ⟹ same word language ⟹
+//!    containment both ways), metered;
+//! 4. the exact fold-based checker, metered.
+//!
+//! Every rung runs under the caller's [`Limits`]; a budget tripped anywhere
+//! surfaces as [`Outcome::Unknown`], which cache callers treat as "no
+//! subsumption found" — the cache degrades to exact-match instead of
+//! stalling the request.
+
+use super::{two_rpq, Certificate, Outcome};
+use crate::canonical::canonical_key_governed;
+use crate::rpq::TwoRpq;
+use rq_automata::governor::{Governor, Limits};
+use rq_automata::regex::simplify;
+use rq_automata::Alphabet;
+
+/// Decide `q1 ⊑ q2` cheaply first, escalating to the exact 2RPQ checker
+/// only when the fast rungs are inconclusive. All work is metered by a
+/// governor spawned from `limits`.
+pub fn check_quick(q1: &TwoRpq, q2: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Outcome {
+    let r1 = simplify(q1.regex());
+    if r1.is_empty_language() {
+        return Outcome::Contained(Certificate::EmptyLeft);
+    }
+    if r1 == simplify(q2.regex()) {
+        return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
+    }
+    let gov = Governor::new(limits.clone());
+    match (
+        canonical_key_governed(q1, alphabet, &gov),
+        canonical_key_governed(q2, alphabet, &gov),
+    ) {
+        (Ok(k1), Ok(k2)) if k1 == k2 => {
+            return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
+        }
+        (Err(e), _) | (_, Err(e)) => return Outcome::exhausted(e),
+        _ => {}
+    }
+    match two_rpq::check_governed(q1, q2, alphabet, &gov) {
+        Ok(outcome) => outcome,
+        Err(e) => Outcome::exhausted(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_automata::Regex;
+
+    #[test]
+    fn empty_left_short_circuits() {
+        let mut al = Alphabet::new();
+        let empty = TwoRpq::new(Regex::Empty);
+        let q = TwoRpq::parse("a*", &mut al).unwrap();
+        let out = check_quick(&empty, &q, &al, &Limits::unlimited());
+        assert!(matches!(out, Outcome::Contained(Certificate::EmptyLeft)));
+    }
+
+    #[test]
+    fn syntactic_and_canonical_equality_are_free() {
+        let mut al = Alphabet::new();
+        let a = TwoRpq::parse("a b | a c", &mut al).unwrap();
+        let b = TwoRpq::parse("a(b|c)", &mut al).unwrap();
+        // Different syntax, same minimal DFA — rung 3 decides it even under
+        // a budget far too small for the exact checker.
+        let out = check_quick(&a, &b, &al, &Limits::unlimited().with_fuel(200));
+        assert!(out.is_contained(), "{out}");
+    }
+
+    #[test]
+    fn escalates_to_the_exact_checker() {
+        let mut al = Alphabet::new();
+        let p = TwoRpq::parse("p", &mut al).unwrap();
+        let zigzag = TwoRpq::parse("p p- p", &mut al).unwrap();
+        // Fold containment: only the exact checker can prove this.
+        assert!(check_quick(&p, &zigzag, &al, &Limits::unlimited()).is_contained());
+        assert!(check_quick(&zigzag, &p, &al, &Limits::unlimited()).is_not_contained());
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_unknown() {
+        let mut al = Alphabet::new();
+        let p = TwoRpq::parse("p", &mut al).unwrap();
+        let zigzag = TwoRpq::parse("p p- p", &mut al).unwrap();
+        let out = check_quick(&p, &zigzag, &al, &Limits::unlimited().with_fuel(2));
+        assert!(out.is_unknown(), "{out}");
+    }
+}

@@ -37,6 +37,7 @@
 //! assert!(!p.contains_pair(&w.db, w.tuple[0], w.tuple[1]));
 //! ```
 
+pub mod facade;
 pub mod rpq;
 pub mod rq;
 pub mod two_rpq;

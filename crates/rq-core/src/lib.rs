@@ -20,6 +20,8 @@
 //!
 //! Submodules:
 //! * [`rpq`] — [`Rpq`] and [`TwoRpq`] with product-graph evaluation;
+//! * [`canonical`] — canonical (minimal-DFA) cache keys for 2RPQs, used by
+//!   the `rq-engine` semantic cache;
 //! * [`crpq`] — [`C2Rpq`] and [`Uc2Rpq`], join-based evaluation, chain
 //!   collapsing;
 //! * [`rq`] — the [`RqQuery`] algebra (selection, projection, union,
@@ -37,6 +39,7 @@
 //! * [`rq_text`] — the full-RQ rule syntax with explicit `tc[Pred]`
 //!   transitive-closure atoms.
 
+pub mod canonical;
 pub mod containment;
 pub mod crpq;
 pub mod expansion;

@@ -9,9 +9,10 @@
 //! automaton — `O(|V| · (|V| + |E|) · |Q|)` for all pairs, the standard
 //! product-graph algorithm.
 
+use rq_automata::governor::{expect_unlimited, Exhaustion, Governor};
 use rq_automata::regex::{parse, ParseError};
 use rq_automata::{Alphabet, Letter, Nfa, Regex};
-use rq_graph::{GraphDb, NodeId, Semipath};
+use rq_graph::{frontier, GraphDb, NodeId, Semipath};
 use std::collections::{BTreeSet, VecDeque};
 
 /// A two-way regular path query: a regular expression over Σ±, compiled to
@@ -65,45 +66,52 @@ impl TwoRpq {
 
     /// Objects reachable from `source` by a conforming semipath.
     pub fn evaluate_from(&self, db: &GraphDb, source: NodeId) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        let states: Vec<usize> = self.nfa.initial_states().collect();
-        let mut seen = vec![false; db.num_nodes() * self.nfa.num_states()];
-        let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
-        for &s in &states {
-            seen[source.index() * self.nfa.num_states() + s] = true;
-            queue.push_back((source, s));
-        }
-        while let Some((node, state)) = queue.pop_front() {
-            if self.nfa.is_final(state) {
-                out.insert(node);
-            }
-            for &(l, t) in self.nfa.transitions_from(state) {
-                for n2 in db.step(node, l) {
-                    let key = n2.index() * self.nfa.num_states() + t;
-                    if !seen[key] {
-                        seen[key] = true;
-                        queue.push_back((n2, t));
-                    }
-                }
-            }
-        }
-        out
+        expect_unlimited(self.evaluate_from_governed(db, source, &Governor::unlimited()))
+    }
+
+    /// Governed single-source evaluation: the product BFS spends one fuel
+    /// unit per product-edge expansion and polls the deadline/cancellation
+    /// flag, so a `serve-batch` worker can be cut off mid-search.
+    pub fn evaluate_from_governed(
+        &self,
+        db: &GraphDb,
+        source: NodeId,
+        gov: &Governor,
+    ) -> Result<BTreeSet<NodeId>, Exhaustion> {
+        frontier::reachable_governed(db, &self.nfa, source, gov)
     }
 
     /// The full answer `Q(D)` as a set of pairs.
     pub fn evaluate(&self, db: &GraphDb) -> BTreeSet<(NodeId, NodeId)> {
-        let mut out = BTreeSet::new();
-        for x in db.nodes() {
-            for y in self.evaluate_from(db, x) {
-                out.insert((x, y));
-            }
-        }
-        out
+        expect_unlimited(self.evaluate_governed(db, &Governor::unlimited()))
+    }
+
+    /// Governed all-pairs evaluation (sequential; the parallel engine in
+    /// `rq-engine` partitions the same per-source searches across threads).
+    pub fn evaluate_governed(
+        &self,
+        db: &GraphDb,
+        gov: &Governor,
+    ) -> Result<BTreeSet<(NodeId, NodeId)>, Exhaustion> {
+        frontier::all_pairs_governed(db, &self.nfa, gov)
     }
 
     /// Whether `(x, y) ∈ Q(D)`.
     pub fn contains_pair(&self, db: &GraphDb, x: NodeId, y: NodeId) -> bool {
-        self.evaluate_from(db, x).contains(&y)
+        expect_unlimited(self.contains_pair_governed(db, x, y, &Governor::unlimited()))
+    }
+
+    /// Governed membership re-check for one pair, with early exit on the
+    /// first witnessing product state (the semantic cache filters a
+    /// subsuming query's materialized answer through this).
+    pub fn contains_pair_governed(
+        &self,
+        db: &GraphDb,
+        x: NodeId,
+        y: NodeId,
+        gov: &Governor,
+    ) -> Result<bool, Exhaustion> {
+        frontier::pair_reachable_governed(db, &self.nfa, x, y, gov)
     }
 
     /// A shortest conforming semipath witnessing `(x, y) ∈ Q(D)`, if any.

@@ -1,0 +1,389 @@
+//! The containment-based semantic result cache.
+//!
+//! Submitted queries are normalized to a canonical key
+//! ([`rq_core::canonical`]); a key hit returns the materialized answer
+//! outright. On a key miss the cache *probes* its most recently used
+//! entries with the cheap-first containment facade
+//! ([`rq_core::containment::facade::check_quick`]):
+//!
+//! * `Q ⊑ Q'` and `Q' ⊑ Q` — the cached answer **is** the answer
+//!   ([`Lookup::Equivalent`], zero graph work);
+//! * `Q ⊑ Q'` only — since `Q(D) ⊆ Q'(D)` on every database, `Q(D)` is
+//!   recovered by *filtering* `Q'`'s materialized pairs through a governed
+//!   membership re-check instead of re-traversing the graph
+//!   ([`Lookup::Subsumed`]; the engine does the filtering, which also
+//!   restricts the product BFS to sources that appear in `Q'(D)`).
+//!
+//! Probes run under their own small [`Limits`] budget; when canonicalization
+//! or a probe exhausts, the verdict is treated as "no relation found" and
+//! the cache degrades to a plain exact-match cache rather than stalling the
+//! request path.
+
+use rq_automata::governor::{Governor, Limits};
+use rq_automata::Alphabet;
+use rq_core::canonical::{canonical_key_governed, syntactic_key};
+use rq_core::containment::facade::check_quick;
+use rq_core::TwoRpq;
+use rq_graph::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A materialized all-pairs answer, shared between the cache and callers.
+pub type Answer = Arc<BTreeSet<(NodeId, NodeId)>>;
+
+/// Tuning knobs for [`SemanticCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of materialized answers kept (LRU eviction).
+    pub capacity: usize,
+    /// Budget for canonicalizing one query into its cache key; on
+    /// exhaustion the syntactic key is used instead.
+    pub key_limits: Limits,
+    /// Budget for one containment probe (each direction).
+    pub probe_limits: Limits,
+    /// How many most-recently-used entries to probe on a key miss.
+    pub probe_candidates: usize,
+    /// Use canonical (minimal-DFA) keys; `false` forces syntactic keys,
+    /// pushing equivalence detection onto the probes (mainly for tests and
+    /// ablation).
+    pub canonical_keys: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 64,
+            key_limits: Limits::unlimited().with_fuel(10_000),
+            probe_limits: Limits::unlimited().with_fuel(20_000),
+            probe_candidates: 8,
+            canonical_keys: true,
+        }
+    }
+}
+
+/// Hit/miss counters, surfaced per batch by `rqtool serve-batch`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Canonical-key hits.
+    pub exact: u64,
+    /// Probe-proven equivalence hits (distinct keys, same answers).
+    pub equivalent: u64,
+    /// Probe-proven subsumption hits (answered by filtering).
+    pub subsumed: u64,
+    /// Full evaluations.
+    pub misses: u64,
+    /// Containment probes attempted.
+    pub probes: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits of any kind.
+    pub fn hits(&self) -> u64 {
+        self.exact + self.equivalent + self.subsumed
+    }
+
+    /// Hit rate over all lookups, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact={} equivalent={} subsumed={} misses={} probes={} evictions={} hit-rate={:.0}%",
+            self.exact,
+            self.equivalent,
+            self.subsumed,
+            self.misses,
+            self.probes,
+            self.evictions,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// The result of a cache lookup.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Same canonical key: the materialized answer is returned as-is.
+    Exact(Answer),
+    /// Different key, but probes proved `Q ≡ Q'`: zero-cost hit.
+    Equivalent(Answer),
+    /// Probes proved `Q ⊑ Q'`: answer by filtering `superset`.
+    Subsumed {
+        /// The subsuming cached query `Q'`.
+        query: TwoRpq,
+        /// Its materialized answer `Q'(D) ⊇ Q(D)`.
+        superset: Answer,
+    },
+    /// No usable entry: evaluate against the graph.
+    Miss,
+}
+
+impl Lookup {
+    /// Short tag for per-query reporting (`exact`/`equivalent`/...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lookup::Exact(_) => "exact",
+            Lookup::Equivalent(_) => "equivalent",
+            Lookup::Subsumed { .. } => "subsumed",
+            Lookup::Miss => "miss",
+        }
+    }
+}
+
+struct Entry {
+    key: String,
+    query: TwoRpq,
+    answer: Answer,
+    last_used: u64,
+}
+
+/// An LRU cache of materialized all-pairs answers with containment-aware
+/// lookup. Not thread-safe by itself; the engine serializes access (the
+/// expensive work — evaluation and filtering — happens outside the cache,
+/// on the worker pool).
+pub struct SemanticCache {
+    config: CacheConfig,
+    entries: Vec<Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SemanticCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> SemanticCache {
+        SemanticCache {
+            config,
+            entries: Vec::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache key of `q`: canonical when configured and affordable,
+    /// syntactic otherwise.
+    pub fn key_of(&self, q: &TwoRpq, alphabet: &Alphabet) -> String {
+        if self.config.canonical_keys {
+            let gov = Governor::new(self.config.key_limits.clone());
+            if let Ok(k) = canonical_key_governed(q, alphabet, &gov) {
+                return k;
+            }
+        }
+        syntactic_key(q, alphabet)
+    }
+
+    /// Number of materialized entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters accumulated since construction (or [`Self::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the counters, keeping the entries.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn touch(&mut self, i: usize) {
+        self.clock += 1;
+        self.entries[i].last_used = self.clock;
+    }
+
+    /// Look up `q` (with `key` from [`Self::key_of`]), updating counters
+    /// and recency.
+    pub fn lookup(&mut self, q: &TwoRpq, key: &str, alphabet: &Alphabet) -> Lookup {
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.touch(i);
+            self.stats.exact += 1;
+            return Lookup::Exact(Arc::clone(&self.entries[i].answer));
+        }
+        // Probe the most recently used entries for a subsuming query.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].last_used));
+        order.truncate(self.config.probe_candidates);
+        for i in order {
+            self.stats.probes += 1;
+            let cached = &self.entries[i];
+            if !check_quick(q, &cached.query, alphabet, &self.config.probe_limits).is_contained() {
+                continue;
+            }
+            self.stats.probes += 1;
+            let equivalent =
+                check_quick(&cached.query, q, alphabet, &self.config.probe_limits).is_contained();
+            let answer = Arc::clone(&cached.answer);
+            let query = cached.query.clone();
+            self.touch(i);
+            return if equivalent {
+                self.stats.equivalent += 1;
+                Lookup::Equivalent(answer)
+            } else {
+                self.stats.subsumed += 1;
+                Lookup::Subsumed {
+                    query,
+                    superset: answer,
+                }
+            };
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Materialize `answer` for `q` under `key`, evicting the least
+    /// recently used entry when at capacity.
+    pub fn insert(&mut self, key: String, q: &TwoRpq, answer: Answer) {
+        if self.config.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.entries[i].answer = answer;
+            self.touch(i);
+            return;
+        }
+        while self.entries.len() >= self.config.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("nonempty at capacity");
+            self.entries.swap_remove(oldest);
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.entries.push(Entry {
+            key,
+            query: q.clone(),
+            answer,
+            last_used: self.clock,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_graph::GraphDb;
+
+    fn pairs(db: &GraphDb, q: &TwoRpq) -> Answer {
+        Arc::new(q.evaluate(db))
+    }
+
+    fn setup() -> (GraphDb, Alphabet) {
+        let db = rq_graph::generate::random_gnm(10, 20, &["a", "b"], 42);
+        let al = db.alphabet().clone();
+        (db, al)
+    }
+
+    #[test]
+    fn exact_hit_via_canonical_key() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig::default());
+        let q1 = TwoRpq::parse("a b | a c", &mut al).unwrap();
+        let q2 = TwoRpq::parse("a(b|c)", &mut al).unwrap();
+        let k1 = cache.key_of(&q1, &al);
+        cache.insert(k1, &q1, pairs(&db, &q1));
+        let k2 = cache.key_of(&q2, &al);
+        assert!(matches!(cache.lookup(&q2, &k2, &al), Lookup::Exact(_)));
+        assert_eq!(cache.stats().exact, 1);
+    }
+
+    #[test]
+    fn syntactic_keys_fall_back_to_probe_equivalence() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig {
+            canonical_keys: false,
+            ..CacheConfig::default()
+        });
+        let q1 = TwoRpq::parse("a b | a c", &mut al).unwrap();
+        let q2 = TwoRpq::parse("a(b|c)", &mut al).unwrap();
+        let k1 = cache.key_of(&q1, &al);
+        let k2 = cache.key_of(&q2, &al);
+        assert_ne!(k1, k2, "syntactic keys must differ");
+        cache.insert(k1, &q1, pairs(&db, &q1));
+        assert!(matches!(cache.lookup(&q2, &k2, &al), Lookup::Equivalent(_)));
+    }
+
+    #[test]
+    fn subsumption_surfaces_the_superset() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig::default());
+        let big = TwoRpq::parse("(a|b)+", &mut al).unwrap();
+        let small = TwoRpq::parse("a+", &mut al).unwrap();
+        let kb = cache.key_of(&big, &al);
+        cache.insert(kb, &big, pairs(&db, &big));
+        let ks = cache.key_of(&small, &al);
+        match cache.lookup(&small, &ks, &al) {
+            Lookup::Subsumed { superset, .. } => {
+                assert!(pairs(&db, &small).is_subset(&superset));
+            }
+            other => panic!("expected subsumption, got {}", other.kind()),
+        }
+        assert_eq!(cache.stats().subsumed, 1);
+    }
+
+    #[test]
+    fn miss_then_lru_eviction() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig {
+            capacity: 2,
+            ..CacheConfig::default()
+        });
+        let queries: Vec<TwoRpq> = ["a a", "b b", "a b"]
+            .iter()
+            .map(|s| TwoRpq::parse(s, &mut al).unwrap())
+            .collect();
+        for q in &queries {
+            let k = cache.key_of(q, &al);
+            assert!(matches!(cache.lookup(q, &k, &al), Lookup::Miss));
+            cache.insert(k, q, pairs(&db, q));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The oldest entry ("a a") is gone; "a b" survives.
+        let k = cache.key_of(&queries[2], &al);
+        assert!(matches!(
+            cache.lookup(&queries[2], &k, &al),
+            Lookup::Exact(_)
+        ));
+    }
+
+    #[test]
+    fn zero_probe_budget_degrades_to_exact_match() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig {
+            probe_limits: Limits::unlimited().with_fuel(1),
+            ..CacheConfig::default()
+        });
+        let big = TwoRpq::parse("(a|b)+", &mut al).unwrap();
+        let small = TwoRpq::parse("a+", &mut al).unwrap();
+        let kb = cache.key_of(&big, &al);
+        cache.insert(kb, &big, pairs(&db, &big));
+        let ks = cache.key_of(&small, &al);
+        assert!(matches!(cache.lookup(&small, &ks, &al), Lookup::Miss));
+    }
+}

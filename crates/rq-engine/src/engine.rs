@@ -1,0 +1,509 @@
+//! The serving engine: a [`GraphDb`] behind a worker pool and a
+//! [`SemanticCache`].
+//!
+//! Evaluation is the standard product-automaton BFS (§3.1), parallelized
+//! across sources: for an all-pairs query, the `|V|` per-source searches
+//! are striped over the pool; every worker meters its own [`Governor`]
+//! spawned from the engine's [`Limits`], all sharing one cancellation
+//! flag — the first exhausted worker cancels its peers, so a tripped
+//! budget costs one search, not `threads` of them.
+
+use crate::cache::{Answer, CacheConfig, CacheStats, Lookup, SemanticCache};
+use crate::pool::WorkerPool;
+use rq_automata::governor::{EngineError, Exhaustion, Governor, Limits, Resource};
+use rq_automata::Alphabet;
+use rq_core::TwoRpq;
+use rq_graph::{GraphDb, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for parallel evaluation (clamped to ≥ 1).
+    pub threads: usize,
+    /// Per-worker budget for one query evaluation. Fuel is metered per
+    /// worker; the wall-clock deadline spans the whole query.
+    pub limits: Limits,
+    /// Semantic-cache tuning (capacity, probe budgets, key mode).
+    pub cache: CacheConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            limits: Limits::unlimited(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// How a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Canonical-key cache hit.
+    Exact,
+    /// Containment probes proved equivalence to a cached query.
+    Equivalent,
+    /// Answered by filtering a subsuming cached result.
+    Subsumed,
+    /// Evaluated against the graph.
+    Miss,
+    /// Duplicate of an earlier query in the same batch (same key).
+    Deduped,
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Disposition::Exact => "exact",
+            Disposition::Equivalent => "equivalent",
+            Disposition::Subsumed => "subsumed",
+            Disposition::Miss => "miss",
+            Disposition::Deduped => "deduped",
+        })
+    }
+}
+
+/// A served answer and how it was obtained.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The pairs `Q(D)`.
+    pub answer: Answer,
+    /// Cache disposition.
+    pub disposition: Disposition,
+}
+
+/// Per-query outcome of [`Engine::run_batch`], in input order.
+#[derive(Debug)]
+pub struct BatchItem {
+    /// Index into the submitted batch.
+    pub index: usize,
+    /// The query's cache key.
+    pub key: String,
+    /// How the query was answered (duplicates report
+    /// [`Disposition::Deduped`]).
+    pub disposition: Disposition,
+    /// The answer, or the budget that tripped while computing it.
+    pub outcome: Result<Answer, EngineError>,
+}
+
+/// The outcome of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One item per submitted query, in input order.
+    pub items: Vec<BatchItem>,
+    /// Cache counters accumulated during this batch alone.
+    pub stats: CacheStats,
+}
+
+struct Shared {
+    alphabet: Alphabet,
+    cache: SemanticCache,
+}
+
+/// A query-serving engine owning an immutable [`GraphDb`].
+///
+/// Queries must be parsed through [`Engine::parse`] (or against the
+/// database's own alphabet) so that label identities line up across the
+/// cache's containment probes.
+pub struct Engine {
+    db: Arc<GraphDb>,
+    pool: WorkerPool,
+    shared: Mutex<Shared>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Build an engine over `db`. Indexes are rebuilt here if stale, so a
+    /// freshly deserialized database is safe to serve from.
+    pub fn new(mut db: GraphDb, config: EngineConfig) -> Engine {
+        db.ensure_indexes();
+        let alphabet = db.alphabet().clone();
+        Engine {
+            db: Arc::new(db),
+            pool: WorkerPool::new(config.threads),
+            shared: Mutex::new(Shared {
+                alphabet,
+                cache: SemanticCache::new(config.cache.clone()),
+            }),
+            config,
+        }
+    }
+
+    /// The served database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Snapshot of the engine's alphabet (the database's labels plus any
+    /// labels interned by parsed queries).
+    pub fn alphabet(&self) -> Alphabet {
+        self.shared
+            .lock()
+            .expect("engine poisoned")
+            .alphabet
+            .clone()
+    }
+
+    /// Parse a query against the engine's shared alphabet.
+    pub fn parse(&self, text: &str) -> Result<TwoRpq, EngineError> {
+        let mut shared = self.shared.lock().expect("engine poisoned");
+        TwoRpq::parse(text, &mut shared.alphabet).map_err(|e| EngineError::InvalidInput {
+            message: e.to_string(),
+        })
+    }
+
+    /// Cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.lock().expect("engine poisoned").cache.stats()
+    }
+
+    /// Drop all materialized answers (counters are kept).
+    pub fn clear_cache(&self) {
+        self.shared.lock().expect("engine poisoned").cache.clear();
+    }
+
+    /// Serve the all-pairs answer `Q(D)`, consulting and feeding the
+    /// semantic cache.
+    pub fn run(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
+        let (key, lookup) = {
+            let mut shared = self.shared.lock().expect("engine poisoned");
+            let Shared { alphabet, cache } = &mut *shared;
+            let key = cache.key_of(q, alphabet);
+            let lookup = cache.lookup(q, &key, alphabet);
+            (key, lookup)
+        };
+        // Graph work happens outside the lock: concurrent callers only
+        // contend on key computation and probes.
+        let (answer, disposition) = match lookup {
+            Lookup::Exact(answer) => {
+                return Ok(QueryResult {
+                    answer,
+                    disposition: Disposition::Exact,
+                })
+            }
+            Lookup::Equivalent(answer) => {
+                return Ok(QueryResult {
+                    answer,
+                    disposition: Disposition::Equivalent,
+                })
+            }
+            Lookup::Subsumed { superset, .. } => {
+                // Q(D) ⊆ Q'(D), so only sources occurring in Q'(D) can
+                // answer Q: re-run the product BFS restricted to those
+                // sources — the batched form of a per-pair membership
+                // re-check.
+                let mut sources: Vec<NodeId> = superset.iter().map(|&(x, _)| x).collect();
+                sources.dedup();
+                let answer = Arc::new(self.eval_sources(q, sources)?);
+                (answer, Disposition::Subsumed)
+            }
+            Lookup::Miss => {
+                let sources: Vec<NodeId> = self.db.nodes().collect();
+                let answer = Arc::new(self.eval_sources(q, sources)?);
+                (answer, Disposition::Miss)
+            }
+        };
+        let mut shared = self.shared.lock().expect("engine poisoned");
+        shared.cache.insert(key, q, Arc::clone(&answer));
+        Ok(QueryResult {
+            answer,
+            disposition,
+        })
+    }
+
+    /// Parse and serve in one step.
+    pub fn run_query(&self, text: &str) -> Result<QueryResult, EngineError> {
+        let q = self.parse(text)?;
+        self.run(&q)
+    }
+
+    /// Governed single-source evaluation (no cache: single-source answers
+    /// are not materialized).
+    pub fn run_from(&self, q: &TwoRpq, source: NodeId) -> Result<BTreeSet<NodeId>, EngineError> {
+        if source.index() >= self.db.num_nodes() {
+            return Err(EngineError::InvalidInput {
+                message: format!("source node #{} out of range", source.index()),
+            });
+        }
+        let gov = self.config.limits.governor();
+        Ok(q.evaluate_from_governed(&self.db, source, &gov)?)
+    }
+
+    /// Serve a batch: queries are deduplicated by cache key, ordered so
+    /// that (heuristically) subsuming queries evaluate first — seeding the
+    /// cache for the rest — and each evaluation fans out across the pool.
+    pub fn run_batch(&self, queries: &[TwoRpq]) -> BatchReport {
+        let stats_before = self.cache_stats();
+        // Group by cache key.
+        let keys: Vec<String> = {
+            let mut shared = self.shared.lock().expect("engine poisoned");
+            let Shared { alphabet, cache } = &mut *shared;
+            queries.iter().map(|q| cache.key_of(q, alphabet)).collect()
+        };
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (rep, members)
+        for (i, key) in keys.iter().enumerate() {
+            match groups.iter_mut().find(|(rep, _)| &keys[*rep] == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((i, Vec::new())),
+            }
+        }
+        // Probe pairwise containment among representatives and evaluate
+        // queries that subsume more of the batch first. The probes reuse
+        // the cache's budgeted facade, so an adversarial batch degrades to
+        // arbitrary order, not to a stall.
+        let alphabet = self.alphabet();
+        let probe_limits = self.config.cache.probe_limits.clone();
+        let mut rank: Vec<(usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, (rep, _))| {
+                let subsumes = groups
+                    .iter()
+                    .filter(|(other, _)| {
+                        *other != *rep
+                            && rq_core::containment::facade::check_quick(
+                                &queries[*other],
+                                &queries[*rep],
+                                &alphabet,
+                                &probe_limits,
+                            )
+                            .is_contained()
+                    })
+                    .count();
+                (gi, subsumes)
+            })
+            .collect();
+        rank.sort_by_key(|&(gi, subsumes)| (std::cmp::Reverse(subsumes), gi));
+
+        let mut items: Vec<Option<BatchItem>> = (0..queries.len()).map(|_| None).collect();
+        for (gi, _) in rank {
+            let (rep, members) = &groups[gi];
+            let result = self.run(&queries[*rep]);
+            let (disposition, outcome) = match result {
+                Ok(r) => (r.disposition, Ok(r.answer)),
+                Err(e) => (Disposition::Miss, Err(e)),
+            };
+            for &m in members {
+                items[m] = Some(BatchItem {
+                    index: m,
+                    key: keys[m].clone(),
+                    disposition: Disposition::Deduped,
+                    outcome: match &outcome {
+                        Ok(a) => Ok(Arc::clone(a)),
+                        Err(e) => Err(e.clone()),
+                    },
+                });
+            }
+            items[*rep] = Some(BatchItem {
+                index: *rep,
+                key: keys[*rep].clone(),
+                disposition,
+                outcome,
+            });
+        }
+        let after = self.cache_stats();
+        BatchReport {
+            items: items
+                .into_iter()
+                .map(|i| i.expect("every index assigned"))
+                .collect(),
+            stats: CacheStats {
+                exact: after.exact - stats_before.exact,
+                equivalent: after.equivalent - stats_before.equivalent,
+                subsumed: after.subsumed - stats_before.subsumed,
+                misses: after.misses - stats_before.misses,
+                probes: after.probes - stats_before.probes,
+                evictions: after.evictions - stats_before.evictions,
+            },
+        }
+    }
+
+    /// Stripe `sources` across the pool, one governed product BFS per
+    /// source, merging the per-worker pair sets.
+    fn eval_sources(
+        &self,
+        q: &TwoRpq,
+        sources: Vec<NodeId>,
+    ) -> Result<BTreeSet<(NodeId, NodeId)>, EngineError> {
+        if sources.is_empty() {
+            return Ok(BTreeSet::new());
+        }
+        let stripes = self.pool.threads().min(sources.len());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<Result<BTreeSet<(NodeId, NodeId)>, Exhaustion>>();
+        for s in 0..stripes {
+            let db = Arc::clone(&self.db);
+            let q = q.clone();
+            let tx = tx.clone();
+            let cancel = Arc::clone(&cancel);
+            let limits = self.config.limits.clone();
+            let mine: Vec<NodeId> = sources.iter().skip(s).step_by(stripes).copied().collect();
+            self.pool.execute(move || {
+                let gov = Governor::with_cancel(limits, Arc::clone(&cancel));
+                let mut out = BTreeSet::new();
+                let mut failed = None;
+                for x in mine {
+                    match q.evaluate_from_governed(&db, x, &gov) {
+                        Ok(ys) => out.extend(ys.into_iter().map(|y| (x, y))),
+                        Err(e) => {
+                            gov.cancel(); // stop the peers
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = tx.send(match failed {
+                    None => Ok(out),
+                    Some(e) => Err(e),
+                });
+            });
+        }
+        drop(tx);
+        let mut merged = BTreeSet::new();
+        let mut error: Option<Exhaustion> = None;
+        for result in rx {
+            match result {
+                // Always extend the larger set with the smaller one, so a
+                // single stripe (or one dominant stripe) pays no re-insert.
+                Ok(part) => {
+                    if part.len() > merged.len() {
+                        let smaller = std::mem::replace(&mut merged, part);
+                        merged.extend(smaller);
+                    } else {
+                        merged.extend(part);
+                    }
+                }
+                // Peers cancelled by the first failure also report
+                // `Cancelled`; keep the budget that actually tripped.
+                Err(e) => {
+                    let keep_new = match &error {
+                        None => true,
+                        Some(prev) => {
+                            prev.resource == Resource::Cancelled
+                                && e.resource != Resource::Cancelled
+                        }
+                    };
+                    if keep_new {
+                        error = Some(e);
+                    }
+                }
+            }
+        }
+        match error {
+            Some(e) => Err(EngineError::Exhausted(e)),
+            None => Ok(merged),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_graph::generate;
+
+    fn engine(threads: usize) -> Engine {
+        let db = generate::random_gnm(30, 90, &["a", "b"], 7);
+        Engine::new(
+            db,
+            EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let eng = engine(3);
+        for text in ["a+", "(a|b)*", "a b- a", "b (a|b-)+"] {
+            let q = eng.parse(text).unwrap();
+            let expect = q.evaluate(eng.db());
+            let got = eng.run(&q).unwrap();
+            assert_eq!(*got.answer, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn second_run_is_an_exact_hit() {
+        let eng = engine(2);
+        let q = eng.parse("a (a|b)*").unwrap();
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Miss);
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Exact);
+        assert_eq!(eng.cache_stats().exact, 1);
+    }
+
+    #[test]
+    fn subsumption_answers_by_filtering() {
+        let eng = engine(2);
+        let big = eng.parse("(a|b)+").unwrap();
+        let small = eng.parse("a+").unwrap();
+        assert_eq!(eng.run(&big).unwrap().disposition, Disposition::Miss);
+        let got = eng.run(&small).unwrap();
+        assert_eq!(got.disposition, Disposition::Subsumed);
+        assert_eq!(*got.answer, small.evaluate(eng.db()));
+    }
+
+    #[test]
+    fn batch_dedups_and_orders_subsumers_first() {
+        let eng = engine(2);
+        let texts = ["a+", "(a|b)+", "a+", "b+"];
+        let queries: Vec<TwoRpq> = texts.iter().map(|t| eng.parse(t).unwrap()).collect();
+        let report = eng.run_batch(&queries);
+        assert_eq!(report.items.len(), 4);
+        assert_eq!(report.items[2].disposition, Disposition::Deduped);
+        // (a|b)+ evaluated first (it subsumes both others), so a+ and b+
+        // are subsumption hits.
+        assert_eq!(report.items[1].disposition, Disposition::Miss);
+        assert_eq!(report.items[0].disposition, Disposition::Subsumed);
+        assert_eq!(report.items[3].disposition, Disposition::Subsumed);
+        for (i, item) in report.items.iter().enumerate() {
+            let expect = queries[i].evaluate(eng.db());
+            assert_eq!(**item.outcome.as_ref().unwrap(), expect, "{}", texts[i]);
+        }
+        assert_eq!(report.stats.misses, 1);
+        assert_eq!(report.stats.subsumed, 2);
+    }
+
+    #[test]
+    fn deadline_zero_exhausts() {
+        let db = generate::random_gnm(60, 180, &["a", "b"], 9);
+        let eng = Engine::new(
+            db,
+            EngineConfig {
+                threads: 2,
+                limits: Limits::unlimited().with_fuel(5),
+                ..EngineConfig::default()
+            },
+        );
+        let q = eng.parse("(a|b)*").unwrap();
+        match eng.run(&q) {
+            Err(EngineError::Exhausted(e)) => {
+                assert_ne!(e.resource, Resource::Cancelled, "report the real budget");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_from_rejects_out_of_range() {
+        let eng = engine(1);
+        let q = eng.parse("a").unwrap();
+        assert!(matches!(
+            eng.run_from(&q, rq_graph::NodeId(1000)),
+            Err(EngineError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! A small fixed-size worker pool.
+//!
+//! The engine's unit of parallelism is one product BFS per source node, so
+//! all it needs is a channel of boxed jobs drained by `n` OS threads — no
+//! work stealing, no external crates (the workspace builds offline). Jobs
+//! carry their own governors; the pool never touches query state.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads draining a shared job queue. Dropping the
+/// pool closes the queue and joins every worker (pending jobs finish
+/// first).
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("rq-engine-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only while receiving keeps
+                        // workers from serializing on job execution.
+                        let job = {
+                            let guard = receiver.lock().expect("worker queue poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed: pool dropped
+                        }
+                    })
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job. Jobs run in submission order per worker but complete
+    /// in any order; use a results channel to collect outputs.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("all workers exited");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..64 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn drop_joins_after_draining() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..16 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // Drop waits for all 16.
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+}

@@ -29,7 +29,7 @@ impl NodeId {
 /// "The edge alphabet of a graph database is simply part of the data and
 /// can be changed simply by updating the database" — labels (and nodes) are
 /// interned on first use.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphDb {
     alphabet: Alphabet,
@@ -41,6 +41,29 @@ pub struct GraphDb {
     edges_by_label: Vec<Vec<(NodeId, NodeId)>>,
     #[cfg_attr(feature = "serde", serde(skip))]
     edge_set: HashSet<(NodeId, LabelId, NodeId)>,
+    /// Whether the skip-serialized indexes (`node_index`, `edge_set`, the
+    /// alphabet's name index) match the serialized columns. Construction
+    /// keeps them in sync; deserialization leaves them empty (the field is
+    /// itself skipped, so a deserialized database starts stale) until
+    /// [`GraphDb::rebuild_indexes`] runs — which mutating entry points do
+    /// automatically via [`GraphDb::ensure_indexes`].
+    #[cfg_attr(feature = "serde", serde(skip))]
+    indexed: bool,
+}
+
+impl Default for GraphDb {
+    fn default() -> Self {
+        GraphDb {
+            alphabet: Alphabet::new(),
+            node_names: Vec::new(),
+            node_index: HashMap::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            edges_by_label: Vec::new(),
+            edge_set: HashSet::new(),
+            indexed: true,
+        }
+    }
 }
 
 impl GraphDb {
@@ -60,6 +83,7 @@ impl GraphDb {
 
     /// Intern a named node (idempotent).
     pub fn node(&mut self, name: &str) -> NodeId {
+        self.ensure_indexes();
         if let Some(&id) = self.node_index.get(name) {
             return id;
         }
@@ -82,6 +106,7 @@ impl GraphDb {
 
     /// Intern an edge label (idempotent).
     pub fn label(&mut self, name: &str) -> LabelId {
+        self.ensure_indexes();
         let id = self.alphabet.intern(name);
         while self.edges_by_label.len() < self.alphabet.len() {
             self.edges_by_label.push(Vec::new());
@@ -93,6 +118,7 @@ impl GraphDb {
     /// label denotes a *relation*, i.e., a set of pairs. Returns whether
     /// the edge was new.
     pub fn add_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.ensure_indexes();
         assert!(src.index() < self.num_nodes() && dst.index() < self.num_nodes());
         assert!(
             label.index() < self.edges_by_label.len(),
@@ -108,7 +134,16 @@ impl GraphDb {
     }
 
     /// Whether the edge `label(src, dst)` is present.
+    ///
+    /// Panics on a database whose indexes are stale (deserialized and not
+    /// yet rebuilt) — a stale `edge_set` would silently answer `false` for
+    /// every edge.
     pub fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        assert!(
+            self.indexed,
+            "GraphDb indexes are stale; call rebuild_indexes() (or any \
+             mutating entry point) after deserialization"
+        );
         self.edge_set.contains(&(src, label, dst))
     }
 
@@ -177,12 +212,36 @@ impl GraphDb {
     }
 
     /// Look up a named node.
+    ///
+    /// Panics on a database whose indexes are stale (see
+    /// [`GraphDb::has_edge`]).
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        assert!(
+            self.indexed,
+            "GraphDb indexes are stale; call rebuild_indexes() (or any \
+             mutating entry point) after deserialization"
+        );
         self.node_index.get(name).copied()
+    }
+
+    /// Whether the skip-serialized indexes are stale (true only for a
+    /// deserialized database that has not been rebuilt yet).
+    pub fn indexes_stale(&self) -> bool {
+        !self.indexed
+    }
+
+    /// Rebuild the indexes if and only if they are stale — the lazy hook
+    /// every mutating entry point calls, so `add_edge` bursts on a freshly
+    /// deserialized database self-heal instead of corrupting `edge_set`.
+    pub fn ensure_indexes(&mut self) {
+        if !self.indexed {
+            self.rebuild_indexes();
+        }
     }
 
     /// Rebuild the skipped indexes after deserialization.
     pub fn rebuild_indexes(&mut self) {
+        self.indexed = true;
         self.node_index = self
             .node_names
             .iter()
@@ -270,6 +329,49 @@ mod tests {
         assert_eq!(db.node_name(x), None);
         assert_eq!(db.display_node(x), "#0");
         assert_eq!(db.num_edges(), 1);
+    }
+
+    /// Simulate what deserialization produces: full columns, empty
+    /// skip-serialized indexes, stale marker set.
+    fn make_stale(db: &mut GraphDb) {
+        db.indexed = false;
+        db.node_index.clear();
+        db.edge_set.clear();
+    }
+
+    #[test]
+    fn stale_indexes_self_heal_on_mutation() {
+        let (mut db, a, b, _, r, _) = tiny();
+        make_stale(&mut db);
+        assert!(db.indexes_stale());
+        // An add_edge burst on a stale database must rebuild first —
+        // otherwise the empty edge_set would re-admit duplicate edges.
+        assert!(!db.add_edge(a, r, b), "duplicate must still be detected");
+        assert!(!db.indexes_stale());
+        assert_eq!(db.num_edges(), 3);
+        assert!(db.has_edge(a, r, b));
+        assert_eq!(db.find_node("a"), Some(a));
+    }
+
+    #[test]
+    fn stale_indexes_self_heal_on_interning() {
+        let (mut db, a, ..) = tiny();
+        make_stale(&mut db);
+        // node() consults node_index: stale lookup would re-intern "a".
+        assert_eq!(db.node("a"), a);
+        assert_eq!(db.num_nodes(), 3);
+        let (mut db, ..) = tiny();
+        make_stale(&mut db);
+        db.label("r");
+        assert!(!db.indexes_stale());
+    }
+
+    #[test]
+    #[should_panic(expected = "indexes are stale")]
+    fn stale_read_of_edge_set_is_rejected() {
+        let (mut db, a, b, _, r, _) = tiny();
+        make_stale(&mut db);
+        let _ = db.has_edge(a, r, b);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Reusable frontier steps for product-automaton search.
+//!
+//! RPQ/2RPQ evaluation is BFS over the product of a database with the query
+//! automaton (§3.1: `O(|V| · (|V| + |E|) · |Q|)` for all pairs). This module
+//! factors the product BFS into a reusable, *governed* primitive so the same
+//! frontier code backs the sequential evaluator (`rq-core`), the parallel
+//! serving engine (`rq-engine`), and the cache-filtering membership
+//! re-checks — all metered by one [`Governor`] protocol:
+//!
+//! * one **fuel** unit per product-edge expansion (deterministic and
+//!   portable — the same search exhausts at the same point everywhere);
+//! * the wall clock / cancellation flag polled on the masked fuel path.
+//!
+//! The ungoverned entry points in `rq-core` run these under
+//! [`Governor::unlimited`], which never exhausts.
+
+use crate::db::{GraphDb, NodeId};
+use rq_automata::governor::{Exhaustion, Governor};
+use rq_automata::Nfa;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A product state: a database node paired with an automaton state.
+pub type ProductState = (NodeId, usize);
+
+/// An in-progress BFS over the product `db × nfa` from one source node.
+///
+/// The automaton must be ε-free (as produced by `TwoRpq::new`); ε-moves
+/// would need closure handling the frontier deliberately omits.
+pub struct ProductBfs<'a> {
+    db: &'a GraphDb,
+    nfa: &'a Nfa,
+    seen: Vec<bool>,
+    queue: VecDeque<ProductState>,
+}
+
+impl<'a> ProductBfs<'a> {
+    /// Seed the frontier with `(source, q0)` for every initial state `q0`.
+    pub fn new(db: &'a GraphDb, nfa: &'a Nfa, source: NodeId) -> Self {
+        let mut bfs = ProductBfs {
+            db,
+            nfa,
+            seen: vec![false; db.num_nodes() * nfa.num_states()],
+            queue: VecDeque::new(),
+        };
+        for q in nfa.initial_states() {
+            bfs.push(source, q);
+        }
+        bfs
+    }
+
+    #[inline]
+    fn key(&self, node: NodeId, state: usize) -> usize {
+        node.index() * self.nfa.num_states() + state
+    }
+
+    /// Seed `(node, state)` into the frontier if not yet visited. Returns
+    /// whether the pair was new.
+    pub fn push(&mut self, node: NodeId, state: usize) -> bool {
+        let key = self.key(node, state);
+        if self.seen[key] {
+            return false;
+        }
+        self.seen[key] = true;
+        self.queue.push_back((node, state));
+        true
+    }
+
+    /// Whether the frontier is drained.
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pop one product state and expand its successors into the frontier.
+    /// Each product-edge expansion spends one fuel unit on `gov`.
+    ///
+    /// Returns the popped state (check [`Nfa::is_final`] on its automaton
+    /// component to harvest answers), or `None` when the search is done.
+    pub fn step(&mut self, gov: &Governor) -> Result<Option<ProductState>, Exhaustion> {
+        let Some((node, state)) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        for &(l, t) in self.nfa.transitions_from(state) {
+            for n2 in self.db.step(node, l) {
+                gov.tick()?;
+                self.push(n2, t);
+            }
+        }
+        Ok(Some((node, state)))
+    }
+
+    /// Drain the frontier, collecting every node reached in a final state.
+    pub fn run(&mut self, gov: &Governor) -> Result<BTreeSet<NodeId>, Exhaustion> {
+        let mut out = BTreeSet::new();
+        while let Some((node, state)) = self.step(gov)? {
+            if self.nfa.is_final(state) {
+                out.insert(node);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Nodes reachable from `source` by a semipath conforming to `nfa`
+/// (governed single-source evaluation).
+pub fn reachable_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    source: NodeId,
+    gov: &Governor,
+) -> Result<BTreeSet<NodeId>, Exhaustion> {
+    ProductBfs::new(db, nfa, source).run(gov)
+}
+
+/// Whether `(source, target)` is answered — a governed membership re-check
+/// for one pair, with early exit on the first witnessing product state.
+pub fn pair_reachable_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    source: NodeId,
+    target: NodeId,
+    gov: &Governor,
+) -> Result<bool, Exhaustion> {
+    let mut bfs = ProductBfs::new(db, nfa, source);
+    while let Some((node, state)) = bfs.step(gov)? {
+        if node == target && nfa.is_final(state) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// The full all-pairs answer (governed, sequential): one product BFS per
+/// source node. The parallel engine runs the same per-source searches
+/// partitioned across its worker pool.
+pub fn all_pairs_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    gov: &Governor,
+) -> Result<BTreeSet<(NodeId, NodeId)>, Exhaustion> {
+    let mut out = BTreeSet::new();
+    for x in db.nodes() {
+        gov.check_wall()?;
+        for y in reachable_governed(db, nfa, x, gov)? {
+            out.insert((x, y));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_automata::regex::parse;
+    use rq_automata::{Alphabet, Limits, Resource};
+
+    fn chain3() -> (GraphDb, Vec<NodeId>) {
+        let mut db = GraphDb::new();
+        let ns: Vec<NodeId> = (0..4).map(|i| db.node(&format!("v{i}"))).collect();
+        let r = db.label("r");
+        for w in ns.windows(2) {
+            db.add_edge(w[0], r, w[1]);
+        }
+        (db, ns)
+    }
+
+    fn nfa(s: &str, al: &mut Alphabet) -> Nfa {
+        Nfa::from_regex(&parse(s, al).unwrap())
+            .eliminate_epsilon()
+            .trim()
+    }
+
+    #[test]
+    fn reachable_matches_expectations() {
+        let (db, ns) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r+", &mut al);
+        let gov = Governor::unlimited();
+        let reached = reachable_governed(&db, &n, ns[0], &gov).unwrap();
+        assert_eq!(reached, ns[1..].iter().copied().collect());
+        assert!(reachable_governed(&db, &n, ns[3], &gov).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pair_membership_early_exits() {
+        let (db, ns) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r r", &mut al);
+        let gov = Governor::unlimited();
+        assert!(pair_reachable_governed(&db, &n, ns[0], ns[2], &gov).unwrap());
+        assert!(!pair_reachable_governed(&db, &n, ns[0], ns[3], &gov).unwrap());
+    }
+
+    #[test]
+    fn all_pairs_counts_chain_suffixes() {
+        let (db, _) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r+", &mut al);
+        let pairs = all_pairs_governed(&db, &n, &Governor::unlimited()).unwrap();
+        assert_eq!(pairs.len(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn fuel_budget_trips_the_search() {
+        let (db, ns) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r*", &mut al);
+        let gov = Limits::unlimited().with_fuel(1).governor();
+        let e = reachable_governed(&db, &n, ns[0], &gov).unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn backward_letters_follow_in_edges() {
+        let (db, ns) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r-", &mut al);
+        let gov = Governor::unlimited();
+        let reached = reachable_governed(&db, &n, ns[2], &gov).unwrap();
+        assert_eq!(reached, [ns[1]].into_iter().collect());
+    }
+}

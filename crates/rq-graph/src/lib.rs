@@ -9,6 +9,9 @@
 //!
 //! * [`db`] — the [`GraphDb`] store with forward *and* backward adjacency
 //!   (2RPQs navigate edges in both directions);
+//! * [`frontier`] — governed product-automaton BFS steps, the shared
+//!   substrate of the sequential evaluator (`rq-core`) and the parallel
+//!   serving engine (`rq-engine`);
 //! * [`semipath`] — semipaths and conformance checking, the semantic
 //!   object 2RPQ answers are defined through;
 //! * [`generate`] — seeded workload generators (chains, cycles, grids,
@@ -35,6 +38,7 @@
 
 pub mod db;
 pub mod dot;
+pub mod frontier;
 pub mod generate;
 pub mod semipath;
 pub mod text;

@@ -1,9 +1,12 @@
-//! Social-network analytics with regular queries.
+//! Social-network analytics served through the `rq-engine` subsystem.
 //!
 //! Generates a preferential-attachment graph (the skewed-degree data that
 //! motivated graph databases, §1 of the paper) and runs the query ladder
-//! over it: reachability RPQs, two-way influence queries, conjunctive
-//! patterns, and an RQ with transitive closure over a conjunctive step.
+//! over it — but the 2RPQ layer goes through [`Engine`]: a worker pool
+//! striping the product BFS across threads, fronted by a semantic cache
+//! that answers repeated queries exactly and *narrower* queries by
+//! containment (a subsumption hit re-evaluates only from the cached
+//! superset's sources).
 //!
 //! Run with `cargo run --release --example social_network`.
 
@@ -13,50 +16,80 @@ use regular_queries::graph::generate;
 use regular_queries::prelude::*;
 
 fn main() {
-    let db = generate::preferential_attachment(2_000, 3, &["knows", "follows"], 2026);
-    let mut al = db.alphabet().clone();
+    let db = generate::preferential_attachment(1_000, 3, &["knows", "follows"], 2026);
     println!(
         "social graph: {} people, {} relationships",
         db.num_nodes(),
         db.num_edges()
     );
 
-    // The hub: the most-connected person.
+    // The serving engine: 2 worker threads, default semantic cache.
+    let engine = Engine::new(
+        db.clone(),
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    );
+
+    // A broad reachability query warms the cache (a cold miss: full
+    // striped evaluation across the pool)...
+    let broad = engine.parse("(knows|follows)+").unwrap();
+    let r = engine.run(&broad).unwrap();
+    println!(
+        "[{}] (knows|follows)+       : {} connected pairs",
+        r.disposition,
+        r.answer.len()
+    );
+
+    // ...so the narrower queries behind it are answered by *containment*:
+    // knows+ ⊑ (knows|follows)+, hence knows+(D) ⊆ (knows|follows)+(D)
+    // and the engine re-evaluates only from the cached answer's sources.
+    for text in ["knows+", "knows knows"] {
+        let q = engine.parse(text).unwrap();
+        let r = engine.run(&q).unwrap();
+        println!("[{}] {text:<22}: {} pairs", r.disposition, r.answer.len());
+        assert_eq!(r.disposition, Disposition::Subsumed);
+    }
+
+    // A repeat is a free exact hit on the canonical key — even written
+    // differently: (follows|knows)+ minimizes to the same DFA.
+    let rewritten = engine.parse("(follows|knows)+").unwrap();
+    let r = engine.run(&rewritten).unwrap();
+    println!(
+        "[{}] (follows|knows)+      : {} pairs",
+        r.disposition,
+        r.answer.len()
+    );
+    assert_eq!(r.disposition, Disposition::Exact);
+    println!("cache: {}", engine.cache_stats());
+
+    // The hub: the most-connected person. Single-source questions go
+    // through the engine too (governed, uncached).
     let hub = db
         .nodes()
         .max_by_key(|&n| db.degree(n))
         .expect("nonempty graph");
     println!("hub: {} (degree {})", db.display_node(hub), db.degree(hub));
 
-    // RPQ: forward reachability — start from a well-connected *recent*
-    // member (in preferential attachment, edges point from newer members
-    // to older ones, so the hub itself has no outgoing edges).
-    let src = db
-        .nodes()
-        .max_by_key(|&n| db.out_edges(n).len() * 1000 + db.degree(n))
-        .expect("nonempty graph");
-    let reach = Rpq::parse("(knows|follows)+", &mut al).unwrap();
-    let fwd = reach.evaluate_from(&db, src);
-    println!(
-        "{} reaches {} people via (knows|follows)+",
-        db.display_node(src),
-        fwd.len()
-    );
-
     // 2RPQ: the hub's audience — anyone connected by following chains
     // *into* the hub (backward navigation).
-    let audience = TwoRpq::parse("(knows-|follows-)+", &mut al).unwrap();
-    let aud = audience.evaluate_from(&db, hub);
+    let audience = engine.parse("(knows-|follows-)+").unwrap();
+    let aud = engine.run_from(&audience, hub).unwrap();
     println!("hub's transitive audience: {} people", aud.len());
 
     // 2RPQ with alternating direction: "co-audience" — people who follow
     // someone the hub is followed by (navigates backward then forward).
-    let cofollow = TwoRpq::parse("follows- follows (knows- knows)*", &mut al).unwrap();
-    let cf = cofollow.evaluate_from(&db, hub);
+    let cofollow = engine.parse("follows- follows (knows- knows)*").unwrap();
+    let cf = engine.run_from(&cofollow, hub).unwrap();
     println!("co-audience closure around hub: {} people", cf.len());
 
-    // C2RPQ: triangles of mutual awareness around the hub pattern
-    // (x knows y, both reach a common celebrity c).
+    // The classes beyond 2RPQ are evaluated directly — conjunction and
+    // closure-over-conjunction are outside the serving engine's cache.
+    let mut al = engine.alphabet();
+
+    // C2RPQ: triangles of mutual awareness (x knows y, both reach a
+    // common celebrity c).
     let pattern = C2Rpq::parse(
         &["x", "y"],
         &[
@@ -84,11 +117,10 @@ fn main() {
         infl.len()
     );
 
-    // Witness extraction: a shortest semipath certifying one answer.
-    if let Some(&y) = fwd.iter().find(|&&y| y != src) {
-        let (x, y) = (src, y);
-        let sp = reach
-            .as_two_rpq()
+    // Witness extraction: a shortest semipath certifying one answer of
+    // the broad query served above.
+    if let Some(&(x, y)) = r.answer.iter().find(|&&(x, y)| x != y) {
+        let sp = broad
             .witness_semipath(&db, x, y)
             .expect("pair is an answer");
         let names: Vec<String> = sp.nodes().iter().map(|&n| db.display_node(n)).collect();

@@ -11,7 +11,14 @@
 //! rqtool contain-cq <query1.cq> <query2.cq>
 //! rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]
 //! rqtool contain-rq <query1.rq> <query2.rq>
+//! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
 //! ```
+//!
+//! `serve-batch` reads one 2RPQ per line (blank lines and `#` comments
+//! skipped), serves the batch through the `rq-engine` semantic cache, and
+//! prints per-query hit/miss/subsumption dispositions plus the batch cache
+//! counters. `--threads=N` sizes the worker pool and `--cache-cap=N` the
+//! cache; the `--fuel`/`--timeout-ms` budgets apply per worker.
 //!
 //! Resource budgets: `--fuel=N` caps abstract search steps and
 //! `--timeout-ms=N` sets a wall-clock deadline for `contain`,
@@ -65,7 +72,9 @@ fn main() -> ExitCode {
             || f.starts_with("--from=")
             || f.starts_with("--goal=")
             || f.starts_with("--fuel=")
-            || f.starts_with("--timeout-ms="))
+            || f.starts_with("--timeout-ms=")
+            || f.starts_with("--threads=")
+            || f.starts_with("--cache-cap="))
     });
 
     let result = match unknown {
@@ -85,6 +94,7 @@ fn main() -> ExitCode {
             ("contain-cq", [q1, q2]) => cmd_contain_cq(q1, q2, &limits),
             ("eval-rq", [graph, query]) => cmd_eval_rq(graph, query, goal.as_deref()),
             ("contain-rq", [q1, q2]) => cmd_contain_rq(q1, q2, &limits),
+            ("serve-batch", [graph, queries]) => cmd_serve_batch(graph, queries, &flags, &limits),
             _ => Err(usage()),
         },
         _ => Err(usage()),
@@ -108,8 +118,9 @@ fn usage() -> String {
      rqtool eval-cq <graph.txt> <query.cq>\n  \
      rqtool contain-cq <query1.cq> <query2.cq>\n  \
      rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]\n  \
-     rqtool contain-rq <query1.rq> <query2.rq>\n\
-     budget flags (contain*, datalog): --fuel=N --timeout-ms=N"
+     rqtool contain-rq <query1.rq> <query2.rq>\n  \
+     rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n\
+     budget flags (contain*, datalog, serve-batch): --fuel=N --timeout-ms=N"
         .to_owned()
 }
 
@@ -273,6 +284,75 @@ fn cmd_to_datalog(query: &str) -> Result<(), String> {
     let dq = regular_queries::core::translate::rq_to_datalog(&q, &al);
     print!("{}", dq.program);
     println!("% goal: {}", dq.goal);
+    Ok(())
+}
+
+fn cmd_serve_batch(
+    graph: &str,
+    queries_path: &str,
+    flags: &[&String],
+    limits: &Limits,
+) -> Result<(), String> {
+    let mut threads = 2usize;
+    let mut cache_cap = 64usize;
+    for f in flags {
+        if let Some(v) = f.strip_prefix("--threads=") {
+            threads = v
+                .parse()
+                .map_err(|_| format!("--threads expects an integer, got {v:?}"))?;
+        } else if let Some(v) = f.strip_prefix("--cache-cap=") {
+            cache_cap = v
+                .parse()
+                .map_err(|_| format!("--cache-cap expects an integer, got {v:?}"))?;
+        }
+    }
+    let db = load_graph(graph)?;
+    let content = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let texts: Vec<&str> = content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let engine = Engine::new(
+        db,
+        EngineConfig {
+            threads,
+            limits: limits.clone(),
+            cache: CacheConfig {
+                capacity: cache_cap,
+                ..CacheConfig::default()
+            },
+        },
+    );
+    let queries: Vec<TwoRpq> = texts
+        .iter()
+        .map(|t| {
+            engine
+                .parse(t)
+                .map_err(|e| format!("cannot parse query {t:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let start = std::time::Instant::now();
+    let report = engine.run_batch(&queries);
+    let elapsed = start.elapsed();
+    println!(
+        "served {} queries on {} threads in {elapsed:.1?}",
+        queries.len(),
+        engine.threads()
+    );
+    for item in &report.items {
+        match &item.outcome {
+            Ok(answer) => println!(
+                "  [{:<10}] {:<24} {} pairs",
+                item.disposition.to_string(),
+                texts[item.index],
+                answer.len()
+            ),
+            Err(e) => println!("  [stopped   ] {:<24} {e}", texts[item.index]),
+        }
+    }
+    println!("cache: {}", report.stats);
     Ok(())
 }
 

@@ -12,7 +12,9 @@
 //! * [`graph`] — edge-labeled graph databases and generators;
 //! * [`datalog`] — a Datalog engine with GRQ recognition and translation;
 //! * [`core`] — the query classes, their evaluation, and the containment
-//!   checker suite.
+//!   checker suite;
+//! * [`engine`] — concurrent query serving with a containment-based
+//!   semantic cache.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 pub use rq_automata as automata;
 pub use rq_core as core;
 pub use rq_datalog as datalog;
+pub use rq_engine as engine;
 pub use rq_graph as graph;
 
 /// Convenient glob-import surface for examples and applications.
@@ -57,5 +60,6 @@ pub mod prelude {
     pub use rq_core::query_text::parse_uc2rpq;
     pub use rq_core::{C2Rpq, Rpq, RqExpr, RqQuery, TwoRpq, Uc2Rpq};
     pub use rq_datalog::{FactDb, Program, Query as DatalogQuery};
+    pub use rq_engine::{CacheConfig, CacheStats, Disposition, Engine, EngineConfig};
     pub use rq_graph::{GraphDb, NodeId, Semipath};
 }

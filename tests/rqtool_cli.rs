@@ -99,6 +99,39 @@ fn cq_commands() {
 }
 
 #[test]
+fn serve_batch_command() {
+    let (stdout, _, ok) = rqtool(&[
+        "serve-batch",
+        &data("social.graph"),
+        &data("social.batch"),
+        "--threads=2",
+        "--cache-cap=16",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("served 6 queries on 2 threads"), "{stdout}");
+    assert!(stdout.contains("[miss"), "{stdout}");
+    assert!(stdout.contains("[subsumed"), "{stdout}");
+    assert!(stdout.contains("[deduped"), "{stdout}");
+    assert!(stdout.contains("misses=1"), "{stdout}");
+}
+
+#[test]
+fn serve_batch_respects_budgets() {
+    // fuel=1 per worker cannot finish the broad query; the tool still
+    // exits 0 and reports the stopped query with its partial counters.
+    let (stdout, _, ok) = rqtool(&[
+        "serve-batch",
+        &data("social.graph"),
+        &data("social.batch"),
+        "--threads=2",
+        "--fuel=1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("[stopped"), "{stdout}");
+    assert!(stdout.contains("fuel exhausted"), "{stdout}");
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (_, stderr, ok) = rqtool(&["frobnicate"]);
     assert!(!ok);
