@@ -315,6 +315,7 @@ impl Governor {
     }
 
     fn exhaustion(&self, resource: Resource, spent: u64, limit: u64) -> Exhaustion {
+        metrics::exhaustions(resource).inc();
         Exhaustion {
             resource,
             spent,
@@ -402,6 +403,36 @@ impl Governor {
 impl Default for Governor {
     fn default() -> Self {
         Governor::unlimited()
+    }
+}
+
+/// Workspace-wide exhaustion counters, one per [`Resource`]. Incremented
+/// on the cold path only (constructing an [`Exhaustion`]), so the
+/// per-tick hot path never touches them.
+mod metrics {
+    use super::Resource;
+    use rq_metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) fn exhaustions(resource: Resource) -> &'static Counter {
+        static CELLS: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["fuel", "states", "tuples", "deadline", "cancelled"].map(|r| {
+                global().counter_with(
+                    "rq_governor_exhaustions_total",
+                    &[("resource", r)],
+                    "Governor budgets tripped, by resource",
+                )
+            })
+        });
+        let i = match resource {
+            Resource::Fuel => 0,
+            Resource::States => 1,
+            Resource::Tuples => 2,
+            Resource::Deadline => 3,
+            Resource::Cancelled => 4,
+        };
+        &cells[i]
     }
 }
 

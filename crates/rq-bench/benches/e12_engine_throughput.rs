@@ -75,5 +75,36 @@ fn bench_serve_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(e12, bench_all_pairs, bench_serve_batch);
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // The acceptance bar for rq-metrics: the instrumented serving path
+    // with recording enabled must stay within a few percent of the same
+    // path with the global kill switch off. Samples only touch atomics at
+    // coarse boundaries (per probe, per BFS, per query), so the two
+    // timings should be statistically indistinguishable.
+    let mut g = c.benchmark_group("e12/metrics_overhead");
+    g.sample_size(10);
+    let db = e10_graph(100, 3);
+    let texts = e12_batch(32);
+    let engine = engine_on(&db, 2);
+    let queries: Vec<TwoRpq> = texts.iter().map(|t| engine.parse(t).unwrap()).collect();
+    for enabled in [false, true] {
+        let name = if enabled { "enabled" } else { "disabled" };
+        g.bench_function(name, |b| {
+            rq_metrics::set_enabled(enabled);
+            b.iter(|| {
+                engine.clear_cache();
+                black_box(engine.run_batch(&queries).items.len())
+            });
+            rq_metrics::set_enabled(true);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    e12,
+    bench_all_pairs,
+    bench_serve_batch,
+    bench_metrics_overhead
+);
 criterion_main!(e12);

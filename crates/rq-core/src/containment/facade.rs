@@ -27,27 +27,90 @@ use rq_automata::Alphabet;
 /// only when the fast rungs are inconclusive. All work is metered by a
 /// governor spawned from `limits`.
 pub fn check_quick(q1: &TwoRpq, q2: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Outcome {
+    check_quick_governed(q1, q2, alphabet, &Governor::new(limits.clone()))
+}
+
+/// [`check_quick`] against a caller-owned governor, so callers (the
+/// semantic cache) can read back how much budget the probe actually spent
+/// from [`Governor::counters`]. Each rung records which stage of the
+/// ladder decided the check in the `rq_containment_ladder_total` metric.
+pub fn check_quick_governed(
+    q1: &TwoRpq,
+    q2: &TwoRpq,
+    alphabet: &Alphabet,
+    gov: &Governor,
+) -> Outcome {
     let r1 = simplify(q1.regex());
     if r1.is_empty_language() {
+        metrics::ladder_stage(metrics::Stage::EmptyLeft);
         return Outcome::Contained(Certificate::EmptyLeft);
     }
     if r1 == simplify(q2.regex()) {
+        metrics::ladder_stage(metrics::Stage::SyntacticEq);
         return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
     }
-    let gov = Governor::new(limits.clone());
     match (
-        canonical_key_governed(q1, alphabet, &gov),
-        canonical_key_governed(q2, alphabet, &gov),
+        canonical_key_governed(q1, alphabet, gov),
+        canonical_key_governed(q2, alphabet, gov),
     ) {
         (Ok(k1), Ok(k2)) if k1 == k2 => {
+            metrics::ladder_stage(metrics::Stage::CanonicalKey);
             return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
         }
-        (Err(e), _) | (_, Err(e)) => return Outcome::exhausted(e),
+        (Err(e), _) | (_, Err(e)) => {
+            metrics::ladder_stage(metrics::Stage::Exhausted);
+            return Outcome::exhausted(e);
+        }
         _ => {}
     }
-    match two_rpq::check_governed(q1, q2, alphabet, &gov) {
-        Ok(outcome) => outcome,
-        Err(e) => Outcome::exhausted(e),
+    match two_rpq::check_governed(q1, q2, alphabet, gov) {
+        Ok(outcome) => {
+            metrics::ladder_stage(metrics::Stage::FullCheck);
+            outcome
+        }
+        Err(e) => {
+            metrics::ladder_stage(metrics::Stage::Exhausted);
+            Outcome::exhausted(e)
+        }
+    }
+}
+
+/// Which rung of the cheap-first ladder settled each `check_quick` call:
+/// the language-level fast paths (`empty_left`, `syntactic_eq`,
+/// `canonical_key`), the full fold/2NFA pipeline (`full_check`), or a
+/// tripped budget (`exhausted`).
+mod metrics {
+    use rq_metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    #[derive(Clone, Copy)]
+    pub(super) enum Stage {
+        EmptyLeft = 0,
+        SyntacticEq = 1,
+        CanonicalKey = 2,
+        FullCheck = 3,
+        Exhausted = 4,
+    }
+
+    pub(super) fn ladder_stage(stage: Stage) {
+        static CELLS: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            [
+                "empty_left",
+                "syntactic_eq",
+                "canonical_key",
+                "full_check",
+                "exhausted",
+            ]
+            .map(|s| {
+                global().counter_with(
+                    "rq_containment_ladder_total",
+                    &[("stage", s)],
+                    "check_quick ladder outcomes, by deciding stage",
+                )
+            })
+        });
+        cells[stage as usize].inc();
     }
 }
 

@@ -15,14 +15,19 @@
 //!   restricts the product BFS to sources that appear in `Q'(D)`).
 //!
 //! Probes run under their own small [`Limits`] budget; when canonicalization
-//! or a probe exhausts, the verdict is treated as "no relation found" and
-//! the cache degrades to a plain exact-match cache rather than stalling the
-//! request path.
+//! or a probe exhausts, the lookup cannot use that entry and the cache
+//! degrades to a plain exact-match cache rather than stalling the request
+//! path. Exhausted probes are *not* conflated with proven non-containment:
+//! they are tallied separately ([`CacheStats::probe_exhausted`] and the
+//! `rq_cache_probes_total{result="exhausted"}` metric), so hit-rate
+//! dashboards distinguish "the cache had nothing" from "the budget was too
+//! small to find out".
 
 use rq_automata::governor::{Governor, Limits};
 use rq_automata::Alphabet;
 use rq_core::canonical::{canonical_key_governed, syntactic_key};
-use rq_core::containment::facade::check_quick;
+use rq_core::containment::facade::check_quick_governed;
+use rq_core::containment::Outcome;
 use rq_core::TwoRpq;
 use rq_graph::NodeId;
 use std::collections::BTreeSet;
@@ -75,6 +80,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Containment probes attempted.
     pub probes: u64,
+    /// Probes that exhausted their budget before reaching a verdict
+    /// (`Outcome::Unknown`). Counted separately from proven
+    /// non-containment so the disposition counters stay truthful.
+    pub probe_exhausted: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
 }
@@ -100,12 +109,14 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "exact={} equivalent={} subsumed={} misses={} probes={} evictions={} hit-rate={:.0}%",
+            "exact={} equivalent={} subsumed={} misses={} probes={} probe-exhausted={} \
+             evictions={} hit-rate={:.0}%",
             self.exact,
             self.equivalent,
             self.subsumed,
             self.misses,
             self.probes,
+            self.probe_exhausted,
             self.evictions,
             self.hit_rate() * 100.0
         )
@@ -213,12 +224,27 @@ impl SemanticCache {
         self.entries[i].last_used = self.clock;
     }
 
+    /// One budgeted containment probe `a ⊑ b`, with the fuel it spent and
+    /// its verdict recorded in the probe metrics. An exhausted probe is
+    /// counted as such — not as a non-containment verdict.
+    fn probe(&mut self, a: &TwoRpq, b: &TwoRpq, alphabet: &Alphabet) -> Outcome {
+        self.stats.probes += 1;
+        let gov = Governor::new(self.config.probe_limits.clone());
+        let out = check_quick_governed(a, b, alphabet, &gov);
+        if out.is_unknown() {
+            self.stats.probe_exhausted += 1;
+        }
+        metrics::probe(&out, gov.counters().fuel_spent);
+        out
+    }
+
     /// Look up `q` (with `key` from [`Self::key_of`]), updating counters
     /// and recency.
     pub fn lookup(&mut self, q: &TwoRpq, key: &str, alphabet: &Alphabet) -> Lookup {
         if let Some(i) = self.entries.iter().position(|e| e.key == key) {
             self.touch(i);
             self.stats.exact += 1;
+            metrics::disposition("exact");
             return Lookup::Exact(Arc::clone(&self.entries[i].answer));
         }
         // Probe the most recently used entries for a subsuming query.
@@ -226,29 +252,31 @@ impl SemanticCache {
         order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].last_used));
         order.truncate(self.config.probe_candidates);
         for i in order {
-            self.stats.probes += 1;
-            let cached = &self.entries[i];
-            if !check_quick(q, &cached.query, alphabet, &self.config.probe_limits).is_contained() {
+            let cached_query = self.entries[i].query.clone();
+            if !self.probe(q, &cached_query, alphabet).is_contained() {
                 continue;
             }
-            self.stats.probes += 1;
-            let equivalent =
-                check_quick(&cached.query, q, alphabet, &self.config.probe_limits).is_contained();
-            let answer = Arc::clone(&cached.answer);
-            let query = cached.query.clone();
+            // `q ⊑ cached` is proven; the reverse probe only decides
+            // equivalent-vs-subsumed, so an exhausted reverse probe soundly
+            // degrades to the subsumption path.
+            let equivalent = self.probe(&cached_query, q, alphabet).is_contained();
+            let answer = Arc::clone(&self.entries[i].answer);
             self.touch(i);
             return if equivalent {
                 self.stats.equivalent += 1;
+                metrics::disposition("equivalent");
                 Lookup::Equivalent(answer)
             } else {
                 self.stats.subsumed += 1;
+                metrics::disposition("subsumed");
                 Lookup::Subsumed {
-                    query,
+                    query: cached_query,
                     superset: answer,
                 }
             };
         }
         self.stats.misses += 1;
+        metrics::disposition("miss");
         Lookup::Miss
     }
 
@@ -273,6 +301,7 @@ impl SemanticCache {
                 .expect("nonempty at capacity");
             self.entries.swap_remove(oldest);
             self.stats.evictions += 1;
+            metrics::eviction();
         }
         self.clock += 1;
         self.entries.push(Entry {
@@ -281,6 +310,91 @@ impl SemanticCache {
             answer,
             last_used: self.clock,
         });
+        metrics::entries(self.entries.len());
+    }
+
+    /// Whether an entry with exactly this key is materialized (no recency
+    /// update, no probes).
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+}
+
+/// Cache-level metrics: lookup dispositions, probe verdicts and the fuel
+/// each probe spent, evictions, and the live entry count.
+mod metrics {
+    use rq_core::containment::Outcome;
+    use rq_metrics::{fuel_buckets, global, Counter, Gauge, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) fn disposition(kind: &'static str) {
+        static CELLS: OnceLock<[(&'static str, Arc<Counter>); 4]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["exact", "equivalent", "subsumed", "miss"].map(|k| {
+                (
+                    k,
+                    global().counter_with(
+                        "rq_cache_dispositions_total",
+                        &[("disposition", k)],
+                        "Semantic-cache lookup outcomes",
+                    ),
+                )
+            })
+        });
+        if let Some((_, c)) = cells.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+    }
+
+    type ProbeCells = ([(&'static str, Arc<Counter>); 3], Arc<Histogram>);
+
+    pub(super) fn probe(out: &Outcome, fuel_spent: u64) {
+        static CELLS: OnceLock<ProbeCells> = OnceLock::new();
+        let (verdicts, fuel) = CELLS.get_or_init(|| {
+            (
+                ["contained", "not_contained", "exhausted"].map(|r| {
+                    (
+                        r,
+                        global().counter_with(
+                            "rq_cache_probes_total",
+                            &[("result", r)],
+                            "Budgeted containment probes, by verdict",
+                        ),
+                    )
+                }),
+                global().histogram(
+                    "rq_cache_probe_fuel_spent",
+                    "Fuel consumed per containment probe",
+                    &fuel_buckets(),
+                ),
+            )
+        });
+        let kind = match out.decided() {
+            Some(true) => "contained",
+            Some(false) => "not_contained",
+            None => "exhausted",
+        };
+        if let Some((_, c)) = verdicts.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+        fuel.observe(fuel_spent);
+    }
+
+    pub(super) fn eviction() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_cache_evictions_total",
+                "Entries evicted by the LRU policy",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn entries(len: usize) {
+        static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+        CELL.get_or_init(|| global().gauge("rq_cache_entries", "Materialized cache entries"))
+            .set(len as u64);
     }
 }
 
@@ -385,5 +499,22 @@ mod tests {
         cache.insert(kb, &big, pairs(&db, &big));
         let ks = cache.key_of(&small, &al);
         assert!(matches!(cache.lookup(&small, &ks, &al), Lookup::Miss));
+        // The starved probe is recorded as exhausted, not as a proven
+        // non-containment: the miss is a budget artifact and says so.
+        let stats = cache.stats();
+        assert!(stats.probe_exhausted > 0, "{stats}");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn contains_key_reports_without_touching() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig::default());
+        let q = TwoRpq::parse("a b", &mut al).unwrap();
+        let k = cache.key_of(&q, &al);
+        assert!(!cache.contains_key(&k));
+        cache.insert(k.clone(), &q, pairs(&db, &q));
+        assert!(cache.contains_key(&k));
+        assert_eq!(cache.stats(), CacheStats::default(), "no lookup counted");
     }
 }

@@ -178,6 +178,13 @@ impl Engine {
     /// Serve the all-pairs answer `Q(D)`, consulting and feeding the
     /// semantic cache.
     pub fn run(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
+        let start = std::time::Instant::now();
+        let result = self.run_inner(q);
+        metrics::query(&result, start.elapsed());
+        result
+    }
+
+    fn run_inner(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
         let (key, lookup) = {
             let mut shared = self.shared.lock().expect("engine poisoned");
             let Shared { alphabet, cache } = &mut *shared;
@@ -246,6 +253,7 @@ impl Engine {
     /// that (heuristically) subsuming queries evaluate first — seeding the
     /// cache for the rest — and each evaluation fans out across the pool.
     pub fn run_batch(&self, queries: &[TwoRpq]) -> BatchReport {
+        let batch_start = std::time::Instant::now();
         let stats_before = self.cache_stats();
         // Group by cache key.
         let keys: Vec<String> = {
@@ -315,7 +323,7 @@ impl Engine {
             });
         }
         let after = self.cache_stats();
-        BatchReport {
+        let report = BatchReport {
             items: items
                 .into_iter()
                 .map(|i| i.expect("every index assigned"))
@@ -326,9 +334,12 @@ impl Engine {
                 subsumed: after.subsumed - stats_before.subsumed,
                 misses: after.misses - stats_before.misses,
                 probes: after.probes - stats_before.probes,
+                probe_exhausted: after.probe_exhausted - stats_before.probe_exhausted,
                 evictions: after.evictions - stats_before.evictions,
             },
-        }
+        };
+        metrics::batch(&report, batch_start.elapsed());
+        report
     }
 
     /// Stripe `sources` across the pool, one governed product BFS per
@@ -365,6 +376,7 @@ impl Engine {
                         }
                     }
                 }
+                metrics::worker_fuel(gov.counters().fuel_spent, failed.is_none());
                 let _ = tx.send(match failed {
                     None => Ok(out),
                     Some(e) => Err(e),
@@ -406,6 +418,134 @@ impl Engine {
             Some(e) => Err(EngineError::Exhausted(e)),
             None => Ok(merged),
         }
+    }
+}
+
+/// Engine-level metrics: per-query and per-batch latency histograms,
+/// disposition/error counters, and per-worker governor fuel consumption
+/// split by outcome. Each served query and batch also emits a `trace`
+/// event when a JSON-lines sink is installed.
+mod metrics {
+    use super::{BatchReport, Disposition, EngineError, QueryResult};
+    use rq_metrics::{fuel_buckets, global, latency_buckets_us, trace, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+    use std::time::Duration;
+
+    fn queries_total(d: Disposition) -> &'static Counter {
+        static CELLS: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["exact", "equivalent", "subsumed", "miss", "deduped"].map(|d| {
+                global().counter_with(
+                    "rq_engine_queries_total",
+                    &[("disposition", d)],
+                    "Queries served, by cache disposition",
+                )
+            })
+        });
+        let i = match d {
+            Disposition::Exact => 0,
+            Disposition::Equivalent => 1,
+            Disposition::Subsumed => 2,
+            Disposition::Miss => 3,
+            Disposition::Deduped => 4,
+        };
+        &cells[i]
+    }
+
+    pub(super) fn query(result: &Result<QueryResult, EngineError>, elapsed: Duration) {
+        static CELLS: OnceLock<(Arc<Histogram>, Arc<Counter>)> = OnceLock::new();
+        let (latency, errors) = CELLS.get_or_init(|| {
+            (
+                global().histogram(
+                    "rq_engine_query_latency_us",
+                    "End-to-end latency of one served query, microseconds",
+                    &latency_buckets_us(),
+                ),
+                global().counter(
+                    "rq_engine_query_errors_total",
+                    "Queries that failed (budget exhausted or invalid input)",
+                ),
+            )
+        });
+        let us = elapsed.as_micros() as u64;
+        latency.observe(us);
+        match result {
+            Ok(r) => {
+                queries_total(r.disposition).inc();
+                if trace::active() {
+                    trace::event(
+                        "query",
+                        &[
+                            ("disposition", r.disposition.to_string()),
+                            ("pairs", r.answer.len().to_string()),
+                            ("latency_us", us.to_string()),
+                        ],
+                    );
+                }
+            }
+            Err(e) => {
+                errors.inc();
+                if trace::active() {
+                    trace::event(
+                        "query_error",
+                        &[("error", e.to_string()), ("latency_us", us.to_string())],
+                    );
+                }
+            }
+        }
+    }
+
+    pub(super) fn batch(report: &BatchReport, elapsed: Duration) {
+        static CELLS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
+        let (batches, latency) = CELLS.get_or_init(|| {
+            (
+                global().counter("rq_engine_batches_total", "Batches served"),
+                global().histogram(
+                    "rq_engine_batch_latency_us",
+                    "End-to-end latency of one served batch, microseconds",
+                    &latency_buckets_us(),
+                ),
+            )
+        });
+        batches.inc();
+        let us = elapsed.as_micros() as u64;
+        latency.observe(us);
+        let deduped = report
+            .items
+            .iter()
+            .filter(|i| i.disposition == Disposition::Deduped)
+            .count();
+        for _ in 0..deduped {
+            queries_total(Disposition::Deduped).inc();
+        }
+        if trace::active() {
+            trace::event(
+                "batch",
+                &[
+                    ("queries", report.items.len().to_string()),
+                    ("deduped", deduped.to_string()),
+                    ("stats", report.stats.to_string()),
+                    ("latency_us", us.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Fuel one worker's governor metered over its stripe of sources,
+    /// split by whether the stripe completed or tripped a budget.
+    pub(super) fn worker_fuel(fuel_spent: u64, ok: bool) {
+        static CELLS: OnceLock<[Arc<Histogram>; 2]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["ok", "exhausted"].map(|o| {
+                global().histogram_with(
+                    "rq_governor_fuel_spent",
+                    &[("outcome", o)],
+                    "Fuel consumed per worker evaluation stripe, by outcome",
+                    &fuel_buckets(),
+                )
+            })
+        });
+        cells[if ok { 0 } else { 1 }].observe(fuel_spent);
     }
 }
 

@@ -38,7 +38,11 @@ impl WorkerPool {
                             guard.recv()
                         };
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                metrics::job_started();
+                                job();
+                                metrics::job_completed();
+                            }
                             Err(_) => break, // queue closed: pool dropped
                         }
                     })
@@ -59,11 +63,52 @@ impl WorkerPool {
     /// Enqueue a job. Jobs run in submission order per worker but complete
     /// in any order; use a results channel to collect outputs.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        metrics::job_submitted();
         self.sender
             .as_ref()
             .expect("pool is shutting down")
             .send(Box::new(job))
             .expect("all workers exited");
+    }
+}
+
+/// Pool metrics: jobs submitted/completed and the instantaneous queue
+/// depth (submitted but not yet picked up by a worker). The pool is a
+/// single shared channel — there is no work stealing to count.
+mod metrics {
+    use rq_metrics::{global, Counter, Gauge};
+    use std::sync::{Arc, OnceLock};
+
+    struct Cells {
+        submitted: Arc<Counter>,
+        completed: Arc<Counter>,
+        depth: Arc<Gauge>,
+    }
+
+    fn cells() -> &'static Cells {
+        static CELLS: OnceLock<Cells> = OnceLock::new();
+        CELLS.get_or_init(|| Cells {
+            submitted: global().counter("rq_pool_jobs_total", "Jobs submitted to the worker pool"),
+            completed: global().counter("rq_pool_jobs_completed_total", "Jobs run to completion"),
+            depth: global().gauge(
+                "rq_pool_queue_depth",
+                "Jobs enqueued but not yet picked up by a worker",
+            ),
+        })
+    }
+
+    pub(super) fn job_submitted() {
+        let c = cells();
+        c.submitted.inc();
+        c.depth.add(1);
+    }
+
+    pub(super) fn job_started() {
+        cells().depth.sub(1);
+    }
+
+    pub(super) fn job_completed() {
+        cells().completed.inc();
     }
 }
 

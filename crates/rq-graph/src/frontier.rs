@@ -91,12 +91,48 @@ impl<'a> ProductBfs<'a> {
     /// Drain the frontier, collecting every node reached in a final state.
     pub fn run(&mut self, gov: &Governor) -> Result<BTreeSet<NodeId>, Exhaustion> {
         let mut out = BTreeSet::new();
-        while let Some((node, state)) = self.step(gov)? {
-            if self.nfa.is_final(state) {
-                out.insert(node);
+        let mut expanded = 0u64;
+        let result = loop {
+            match self.step(gov) {
+                Ok(Some((node, state))) => {
+                    expanded += 1;
+                    if self.nfa.is_final(state) {
+                        out.insert(node);
+                    }
+                }
+                Ok(None) => break Ok(out),
+                Err(e) => break Err(e),
             }
-        }
-        Ok(out)
+        };
+        // One flush per search, never per expansion, keeps the atomics off
+        // the BFS hot path (partial work is reported even on exhaustion).
+        metrics::record_search(expanded);
+        result
+    }
+}
+
+/// Frontier-level counters: searches run and product states expanded.
+/// Accumulated locally during a BFS and flushed once at the end.
+mod metrics {
+    use rq_metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) fn record_search(expanded: u64) {
+        static CELLS: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+        let (searches, expansions) = CELLS.get_or_init(|| {
+            (
+                global().counter(
+                    "rq_frontier_searches_total",
+                    "Product-automaton BFS searches run",
+                ),
+                global().counter(
+                    "rq_frontier_expansions_total",
+                    "Product states expanded across all BFS searches",
+                ),
+            )
+        });
+        searches.inc();
+        expansions.add(expanded);
     }
 }
 
@@ -121,12 +157,21 @@ pub fn pair_reachable_governed(
     gov: &Governor,
 ) -> Result<bool, Exhaustion> {
     let mut bfs = ProductBfs::new(db, nfa, source);
-    while let Some((node, state)) = bfs.step(gov)? {
-        if node == target && nfa.is_final(state) {
-            return Ok(true);
+    let mut expanded = 0u64;
+    let result = loop {
+        match bfs.step(gov) {
+            Ok(Some((node, state))) => {
+                expanded += 1;
+                if node == target && nfa.is_final(state) {
+                    break Ok(true);
+                }
+            }
+            Ok(None) => break Ok(false),
+            Err(e) => break Err(e),
         }
-    }
-    Ok(false)
+    };
+    metrics::record_search(expanded);
+    result
 }
 
 /// The full all-pairs answer (governed, sequential): one product BFS per

@@ -1,0 +1,406 @@
+//! The metric registry: named metrics, snapshots, and the
+//! Prometheus-style text exposition.
+//!
+//! Registration is idempotent — asking for `(name, labels)` twice returns
+//! the same shared handle — so instrumented code can register lazily from
+//! `OnceLock` statics without coordination. The registry's mutex guards
+//! only the registration list; recording into a handle never takes it.
+
+use crate::{Counter, Gauge, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Label pairs as owned strings, normalized (sorted by key) so the same
+/// label set always hits the same registered metric.
+type Labels = Vec<(String, String)>;
+
+#[derive(Clone)]
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Labels,
+    help: String,
+    kind: Kind,
+}
+
+/// A collection of named metrics.
+///
+/// Most code uses the process-wide [`global()`] registry; tests build
+/// their own to stay isolated.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn normalize(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Kind,
+        get: impl Fn(&Kind) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let labels = normalize(labels);
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return get(&e.kind).unwrap_or_else(|| {
+                panic!(
+                    "metric {name} already registered as a {}",
+                    e.kind.type_name()
+                )
+            });
+        }
+        let kind = make();
+        let handle = get(&kind).expect("freshly made metric has the requested kind");
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            kind,
+        });
+        handle
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Register (or fetch) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            help,
+            || Kind::Counter(Arc::new(Counter::new())),
+            |k| match k {
+                Kind::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Register (or fetch) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            help,
+            || Kind::Gauge(Arc::new(Gauge::new())),
+            |k| match k {
+                Kind::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) an unlabeled histogram with the given bucket
+    /// bounds (the bounds of the first registration win).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help, bounds)
+    }
+
+    /// Register (or fetch) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            help,
+            || Kind::Histogram(Arc::new(Histogram::new(bounds.to_vec()))),
+            |k| match k {
+                Kind::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        Snapshot {
+            metrics: entries
+                .iter()
+                .map(|e| MetricSnapshot {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    help: e.help.clone(),
+                    value: match &e.kind {
+                        Kind::Counter(c) => Value::Counter(c.get()),
+                        Kind::Gauge(g) => Value::Gauge(g.get()),
+                        Kind::Histogram(h) => Value::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the Prometheus text exposition of a fresh snapshot.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// The process-wide registry that all workspace instrumentation records
+/// into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram buckets/sum/count.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time copy of a histogram: per-bucket (non-cumulative) counts,
+/// the sample sum, and `count == buckets.iter().sum()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, one per non-overflow bucket.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `buckets.len() == bounds.len() + 1` (the last
+    /// is the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed samples.
+    pub sum: u64,
+    /// Total samples (always the sum of `buckets`).
+    pub count: u64,
+}
+
+/// One registered metric in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Help text.
+    pub help: String,
+    /// The value read at snapshot time.
+    pub value: Value,
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every registered metric, in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Like [`label_block`] but with a trailing `le` label appended (for
+/// histogram bucket lines).
+fn bucket_labels(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push(("le".to_string(), le.to_string()));
+    label_block(&all)
+}
+
+impl Snapshot {
+    /// The value of `(name, labels)` if registered (labels in any order).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Value> {
+        let labels = normalize(labels);
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+            .map(|m| &m.value)
+    }
+
+    /// Render the Prometheus text exposition: `# HELP` / `# TYPE` headers
+    /// once per family, samples grouped by family, histogram buckets
+    /// cumulative with a `+Inf` bucket equal to `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut families: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !families.contains(&m.name.as_str()) {
+                families.push(&m.name);
+            }
+        }
+        for family in families {
+            let members: Vec<&MetricSnapshot> =
+                self.metrics.iter().filter(|m| m.name == family).collect();
+            let first = members[0];
+            let type_name = match first.value {
+                Value::Counter(_) => "counter",
+                Value::Gauge(_) => "gauge",
+                Value::Histogram(_) => "histogram",
+            };
+            if !first.help.is_empty() {
+                let _ = writeln!(out, "# HELP {family} {}", first.help);
+            }
+            let _ = writeln!(out, "# TYPE {family} {type_name}");
+            for m in members {
+                let labels = label_block(&m.labels);
+                match &m.value {
+                    Value::Counter(v) | Value::Gauge(v) => {
+                        let _ = writeln!(out, "{family}{labels} {v}");
+                    }
+                    Value::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, n) in h.buckets.iter().enumerate() {
+                            cumulative += n;
+                            let le = match h.bounds.get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{family}_bucket{} {cumulative}",
+                                bucket_labels(&m.labels, &le)
+                            );
+                        }
+                        let _ = writeln!(out, "{family}_sum{labels} {}", h.sum);
+                        let _ = writeln!(out, "{family}_count{labels} {}", h.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        let a = r.counter_with("hits", &[("kind", "exact")], "exact hits");
+        let b = r.counter_with("hits", &[("kind", "exact")], "ignored on re-register");
+        a.inc();
+        assert_eq!(b.get(), 1, "same handle behind the scenes");
+        let other = r.counter_with("hits", &[("kind", "miss")], "misses");
+        assert_eq!(other.get(), 0);
+        assert_eq!(r.snapshot().metrics.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        let a = r.counter_with("x", &[("a", "1"), ("b", "2")], "");
+        let b = r.counter_with("x", &[("b", "2"), ("a", "1")], "");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "");
+        r.gauge("m", "");
+    }
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        r.counter_with("req_total", &[("kind", "a")], "requests")
+            .add(2);
+        r.counter_with("req_total", &[("kind", "b")], "requests")
+            .add(5);
+        r.gauge("depth", "queue depth").set(3);
+        let h = r.histogram("lat_us", "latency", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(7000);
+        let text = r.render();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(
+            text.matches("# TYPE req_total counter").count() == 1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("req_total{kind=\"a\"} 2"), "{text}");
+        assert!(text.contains("req_total{kind=\"b\"} 5"), "{text}");
+        assert!(text.contains("# TYPE depth gauge"), "{text}");
+        assert!(text.contains("depth 3"), "{text}");
+        // Buckets are cumulative; +Inf equals _count.
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_sum 7055"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_lookup_by_labels() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        r.counter_with("c", &[("x", "y")], "").add(4);
+        let s = r.snapshot();
+        assert_eq!(s.get("c", &[("x", "y")]), Some(&Value::Counter(4)));
+        assert_eq!(s.get("c", &[]), None);
+    }
+}

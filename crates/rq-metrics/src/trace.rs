@@ -1,0 +1,163 @@
+//! Structured JSON-lines trace events (behind the `trace` cargo feature).
+//!
+//! Instrumented code calls [`event`] unconditionally; without the feature
+//! every function here is an inlineable no-op, and with the feature events
+//! are dropped until a sink is installed ([`install_stderr`] /
+//! [`install_writer`]). Each event is one JSON object per line —
+//! `{"ts_us":…,"event":"query","disposition":"miss",…}` — so a serve-batch
+//! run can be replayed or diffed offline with standard line tools.
+
+/// Whether the crate was compiled with the `trace` feature.
+pub fn supported() -> bool {
+    cfg!(feature = "trace")
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+    pub fn active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    pub fn install_writer(w: Box<dyn Write + Send>) -> bool {
+        *SINK.lock().expect("trace sink poisoned") = Some(w);
+        ACTIVE.store(true, Ordering::Relaxed);
+        true
+    }
+
+    pub fn install_stderr() -> bool {
+        install_writer(Box::new(std::io::stderr()))
+    }
+
+    pub fn uninstall() {
+        ACTIVE.store(false, Ordering::Relaxed);
+        *SINK.lock().expect("trace sink poisoned") = None;
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    pub fn event(name: &str, fields: &[(&str, String)]) {
+        if !active() {
+            return;
+        }
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut line = format!("{{\"ts_us\":{ts_us},\"event\":\"");
+        escape(name, &mut line);
+        line.push('"');
+        for (k, v) in fields {
+            line.push_str(",\"");
+            escape(k, &mut line);
+            line.push_str("\":");
+            // Bare numbers stay numbers; everything else is a JSON string.
+            if !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()) {
+                line.push_str(v);
+            } else {
+                line.push('"');
+                escape(v, &mut line);
+                line.push('"');
+            }
+        }
+        line.push_str("}\n");
+        let mut sink = SINK.lock().expect("trace sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let _ = w.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use std::io::Write;
+
+    #[inline]
+    pub fn active() -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn install_writer(_w: Box<dyn Write + Send>) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn install_stderr() -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn uninstall() {}
+
+    #[inline]
+    pub fn event(_name: &str, _fields: &[(&str, String)]) {}
+}
+
+pub use imp::{active, event, install_stderr, install_writer, uninstall};
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_json_lines() {
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        assert!(install_writer(Box::new(buf.clone())));
+        assert!(active());
+        event(
+            "query",
+            &[
+                ("disposition", "miss".to_string()),
+                ("latency_us", "123".to_string()),
+                ("text", "a \"b\"".to_string()),
+            ],
+        );
+        uninstall();
+        assert!(!active());
+        event("dropped", &[]);
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.contains("\"event\":\"query\""), "{out}");
+        assert!(out.contains("\"disposition\":\"miss\""), "{out}");
+        assert!(out.contains("\"latency_us\":123"), "{out}");
+        assert!(out.contains("\"text\":\"a \\\"b\\\"\""), "{out}");
+        assert!(out.contains("\"ts_us\":"), "{out}");
+    }
+}

@@ -11,7 +11,8 @@
 //! rqtool contain-cq <query1.cq> <query2.cq>
 //! rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]
 //! rqtool contain-rq <query1.rq> <query2.rq>
-//! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
+//! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]
+//! rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
 //! ```
 //!
 //! `serve-batch` reads one 2RPQ per line (blank lines and `#` comments
@@ -19,6 +20,12 @@
 //! prints per-query hit/miss/subsumption dispositions plus the batch cache
 //! counters. `--threads=N` sizes the worker pool and `--cache-cap=N` the
 //! cache; the `--fuel`/`--timeout-ms` budgets apply per worker.
+//! `--metrics` appends a Prometheus-style text exposition of every metric
+//! recorded while serving (cache dispositions, containment-ladder stages,
+//! latency histograms, governor fuel); `stats` runs the same batch but
+//! prints *only* the exposition. `--trace` streams JSON-lines span events
+//! to stderr (requires the `trace` cargo feature; without it the flag
+//! prints a note and is otherwise ignored).
 //!
 //! Resource budgets: `--fuel=N` caps abstract search steps and
 //! `--timeout-ms=N` sets a wall-clock deadline for `contain`,
@@ -69,6 +76,8 @@ fn main() -> ExitCode {
     // defeat the point of having budgets; reject anything unrecognized.
     let unknown = flags.iter().find(|f| {
         !(***f == "--dot"
+            || ***f == "--metrics"
+            || ***f == "--trace"
             || f.starts_with("--from=")
             || f.starts_with("--goal=")
             || f.starts_with("--fuel=")
@@ -76,6 +85,13 @@ fn main() -> ExitCode {
             || f.starts_with("--threads=")
             || f.starts_with("--cache-cap="))
     });
+    if flags.iter().any(|f| *f == "--trace") {
+        if regular_queries::metrics::trace::supported() {
+            regular_queries::metrics::trace::install_stderr();
+        } else {
+            eprintln!("note: --trace requires building with `--features trace`; ignoring");
+        }
+    }
 
     let result = match unknown {
         Some(f) => Err(format!("unknown flag {f}\n{}", usage())),
@@ -94,7 +110,12 @@ fn main() -> ExitCode {
             ("contain-cq", [q1, q2]) => cmd_contain_cq(q1, q2, &limits),
             ("eval-rq", [graph, query]) => cmd_eval_rq(graph, query, goal.as_deref()),
             ("contain-rq", [q1, q2]) => cmd_contain_rq(q1, q2, &limits),
-            ("serve-batch", [graph, queries]) => cmd_serve_batch(graph, queries, &flags, &limits),
+            ("serve-batch", [graph, queries]) => {
+                cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::Report)
+            }
+            ("stats", [graph, queries]) => {
+                cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::MetricsOnly)
+            }
             _ => Err(usage()),
         },
         _ => Err(usage()),
@@ -119,8 +140,9 @@ fn usage() -> String {
      rqtool contain-cq <query1.cq> <query2.cq>\n  \
      rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]\n  \
      rqtool contain-rq <query1.rq> <query2.rq>\n  \
-     rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n\
-     budget flags (contain*, datalog, serve-batch): --fuel=N --timeout-ms=N"
+     rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]\n  \
+     rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n\
+     budget flags (contain*, datalog, serve-batch, stats): --fuel=N --timeout-ms=N"
         .to_owned()
 }
 
@@ -287,11 +309,21 @@ fn cmd_to_datalog(query: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// What `cmd_serve_batch` prints: the per-query report (optionally
+/// followed by the metric exposition when `--metrics` is passed), or the
+/// exposition alone (the `stats` subcommand).
+#[derive(PartialEq)]
+enum ServeOutput {
+    Report,
+    MetricsOnly,
+}
+
 fn cmd_serve_batch(
     graph: &str,
     queries_path: &str,
     flags: &[&String],
     limits: &Limits,
+    output: ServeOutput,
 ) -> Result<(), String> {
     let mut threads = 2usize;
     let mut cache_cap = 64usize;
@@ -336,23 +368,31 @@ fn cmd_serve_batch(
     let start = std::time::Instant::now();
     let report = engine.run_batch(&queries);
     let elapsed = start.elapsed();
-    println!(
-        "served {} queries on {} threads in {elapsed:.1?}",
-        queries.len(),
-        engine.threads()
-    );
-    for item in &report.items {
-        match &item.outcome {
-            Ok(answer) => println!(
-                "  [{:<10}] {:<24} {} pairs",
-                item.disposition.to_string(),
-                texts[item.index],
-                answer.len()
-            ),
-            Err(e) => println!("  [stopped   ] {:<24} {e}", texts[item.index]),
+    if output == ServeOutput::Report {
+        println!(
+            "served {} queries on {} threads in {elapsed:.1?}",
+            queries.len(),
+            engine.threads()
+        );
+        for item in &report.items {
+            match &item.outcome {
+                Ok(answer) => println!(
+                    "  [{:<10}] {:<24} {} pairs",
+                    item.disposition.to_string(),
+                    texts[item.index],
+                    answer.len()
+                ),
+                Err(e) => println!("  [stopped   ] {:<24} {e}", texts[item.index]),
+            }
         }
+        println!("cache: {}", report.stats);
     }
-    println!("cache: {}", report.stats);
+    if output == ServeOutput::MetricsOnly || flags.iter().any(|f| *f == "--metrics") {
+        if output == ServeOutput::Report {
+            println!();
+        }
+        print!("{}", regular_queries::metrics::global().render());
+    }
     Ok(())
 }
 

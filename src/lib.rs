@@ -14,7 +14,10 @@
 //! * [`core`] — the query classes, their evaluation, and the containment
 //!   checker suite;
 //! * [`engine`] — concurrent query serving with a containment-based
-//!   semantic cache.
+//!   semantic cache;
+//! * [`metrics`] — a lock-free metrics registry (counters, gauges,
+//!   fixed-bucket histograms) with Prometheus-style text exposition and
+//!   optional JSON-lines tracing, threaded through the other layers.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use rq_core as core;
 pub use rq_datalog as datalog;
 pub use rq_engine as engine;
 pub use rq_graph as graph;
+pub use rq_metrics as metrics;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {

@@ -1,0 +1,135 @@
+//! Metamorphic properties of the containment checkers: relations that must
+//! hold between verdicts on *related* random queries, regardless of what
+//! the individual verdicts are.
+//!
+//! * reflexivity — `Q ⊑ Q` for every query;
+//! * union upper bound — `Q1 ⊑ Q1 ∪ Q2` (and symmetrically for `Q2`);
+//! * concatenation monotonicity — `Q1 ⊑ Q1'` implies `Q1 R ⊑ Q1' R`,
+//!   exercised through the constructive instance `Q1 R ⊑ (Q1 ∪ Q2) R`;
+//! * ladder agreement — on instances both can decide, the cheap-first
+//!   [`check_quick`] ladder and the exact 2RPQ checker must return the
+//!   same verdict (the ladder is an optimization, not a different
+//!   semantics).
+//!
+//! Instances come from the in-repo seeded SplitMix64 generator, so every
+//! failure reproduces from its printed trial number. `PROPTEST_CASES`
+//! scales the per-property sample count (default 32; CI runs 64, which
+//! samples >500 query pairs across the suite).
+
+use regular_queries::automata::random::{random_regex, RegexConfig, SplitMix64};
+use regular_queries::core::containment::facade::check_quick;
+use regular_queries::core::containment::two_rpq;
+use regular_queries::prelude::*;
+
+/// Per-property sample count: `PROPTEST_CASES` or 32.
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn random_two_rpq(rng: &mut SplitMix64, inverse_prob: f64, leaves: usize) -> TwoRpq {
+    let cfg = RegexConfig {
+        num_labels: 2,
+        inverse_prob,
+        leaves,
+        repeat_prob: 0.35,
+    };
+    TwoRpq::new(random_regex(rng, &cfg))
+}
+
+fn union(a: &TwoRpq, b: &TwoRpq) -> TwoRpq {
+    TwoRpq::new(a.regex().clone().or(b.regex().clone()))
+}
+
+fn concat(a: &TwoRpq, b: &TwoRpq) -> TwoRpq {
+    TwoRpq::new(a.regex().clone().then(b.regex().clone()))
+}
+
+#[test]
+fn reflexivity_holds_for_rpqs_and_two_rpqs() {
+    let al = Alphabet::from_names(["a", "b"]);
+    for (label, inverse_prob) in [("RPQ", 0.0), ("2RPQ", 0.4)] {
+        let mut rng = SplitMix64::new(0xA11C_E000 + inverse_prob as u64);
+        for trial in 0..cases() {
+            let q = random_two_rpq(&mut rng, inverse_prob, 5);
+            let out = check_quick(&q, &q, &al, &Limits::unlimited());
+            assert!(
+                out.is_contained(),
+                "{label} trial {trial}: Q ⊑ Q failed for {:?}: {out}",
+                q.regex()
+            );
+        }
+    }
+}
+
+#[test]
+fn union_is_an_upper_bound_of_both_arms() {
+    let al = Alphabet::from_names(["a", "b"]);
+    let mut rng = SplitMix64::new(0xB0B_CAFE);
+    for trial in 0..cases() {
+        let q1 = random_two_rpq(&mut rng, 0.3, 4);
+        let q2 = random_two_rpq(&mut rng, 0.3, 4);
+        let u = union(&q1, &q2);
+        for (arm, q) in [("Q1", &q1), ("Q2", &q2)] {
+            let out = check_quick(q, &u, &al, &Limits::unlimited());
+            assert!(
+                out.is_contained(),
+                "trial {trial}: {arm} ⊑ {arm}∪other failed for {:?} vs {:?}: {out}",
+                q.regex(),
+                u.regex()
+            );
+        }
+    }
+}
+
+#[test]
+fn concatenation_is_monotone_in_the_left_factor() {
+    let al = Alphabet::from_names(["a", "b"]);
+    let mut rng = SplitMix64::new(0xC0C0_A000);
+    for trial in 0..cases() {
+        let q1 = random_two_rpq(&mut rng, 0.3, 3);
+        let q2 = random_two_rpq(&mut rng, 0.3, 3);
+        let r = random_two_rpq(&mut rng, 0.3, 3);
+        // Q1 ⊑ Q1∪Q2 always, so monotonicity demands Q1 R ⊑ (Q1∪Q2) R.
+        let lhs = concat(&q1, &r);
+        let rhs = concat(&union(&q1, &q2), &r);
+        let out = check_quick(&lhs, &rhs, &al, &Limits::unlimited());
+        assert!(
+            out.is_contained(),
+            "trial {trial}: Q1·R ⊑ (Q1∪Q2)·R failed for {:?} vs {:?}: {out}",
+            lhs.regex(),
+            rhs.regex()
+        );
+    }
+}
+
+#[test]
+fn quick_ladder_agrees_with_the_exact_checker() {
+    let al = Alphabet::from_names(["a", "b"]);
+    let mut rng = SplitMix64::new(0xD1FF_0001);
+    for trial in 0..cases() {
+        let q1 = random_two_rpq(&mut rng, 0.3, 4);
+        let q2 = random_two_rpq(&mut rng, 0.3, 4);
+        for (dir, a, b) in [("Q1⊑Q2", &q1, &q2), ("Q2⊑Q1", &q2, &q1)] {
+            let quick = check_quick(a, b, &al, &Limits::unlimited());
+            let full = two_rpq::check(a, b, &al);
+            // Both run unlimited: the exact checker is total, and every
+            // ladder rung either decides soundly or escalates to it — so
+            // both must decide, and identically.
+            assert_eq!(
+                quick.decided(),
+                full.decided(),
+                "trial {trial} {dir}: ladder says {quick}, exact checker says {full} \
+                 for {:?} vs {:?}",
+                a.regex(),
+                b.regex()
+            );
+            assert!(
+                quick.decided().is_some(),
+                "trial {trial} {dir}: unlimited check returned Unknown"
+            );
+        }
+    }
+}
