@@ -1,0 +1,372 @@
+//! Datalog lints over the dependence graph and the §4.1 GRQ classifier
+//! (rule ids `RQD…`).
+//!
+//! Unlike `rq_datalog::validate::validate_program` (which stops at the
+//! first error so evaluation can bail early), these passes report *every*
+//! finding, each pinned to the source rule that caused it via the spans
+//! from `parse_program_spanned`.
+
+use crate::diag;
+use crate::diag::{Report, Span};
+use rq_datalog::depgraph::DepGraph;
+use rq_datalog::grq::{analyze_grq, GrqViolation, StepShape};
+use rq_datalog::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lint a Datalog program. `spans` optionally locates each rule
+/// (`spans[i]` for `program.rules[i]`, as returned by
+/// `parse_program_spanned`); `goal` enables the reachability lints
+/// (`RQD003`, `RQD004`, `RQD007`), which are meaningless without an
+/// answer predicate.
+pub fn lint_program(
+    program: &Program,
+    spans: Option<&[(usize, usize)]>,
+    goal: Option<&str>,
+) -> Report {
+    let mut report = Report::new();
+    let span_of = |i: usize| {
+        spans
+            .and_then(|s| s.get(i))
+            .map(|&(line, column)| Span::new(line, column))
+    };
+
+    unsafe_rules(program, &span_of, &mut report);
+    arity_mismatches(program, &span_of, &mut report);
+    if let Some(goal) = goal {
+        reachability(program, goal, &span_of, &mut report);
+    }
+    recursion_class(program, &span_of, &mut report);
+    report
+}
+
+/// First rule index whose head is `predicate` (for span attribution).
+fn first_rule_for(program: &Program, predicate: &str) -> Option<usize> {
+    program
+        .rules
+        .iter()
+        .position(|r| r.head.predicate == predicate)
+}
+
+/// RQD001 — head variables that never occur in the body (unsafe rules,
+/// §2.3). One diagnostic per offending rule, listing every unbound
+/// variable.
+fn unsafe_rules(program: &Program, span_of: &impl Fn(usize) -> Option<Span>, report: &mut Report) {
+    for (i, rule) in program.rules.iter().enumerate() {
+        let body_vars: BTreeSet<&str> = rule.body.iter().flat_map(|a| a.variables()).collect();
+        let unbound: Vec<&str> = rule
+            .head
+            .variables()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        if !unbound.is_empty() {
+            let mut d = diag(
+                "RQD001",
+                format!(
+                    "rule `{rule}` is unsafe: head variable(s) {} never occur in the body",
+                    unbound
+                        .iter()
+                        .map(|v| format!("`{v}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            if let Some(span) = span_of(i) {
+                d = d.with_span(span);
+            }
+            report.push(d);
+        }
+    }
+}
+
+/// RQD002 — a predicate used at two different arities. The first
+/// occurrence (in rule order, heads before bodies within a rule) fixes
+/// the arity; every later clash is reported at its own rule.
+fn arity_mismatches(
+    program: &Program,
+    span_of: &impl Fn(usize) -> Option<Span>,
+    report: &mut Report,
+) {
+    let mut fixed: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        for atom in std::iter::once(&rule.head).chain(&rule.body) {
+            match fixed.get(atom.predicate.as_str()) {
+                None => {
+                    fixed.insert(&atom.predicate, atom.arity());
+                }
+                Some(&first) if first != atom.arity() => {
+                    let mut d = diag(
+                        "RQD002",
+                        format!(
+                            "predicate `{}` used with arity {} here but arity {first} at its \
+                             first occurrence",
+                            atom.predicate,
+                            atom.arity()
+                        ),
+                    );
+                    if let Some(span) = span_of(i) {
+                        d = d.with_span(span);
+                    }
+                    report.push(d);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// RQD003 / RQD004 / RQD007 — reachability from the goal over the
+/// dependence graph.
+///
+/// An edge in [`DepGraph`] points from a body predicate to the head that
+/// depends on it, so the set of predicates the goal (transitively)
+/// depends on is the backward closure of `{goal}` along those edges.
+/// IDB predicates outside that cone split into two disjoint findings:
+/// those no rule body ever mentions (`RQD003`, reported once per
+/// predicate) and those that are used, but only by other unreachable
+/// rules (`RQD004`, reported per rule).
+fn reachability(
+    program: &Program,
+    goal: &str,
+    span_of: &impl Fn(usize) -> Option<Span>,
+    report: &mut Report,
+) {
+    let dg = DepGraph::new(program);
+    let Some(goal_idx) = dg.predicate_index(goal) else {
+        report.push(diag(
+            "RQD007",
+            format!(
+                "goal predicate `{goal}` does not occur in the program, so the query denotes \
+                 the empty relation"
+            ),
+        ));
+        return;
+    };
+    // Backward closure: reverse the body→head edges.
+    let n = dg.predicates.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (body, heads) in dg.edges.iter().enumerate() {
+        for &head in heads {
+            rev[head].push(body);
+        }
+    }
+    let mut needed = vec![false; n];
+    let mut queue = vec![goal_idx];
+    needed[goal_idx] = true;
+    while let Some(p) = queue.pop() {
+        for &q in &rev[p] {
+            if !needed[q] {
+                needed[q] = true;
+                queue.push(q);
+            }
+        }
+    }
+    let mentioned_in_bodies: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .flat_map(|r| r.body.iter().map(|a| a.predicate.as_str()))
+        .collect();
+    let idb = program.idb_predicates();
+    for p in &idb {
+        let idx = dg.predicate_index(p).expect("IDB predicates are interned");
+        if needed[idx] {
+            continue;
+        }
+        if !mentioned_in_bodies.contains(p) {
+            // RQD003: defined, but nothing ever refers to it.
+            let mut d = diag(
+                "RQD003",
+                format!(
+                    "IDB predicate `{p}` is unused: no rule body mentions it and it is not the \
+                     goal"
+                ),
+            );
+            if let Some(span) = first_rule_for(program, p).and_then(span_of) {
+                d = d.with_span(span);
+            }
+            report.push(d);
+        } else {
+            // RQD004: referred to, but only from rules the goal can never
+            // reach — dead code per rule.
+            for (i, rule) in program.rules.iter().enumerate() {
+                if rule.head.predicate == *p {
+                    let mut d = diag(
+                        "RQD004",
+                        format!(
+                            "rule `{rule}` is unreachable: the goal `{goal}` does not \
+                             (transitively) depend on `{p}`"
+                        ),
+                    );
+                    if let Some(span) = span_of(i) {
+                        d = d.with_span(span);
+                    }
+                    report.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// RQD005 / RQD006 — the §4.1 classifier: is every recursive SCC a plain
+/// transitive closure? If yes, the program sits in the GRQ fragment and
+/// containment is decidable (Theorem 8) — worth an `Info`. If not, the
+/// offending predicate's first rule is pinpointed with the precise
+/// violation.
+fn recursion_class(
+    program: &Program,
+    span_of: &impl Fn(usize) -> Option<Span>,
+    report: &mut Report,
+) {
+    match analyze_grq(program) {
+        Ok(analysis) => {
+            if !analysis.tc_defs.is_empty() {
+                let rendered: Vec<String> = analysis
+                    .tc_defs
+                    .iter()
+                    .map(|t| {
+                        let shape = match t.step {
+                            StepShape::LeftLinear => "left-linear",
+                            StepShape::RightLinear => "right-linear",
+                            StepShape::Doubling => "doubling",
+                        };
+                        format!("{} = TC({}) [{shape}]", t.tc_pred, t.base_pred)
+                    })
+                    .collect();
+                report.push(diag(
+                    "RQD006",
+                    format!(
+                        "recursion is transitive-closure-only ({}): the program is in the GRQ \
+                         fragment of §4.1, so containment is decidable (Theorem 8)",
+                        rendered.join("; ")
+                    ),
+                ));
+            }
+        }
+        Err(violation) => {
+            let predicate = match &violation {
+                GrqViolation::MutualRecursion { predicates } => predicates.first().cloned(),
+                GrqViolation::NotBinary { predicate, .. }
+                | GrqViolation::NotTransitiveClosure { predicate, .. } => Some(predicate.clone()),
+            };
+            let mut d = diag(
+                "RQD005",
+                format!(
+                    "{violation} — recursion falls outside §4.1's transitive-closure-only \
+                     fragment, so the program is not expressible as an RQ/GRQ and containment \
+                     is undecidable in general (§2.3)"
+                ),
+            );
+            if let Some(span) = predicate
+                .and_then(|p| first_rule_for(program, &p))
+                .and_then(span_of)
+            {
+                d = d.with_span(span);
+            }
+            report.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parser::parse_program_spanned;
+
+    fn lint_text(text: &str, goal: Option<&str>) -> Report {
+        let sp = parse_program_spanned(text).unwrap();
+        lint_program(&sp.program, Some(&sp.spans), goal)
+    }
+
+    fn rules(r: &Report) -> Vec<&str> {
+        r.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn paper_tc_program_is_regular_recursion() {
+        let r = lint_text(
+            "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- Tc(X, Y), E(Y, Z).",
+            Some("Tc"),
+        );
+        assert_eq!(rules(&r), ["RQD006"]);
+        assert!(r.diagnostics[0].message.contains("Tc = TC(E)"));
+        assert!(r.diagnostics[0].message.contains("Theorem 8"));
+    }
+
+    #[test]
+    fn monadic_recursion_fires_rqd005_with_span() {
+        // §2.3's monadic reachability program: recursive but not TC-shaped.
+        let r = lint_text("Q(X) :- E(X, Y), P(Y).\nQ(X) :- E(X, Y), Q(Y).", Some("Q"));
+        assert_eq!(rules(&r), ["RQD005"]);
+        assert!(r.diagnostics[0].message.contains("arity 1"));
+        assert_eq!(r.diagnostics[0].span, Some(Span::new(1, 1)));
+    }
+
+    #[test]
+    fn unsafe_rule_fires_rqd001_per_rule() {
+        let r = lint_text("P(X, Y) :- E(X, Z).\nQ(W) :- P(A, B).", None);
+        assert_eq!(rules(&r), ["RQD001", "RQD001"]);
+        assert!(r.diagnostics[0].message.contains("`Y`"));
+        assert_eq!(r.diagnostics[0].span, Some(Span::new(1, 1)));
+        assert_eq!(r.diagnostics[1].span, Some(Span::new(2, 1)));
+    }
+
+    #[test]
+    fn arity_mismatch_fires_rqd002() {
+        let r = lint_text("P(X, Y) :- E(X, Y).\nAns(X) :- P(X).", None);
+        assert_eq!(rules(&r), ["RQD002"]);
+        assert!(r.diagnostics[0].message.contains("arity 1"));
+        assert_eq!(r.diagnostics[0].span, Some(Span::new(2, 1)));
+    }
+
+    #[test]
+    fn unused_predicate_fires_rqd003() {
+        let r = lint_text(
+            "Ans(X, Y) :- E(X, Y).\nOrphan(X, Y) :- E(X, Y).",
+            Some("Ans"),
+        );
+        assert_eq!(rules(&r), ["RQD003"]);
+        assert!(r.diagnostics[0].message.contains("`Orphan`"));
+    }
+
+    #[test]
+    fn unreachable_rule_fires_rqd004_not_rqd003() {
+        // Dead is *used* (by Deader) but the goal never depends on either,
+        // so Dead's rule is unreachable rather than unused; Deader is
+        // unused.
+        let r = lint_text(
+            "Ans(X, Y) :- E(X, Y).\n\
+             Dead(X, Y) :- E(X, Y).\n\
+             Deader(X, Y) :- Dead(X, Y).",
+            Some("Ans"),
+        );
+        let mut ids = rules(&r);
+        ids.sort_unstable();
+        assert_eq!(ids, ["RQD003", "RQD004"]);
+    }
+
+    #[test]
+    fn unknown_goal_fires_rqd007() {
+        let r = lint_text("P(X, Y) :- E(X, Y).", Some("Answer"));
+        assert_eq!(rules(&r), ["RQD007"]);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn goalless_lint_skips_reachability() {
+        let r = lint_text("Ans(X, Y) :- E(X, Y).\nOrphan(X, Y) :- E(X, Y).", None);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn mutual_recursion_names_the_scc() {
+        let r = lint_text(
+            "A(X, Y) :- E(X, Y).\n\
+             A(X, Z) :- B(X, Y), E(Y, Z).\n\
+             B(X, Y) :- E(X, Y).\n\
+             B(X, Z) :- A(X, Y), E(Y, Z).",
+            Some("A"),
+        );
+        assert_eq!(rules(&r), ["RQD005"]);
+        assert!(r.diagnostics[0].message.contains("mutually recursive"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Engine pre-flight normalization.
+//!
+//! Two sound rewrites run before a query reaches the canonical cache:
+//!
+//! 1. **Empty short-circuit.** If `L(Q) = ∅` the answer is ∅ on every
+//!    database (§2.1) — no evaluation, no cache traffic.
+//! 2. **Subsumed-branch elimination.** For a top-level union, any branch
+//!    `rᵢ` with `L(rᵢ) ⊆ L(rⱼ)` for a *kept* sibling `rⱼ` (decided by the
+//!    containment facade's quick ladder, Lemmas 2–4) is dropped: branch
+//!    answers satisfy `Qᵢ(D) ⊆ Qⱼ(D)` on every `D`, so the union's
+//!    answers are unchanged. Dropping *is* visible at the word-language
+//!    level (e.g. `p | p p⁻ p` becomes `p p⁻ p`), which is exactly why it
+//!    helps: syntactically different but answer-equivalent requests now
+//!    collide on the same canonical cache key.
+//!
+//! Soundness of the kept-loop: containment is transitive, so a branch is
+//! only ever dropped in favor of a sibling that itself survives (or is
+//! later dropped in favor of something even larger).
+
+use crate::metrics;
+use rq_automata::{Alphabet, Limits, Regex};
+use rq_core::containment::facade::check_quick;
+use rq_core::TwoRpq;
+
+/// What pre-flight did to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreflightAction {
+    /// `L(Q) = ∅`: the engine should answer ∅ without evaluating.
+    Empty,
+    /// At least one subsumed union branch was dropped; evaluate the
+    /// rewritten query instead.
+    Rewritten,
+    /// Nothing to do; evaluate the query as given.
+    Unchanged,
+}
+
+impl PreflightAction {
+    /// Stable name used as the `action` metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            PreflightAction::Empty => "empty",
+            PreflightAction::Rewritten => "rewritten",
+            PreflightAction::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// Result of [`preflight`]: the (possibly rewritten) query to evaluate
+/// and what happened.
+#[derive(Debug, Clone)]
+pub struct Preflight {
+    pub query: TwoRpq,
+    pub action: PreflightAction,
+}
+
+/// For each union branch, the index of the kept sibling that subsumes it
+/// (`None` for branches that survive). `limits` governs each containment
+/// probe; an `Unknown` outcome keeps the branch (sound: we only drop on
+/// proof).
+pub(crate) fn subsumed_branches(
+    parts: &[Regex],
+    alphabet: &Alphabet,
+    limits: &Limits,
+) -> Vec<Option<usize>> {
+    let compiled: Vec<TwoRpq> = parts.iter().map(|p| TwoRpq::new(p.clone())).collect();
+    let mut dropped: Vec<Option<usize>> = vec![None; parts.len()];
+    for i in 0..parts.len() {
+        if dropped[i].is_some() {
+            continue;
+        }
+        for j in 0..parts.len() {
+            if i == j || dropped[j].is_some() {
+                continue;
+            }
+            if check_quick(&compiled[i], &compiled[j], alphabet, limits).is_contained() {
+                dropped[i] = Some(j);
+                break;
+            }
+        }
+    }
+    dropped
+}
+
+/// Run the pre-flight analysis on a query. Records the outcome in the
+/// `rq_analyze_preflight_total` metric family.
+pub fn preflight(q: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Preflight {
+    let action = |a: PreflightAction, query: TwoRpq| {
+        metrics::preflight(a);
+        Preflight { query, action: a }
+    };
+    if q.regex().is_empty_language() {
+        return action(PreflightAction::Empty, q.clone());
+    }
+    let Regex::Union(parts) = q.regex() else {
+        return action(PreflightAction::Unchanged, q.clone());
+    };
+    let dropped = subsumed_branches(parts, alphabet, limits);
+    if dropped.iter().all(Option::is_none) {
+        return action(PreflightAction::Unchanged, q.clone());
+    }
+    let kept = parts
+        .iter()
+        .zip(&dropped)
+        .filter(|(_, d)| d.is_none())
+        .map(|(p, _)| p.clone());
+    action(PreflightAction::Rewritten, TwoRpq::new(Regex::union(kept)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Alphabet, Limits) {
+        (Alphabet::from_names(["p", "q"]), Limits::default())
+    }
+
+    fn parse(alphabet: &mut Alphabet, text: &str) -> TwoRpq {
+        TwoRpq::parse(text, alphabet).unwrap()
+    }
+
+    #[test]
+    fn empty_short_circuits() {
+        let (mut alphabet, limits) = setup();
+        let q = parse(&mut alphabet, "∅");
+        let p = preflight(&q, &alphabet, &limits);
+        assert_eq!(p.action, PreflightAction::Empty);
+    }
+
+    #[test]
+    fn fold_subsumed_branch_is_dropped() {
+        let (mut alphabet, limits) = setup();
+        // Lemma 2: p ⊑ p p⁻ p, so the `p` branch is redundant and the
+        // normalized query collides with plain `p p- p` on cache keys.
+        let q = parse(&mut alphabet, "p | p p- p");
+        let target = parse(&mut alphabet, "p p- p");
+        let p = preflight(&q, &alphabet, &limits);
+        assert_eq!(p.action, PreflightAction::Rewritten);
+        assert_eq!(p.query.regex(), target.regex());
+    }
+
+    #[test]
+    fn incomparable_branches_survive() {
+        let (mut alphabet, limits) = setup();
+        let q = parse(&mut alphabet, "p | q");
+        let p = preflight(&q, &alphabet, &limits);
+        assert_eq!(p.action, PreflightAction::Unchanged);
+        assert_eq!(p.query.regex(), q.regex());
+    }
+
+    #[test]
+    fn mutually_equivalent_branches_collapse_to_one() {
+        let (mut alphabet, limits) = setup();
+        // Raw union with two equivalent-but-not-equal branches (the smart
+        // constructor only dedups syntactic equality).
+        let a = parse(&mut alphabet, "p p*").regex().clone();
+        let b = parse(&mut alphabet, "p+").regex().clone();
+        let q = TwoRpq::new(Regex::Union(vec![a, b]));
+        let p = preflight(&q, &alphabet, &limits);
+        assert_eq!(p.action, PreflightAction::Rewritten);
+        assert!(
+            !matches!(p.query.regex(), Regex::Union(_)),
+            "one of the two equivalent branches must survive: {:?}",
+            p.query.regex()
+        );
+    }
+}

@@ -203,6 +203,25 @@ impl Regex {
         }
     }
 
+    /// Rebuild the expression with every letter *occurrence* passed through
+    /// `f`, left to right. Unlike [`Nfa::map_letters`](crate::Nfa), `f` is
+    /// called once per occurrence, not once per distinct letter — so a
+    /// counter closure yields a position-marked regex (each occurrence gets
+    /// a unique label), the substrate of position-automaton analyses like
+    /// dead-occurrence detection in `rq-analyze`.
+    pub fn map_letters(&self, f: &mut impl FnMut(Letter) -> Letter) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Letter(l) => Regex::Letter(f(*l)),
+            Regex::Concat(v) => Regex::Concat(v.iter().map(|e| e.map_letters(f)).collect()),
+            Regex::Union(v) => Regex::Union(v.iter().map(|e| e.map_letters(f)).collect()),
+            Regex::Star(e) => Regex::Star(Box::new(e.map_letters(f))),
+            Regex::Plus(e) => Regex::Plus(Box::new(e.map_letters(f))),
+            Regex::Optional(e) => Regex::Optional(Box::new(e.map_letters(f))),
+        }
+    }
+
     /// Whether the expression uses only forward letters (i.e., is an RPQ
     /// rather than a proper 2RPQ).
     pub fn is_forward_only(&self) -> bool {

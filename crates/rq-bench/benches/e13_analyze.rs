@@ -1,0 +1,86 @@
+//! E13 — rq-analyze pre-flight: per-query analysis overhead and what the
+//! subsumed-branch normalization buys the engine's semantic cache.
+//!
+//! The overhead group times `rq_analyze::preflight` alone on each action
+//! class (unchanged / empty / rewritten) with the engine's own probe
+//! budgets. The serving group replays the fold-variant workload (every
+//! union is answer-equivalent to its Lemma-2 detour) through the engine
+//! with the pass on and off: on, unions collide on the detour's canonical
+//! key; off, they must be recognized through containment probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_analyze::preflight;
+use rq_bench::{e10_graph, e13_empty_queries, e13_fold_pairs};
+use rq_core::rpq::TwoRpq;
+use rq_engine::{Engine, EngineConfig};
+use std::hint::black_box;
+
+fn bench_preflight_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13/preflight");
+    let config = EngineConfig::default();
+    let limits = &config.cache.probe_limits;
+    let pairs = e13_fold_pairs();
+    let alphabet = rq_bench::ab_alphabet();
+
+    // Unchanged: the common case every served query pays for.
+    for (text, detour, _) in pairs.iter().take(3) {
+        g.bench_with_input(
+            BenchmarkId::new("unchanged", text),
+            detour,
+            |b, q: &TwoRpq| b.iter(|| black_box(preflight(q, &alphabet, limits).action)),
+        );
+    }
+    // Empty: one `is_empty_language` walk, no containment probes.
+    let empty = &e13_empty_queries()[0];
+    g.bench_with_input(BenchmarkId::new("empty", "a ∅"), empty, |b, q| {
+        b.iter(|| black_box(preflight(q, &alphabet, limits).action))
+    });
+    // Rewritten: the union pays one quick-ladder probe per branch pair.
+    for (text, _, union) in pairs.iter().take(3) {
+        g.bench_with_input(
+            BenchmarkId::new("rewritten", text),
+            union,
+            |b, q: &TwoRpq| b.iter(|| black_box(preflight(q, &alphabet, limits).action)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_serving_with_preflight(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13/serving");
+    g.sample_size(10);
+    let db = e10_graph(100, 3);
+    let mut batch: Vec<TwoRpq> = Vec::new();
+    for (_, detour, union) in e13_fold_pairs() {
+        batch.push(detour);
+        batch.push(union);
+    }
+    batch.extend(e13_empty_queries());
+    for on in [true, false] {
+        let engine = Engine::new(
+            db.clone(),
+            EngineConfig {
+                threads: 2,
+                preflight: on,
+                ..EngineConfig::default()
+            },
+        );
+        g.bench_function(
+            BenchmarkId::new("fold_batch", if on { "on" } else { "off" }),
+            |b| {
+                b.iter(|| {
+                    engine.clear_cache();
+                    black_box(engine.run_batch(&batch).stats.hits())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preflight_overhead,
+    bench_serving_with_preflight
+);
+criterion_main!(benches);

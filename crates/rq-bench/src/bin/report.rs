@@ -1,8 +1,9 @@
 //! Regenerate the EXPERIMENTS.md measurement tables.
 //!
 //! Run with `cargo run --release -p rq-bench --bin report`. Prints one
-//! markdown table per experiment (E1–E10 and E12); every row is deterministic in
-//! the seeds baked into `rq_bench::workloads`, except wall-clock columns.
+//! markdown table per experiment (E1–E10 and E12–E13); every row is
+//! deterministic in the seeds baked into `rq_bench::workloads`, except
+//! wall-clock columns.
 
 use rq_automata::complement2::vardi_complement;
 use rq_automata::containment::{check_explicit, check_on_the_fly};
@@ -16,7 +17,7 @@ use rq_core::rpq::TwoRpq;
 use rq_core::translate::{encode_query, grq_containment, grq_to_rq};
 use rq_datalog::eval::{evaluate_program, evaluate_program_naive};
 use rq_datalog::evaluate;
-use rq_engine::{Engine, EngineConfig};
+use rq_engine::{Disposition, Engine, EngineConfig};
 use std::time::Instant;
 
 fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -45,6 +46,7 @@ fn main() {
     e9();
     e10();
     e12();
+    e13();
 }
 
 fn e1() {
@@ -525,4 +527,144 @@ fn e12() {
         }
     }
     println!("```\n");
+}
+
+fn e13() {
+    println!("## E13 — pre-flight analysis: per-query overhead and cache payoff\n");
+
+    // Per-query cost of `rq_analyze::preflight` under the engine's own
+    // probe budgets: the pass runs inside the engine's shared lock, so
+    // this is serialized overhead every served query pays. Averaged over
+    // many repetitions (a single call is sub-microsecond to tens of µs).
+    let al = ab_alphabet();
+    let config = EngineConfig::default();
+    let limits = &config.cache.probe_limits;
+    let pairs = e13_fold_pairs();
+    println!("| query | action | µs/query |");
+    println!("|---|---|---|");
+    let mut cases: Vec<TwoRpq> = Vec::new();
+    for t in e12_batch(8) {
+        let mut al = ab_alphabet();
+        cases.push(TwoRpq::parse(&t, &mut al).unwrap());
+    }
+    cases.push(e13_empty_queries()[0].clone());
+    for (_, _, union) in pairs.iter().take(3) {
+        cases.push(union.clone());
+    }
+    for q in &cases {
+        let reps = 200;
+        let action = rq_analyze::preflight(q, &al, limits).action;
+        let t = time_us(|| {
+            for _ in 0..reps {
+                rq_analyze::preflight(q, &al, limits);
+            }
+        })
+        .1 / reps as f64;
+        println!(
+            "| `{}` | {} | {t:.1} |",
+            q.regex().display(&al),
+            action.name()
+        );
+    }
+    println!();
+
+    // The payoff: serve the fold-variant workload (each Lemma-2 detour
+    // followed by its answer-equivalent union, plus two ∅ queries) with
+    // the pass on and off. On: unions collide on the detour's canonical
+    // key (exact hits) and ∅ queries never reach the pool. Off: the
+    // unions are only recognized through per-candidate containment
+    // probes, and the ∅ queries are evaluated as ordinary misses.
+    println!(
+        "| pre-flight | exact | equiv | subsumed | misses | empty | hit-rate | probes | cold µs |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let db = e10_graph(100, 3);
+    let mut batch: Vec<TwoRpq> = Vec::new();
+    for (_, detour, union) in pairs {
+        batch.push(detour);
+        batch.push(union);
+    }
+    batch.extend(e13_empty_queries());
+    for on in [true, false] {
+        let engine = Engine::new(
+            db.clone(),
+            EngineConfig {
+                threads: 2,
+                preflight: on,
+                ..EngineConfig::default()
+            },
+        );
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            engine.clear_cache();
+            let (report, t) = time_us(|| engine.run_batch(&batch));
+            best = best.min(t);
+            last = Some(report);
+        }
+        let report = last.expect("three runs happened");
+        let s = &report.stats;
+        let empty = report
+            .items
+            .iter()
+            .filter(|i| i.disposition == Disposition::Empty)
+            .count();
+        println!(
+            "| {} | {} | {} | {} | {} | {empty} | {:.0}% | {} | {best:.0} |",
+            if on { "on" } else { "off" },
+            s.exact,
+            s.equivalent,
+            s.subsumed,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.probes,
+        );
+    }
+    println!();
+
+    // Hit-rate delta on the *original* E12 batch (no crafted unions): the
+    // pool has no subsumed top-level branches, so the pass must not
+    // change any disposition — its cost is the table above, its benefit
+    // nil here. This bounds the overhead on workloads it cannot help.
+    let engine = |on: bool| {
+        Engine::new(
+            db.clone(),
+            EngineConfig {
+                threads: 2,
+                preflight: on,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let queries: Vec<TwoRpq> = {
+        let e = engine(true);
+        e12_batch(32)
+            .iter()
+            .map(|t| e.parse(t).expect("parses"))
+            .collect()
+    };
+    let mut rates = [0.0f64; 2];
+    let mut times = [0.0f64; 2];
+    for (i, on) in [true, false].into_iter().enumerate() {
+        let e = engine(on);
+        let mut best = f64::INFINITY;
+        let mut rate = 0.0;
+        for _ in 0..3 {
+            e.clear_cache();
+            let (report, t) = time_us(|| e.run_batch(&queries));
+            best = best.min(t);
+            rate = report.stats.hit_rate();
+        }
+        rates[i] = rate * 100.0;
+        times[i] = best;
+    }
+    println!(
+        "E12 batch of 32 (nothing to normalize): hit-rate {:.0}% with pre-flight vs \
+         {:.0}% without; cold batch {:.0} µs vs {:.0} µs ({:+.1}%)\n",
+        rates[0],
+        rates[1],
+        times[0],
+        times[1],
+        (times[0] - times[1]) / times[1] * 100.0
+    );
 }

@@ -394,6 +394,39 @@ pub fn e12_batch(count: usize) -> Vec<String> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// E13: pre-flight analysis workloads
+// ---------------------------------------------------------------------
+
+/// Fold-variant pairs for the pre-flight normalization experiment: for
+/// each base query `r` from the E12 pool, the Lemma-2 detour `r r⁻ r` and
+/// the answer-equivalent union `r | r r⁻ r`. The union is built
+/// programmatically (not parsed) because `(r)⁻` of a grouped expression
+/// has no surface syntax; with pre-flight on it normalizes onto the
+/// detour's canonical cache key.
+pub fn e13_fold_pairs() -> Vec<(String, TwoRpq, TwoRpq)> {
+    let mut al = ab_alphabet();
+    e12_batch(8)
+        .into_iter()
+        .map(|t| {
+            let r = TwoRpq::parse(&t, &mut al).unwrap().regex().clone();
+            let detour = Regex::concat([r.clone(), r.inverse(), r.clone()]);
+            let union = TwoRpq::new(Regex::Union(vec![r, detour.clone()]));
+            (t, TwoRpq::new(detour), union)
+        })
+        .collect()
+}
+
+/// Provably-empty queries (raw-constructed: the parser's smart
+/// constructors would erase a textual `∅` factor) that the engine
+/// pre-flight short-circuits without evaluation.
+pub fn e13_empty_queries() -> Vec<TwoRpq> {
+    [0u32, 1]
+        .into_iter()
+        .map(|i| TwoRpq::new(Regex::Concat(vec![letter(i), Regex::Empty])))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,16 +53,36 @@ fn line_column(input: &str, pos: usize) -> (usize, usize) {
 
 /// Parse a whole program (a sequence of rules).
 pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    Ok(parse_program_spanned(input)?.program)
+}
+
+/// A parsed program together with the 1-based `(line, column)` at which
+/// each rule starts (`spans[i]` locates `program.rules[i]`). Diagnostics
+/// layered on top of the parser (`rq-analyze`) use the spans to pinpoint
+/// offending rules in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedProgram {
+    pub program: Program,
+    pub spans: Vec<(usize, usize)>,
+}
+
+/// Parse a whole program, recording where each rule starts.
+pub fn parse_program_spanned(input: &str) -> Result<SpannedProgram, ParseError> {
     let mut p = Parser { input, pos: 0 };
     let mut rules = Vec::new();
+    let mut spans = Vec::new();
     loop {
         p.skip_trivia();
         if p.at_end() {
             break;
         }
+        spans.push(line_column(input, p.pos));
         rules.push(p.parse_rule()?);
     }
-    Ok(Program::new(rules))
+    Ok(SpannedProgram {
+        program: Program::new(rules),
+        spans,
+    })
 }
 
 /// Parse a single rule (must consume the entire input).

@@ -30,6 +30,11 @@ pub struct EngineConfig {
     pub limits: Limits,
     /// Semantic-cache tuning (capacity, probe budgets, key mode).
     pub cache: CacheConfig,
+    /// Run the `rq-analyze` pre-flight before keying: provably-empty
+    /// queries short-circuit to ∅ without touching the pool, and union
+    /// branches subsumed by siblings are dropped so answer-equivalent
+    /// requests collide on the same canonical cache key.
+    pub preflight: bool,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +45,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             limits: Limits::unlimited(),
             cache: CacheConfig::default(),
+            preflight: true,
         }
     }
 }
@@ -57,6 +63,9 @@ pub enum Disposition {
     Miss,
     /// Duplicate of an earlier query in the same batch (same key).
     Deduped,
+    /// Pre-flight proved `L(Q) = ∅`: answered ∅ with no evaluation and no
+    /// cache traffic.
+    Empty,
 }
 
 impl fmt::Display for Disposition {
@@ -67,6 +76,7 @@ impl fmt::Display for Disposition {
             Disposition::Subsumed => "subsumed",
             Disposition::Miss => "miss",
             Disposition::Deduped => "deduped",
+            Disposition::Empty => "empty",
         })
     }
 }
@@ -185,13 +195,29 @@ impl Engine {
     }
 
     fn run_inner(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
-        let (key, lookup) = {
+        let (key, lookup, q_eff) = {
             let mut shared = self.shared.lock().expect("engine poisoned");
             let Shared { alphabet, cache } = &mut *shared;
-            let key = cache.key_of(q, alphabet);
-            let lookup = cache.lookup(q, &key, alphabet);
-            (key, lookup)
+            // Pre-flight (rq-analyze): short-circuit ∅-language queries
+            // and normalize away union branches a sibling subsumes, so the
+            // canonical key below collides for answer-equivalent requests.
+            let q_eff = if self.config.preflight {
+                let p = rq_analyze::preflight(q, alphabet, &self.config.cache.probe_limits);
+                if p.action == rq_analyze::PreflightAction::Empty {
+                    return Ok(QueryResult {
+                        answer: Arc::new(BTreeSet::new()),
+                        disposition: Disposition::Empty,
+                    });
+                }
+                p.query
+            } else {
+                q.clone()
+            };
+            let key = cache.key_of(&q_eff, alphabet);
+            let lookup = cache.lookup(&q_eff, &key, alphabet);
+            (key, lookup, q_eff)
         };
+        let q = &q_eff;
         // Graph work happens outside the lock: concurrent callers only
         // contend on key computation and probes.
         let (answer, disposition) = match lookup {
@@ -432,9 +458,17 @@ mod metrics {
     use std::time::Duration;
 
     fn queries_total(d: Disposition) -> &'static Counter {
-        static CELLS: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+        static CELLS: OnceLock<[Arc<Counter>; 6]> = OnceLock::new();
         let cells = CELLS.get_or_init(|| {
-            ["exact", "equivalent", "subsumed", "miss", "deduped"].map(|d| {
+            [
+                "exact",
+                "equivalent",
+                "subsumed",
+                "miss",
+                "deduped",
+                "empty",
+            ]
+            .map(|d| {
                 global().counter_with(
                     "rq_engine_queries_total",
                     &[("disposition", d)],
@@ -448,6 +482,7 @@ mod metrics {
             Disposition::Subsumed => 2,
             Disposition::Miss => 3,
             Disposition::Deduped => 4,
+            Disposition::Empty => 5,
         };
         &cells[i]
     }
@@ -635,6 +670,51 @@ mod tests {
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn preflight_short_circuits_empty_queries() {
+        let eng = engine(2);
+        let q = eng.parse("a ∅ b").unwrap();
+        let got = eng.run(&q).unwrap();
+        assert_eq!(got.disposition, Disposition::Empty);
+        assert!(got.answer.is_empty());
+        // No cache traffic either: a re-run is Empty again, not Exact.
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Empty);
+        assert_eq!(eng.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn preflight_normalization_creates_cache_collisions() {
+        let eng = engine(2);
+        // Lemma 2: p ⊑ p p⁻ p, so `a | a a- a` normalizes to `a a- a` and
+        // must land on the cached entry for the plain detour query.
+        let detour = eng.parse("a a- a").unwrap();
+        let unioned = eng.parse("a | a a- a").unwrap();
+        assert_eq!(eng.run(&detour).unwrap().disposition, Disposition::Miss);
+        let got = eng.run(&unioned).unwrap();
+        assert_eq!(got.disposition, Disposition::Exact);
+        // And the answers are the full union's answers (the dropped branch
+        // was subsumed, so nothing is lost).
+        assert_eq!(*got.answer, unioned.evaluate(eng.db()));
+    }
+
+    #[test]
+    fn preflight_off_preserves_old_behavior() {
+        let db = generate::random_gnm(30, 90, &["a", "b"], 7);
+        let eng = Engine::new(
+            db,
+            EngineConfig {
+                threads: 2,
+                preflight: false,
+                ..EngineConfig::default()
+            },
+        );
+        let q = eng.parse("a ∅ b").unwrap();
+        let got = eng.run(&q).unwrap();
+        // Without pre-flight the empty query evaluates like any other.
+        assert_eq!(got.disposition, Disposition::Miss);
+        assert!(got.answer.is_empty());
     }
 
     #[test]

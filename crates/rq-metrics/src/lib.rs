@@ -357,6 +357,38 @@ mod tests {
         assert!(*fuel.last().unwrap() > 10_000_000_000);
     }
 
+    /// Hammer one counter/gauge/histogram from several threads and check
+    /// the totals. Sized down under Miri, which runs this (and the rest of
+    /// the crate's tests) in CI to validate the relaxed-atomics hot path.
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let _g = recording_lock();
+        let iters = if cfg!(miri) { 25 } else { 1000 };
+        let threads = 4u64;
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new(vec![10, 100]);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(|| {
+                    for i in 0..iters {
+                        c.inc();
+                        g.add(2);
+                        g.sub(1);
+                        h.observe(i % 150);
+                    }
+                });
+                let _ = t;
+            }
+        });
+        assert_eq!(c.get(), threads * iters);
+        assert_eq!(g.get(), threads * iters);
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * iters);
+        assert_eq!(s.count, s.buckets.iter().sum::<u64>());
+        assert_eq!(s.sum, threads * (0..iters).map(|i| i % 150).sum::<u64>());
+    }
+
     #[test]
     fn disabled_recording_is_a_no_op() {
         let _g = recording_lock();

@@ -394,6 +394,31 @@ mod tests {
         assert!(text.contains("lat_us_count 3"), "{text}");
     }
 
+    /// Threads racing to register the same family must all land on one
+    /// shared counter, and increments from every thread must survive.
+    /// Sized down under Miri (which runs this in CI).
+    #[test]
+    fn concurrent_registration_converges_on_one_handle() {
+        let _g = crate::recording_lock();
+        let iters = if cfg!(miri) { 10 } else { 250 };
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..iters {
+                        r.counter_with("raced", &[("kind", "x")], "racing registration")
+                            .inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            r.counter_with("raced", &[("kind", "x")], "").get(),
+            4 * iters
+        );
+        assert_eq!(r.snapshot().metrics.len(), 1);
+    }
+
     #[test]
     fn snapshot_lookup_by_labels() {
         let _g = crate::recording_lock();

@@ -13,7 +13,17 @@
 //! rqtool contain-rq <query1.rq> <query2.rq>
 //! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]
 //! rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
+//! rqtool lint <query|file|dir> [--goal=PRED] [--json]
 //! ```
+//!
+//! `lint` runs the `rq-analyze` passes: over an inline regex, a single
+//! `.dl`/`.cq`/`.rq`/`.batch` file, or a whole directory tree (e.g.
+//! `examples/`). Findings print as `path:line:col: severity[RULE] slug:
+//! message` (or a JSON array with `--json`); the exit code is non-zero
+//! iff an error-severity finding or a parse failure occurred. `--goal`
+//! enables the Datalog reachability lints. Failures to read or parse any
+//! input are reported as structured `error[io]:` / `error[parse]:` lines
+//! on stderr, never as panics.
 //!
 //! `serve-batch` reads one 2RPQ per line (blank lines and `#` comments
 //! skipped), serves the batch through the `rq-engine` semantic cache, and
@@ -45,13 +55,14 @@
 //! with `label-` for inverse letters. Datalog programs use
 //! `Head(X,Y) :- body.` syntax with uppercase variables.
 
+use regular_queries::analyze::{Json, Span};
 use regular_queries::automata::regex::simplify;
 use regular_queries::core::containment::two_rpq;
 use regular_queries::core::rq::{RqExpr, RqQuery};
 use regular_queries::core::translate::graphdb_to_factdb;
 use regular_queries::datalog::depgraph::{is_monadic, is_nonrecursive, DepGraph};
 use regular_queries::datalog::grq::analyze_grq;
-use regular_queries::datalog::parser::parse_program;
+use regular_queries::datalog::parser::{parse_program, parse_program_spanned};
 use regular_queries::datalog::validate::validate_program;
 use regular_queries::graph::dot::{to_dot, DotOptions};
 use regular_queries::graph::text;
@@ -74,10 +85,12 @@ fn main() -> ExitCode {
 
     // A typo'd budget flag silently running an unbounded search would
     // defeat the point of having budgets; reject anything unrecognized.
+    let want_json = flags.iter().any(|f| *f == "--json");
     let unknown = flags.iter().find(|f| {
         !(***f == "--dot"
             || ***f == "--metrics"
             || ***f == "--trace"
+            || ***f == "--json"
             || f.starts_with("--from=")
             || f.starts_with("--goal=")
             || f.starts_with("--fuel=")
@@ -116,6 +129,7 @@ fn main() -> ExitCode {
             ("stats", [graph, queries]) => {
                 cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::MetricsOnly)
             }
+            ("lint", [input]) => cmd_lint(input, goal.as_deref(), &limits, want_json),
             _ => Err(usage()),
         },
         _ => Err(usage()),
@@ -141,8 +155,9 @@ fn usage() -> String {
      rqtool eval-rq <graph.txt> <query.rq> [--goal=PRED]\n  \
      rqtool contain-rq <query1.rq> <query2.rq>\n  \
      rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]\n  \
-     rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n\
-     budget flags (contain*, datalog, serve-batch, stats): --fuel=N --timeout-ms=N"
+     rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n  \
+     rqtool lint <query|file|dir> [--goal=PRED] [--json]\n\
+     budget flags (contain*, datalog, serve-batch, stats, lint): --fuel=N --timeout-ms=N"
         .to_owned()
 }
 
@@ -174,8 +189,15 @@ fn print_partial_progress(out: &Outcome) {
 }
 
 fn load_graph(path: &str) -> Result<GraphDb, String> {
-    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    text::parse(&content).map_err(|e| e.to_string())
+    let content = read_input(path)?;
+    text::parse(&content).map_err(|e| format!("error[parse]: {path}: {e}"))
+}
+
+/// Read a file, mapping failures to the structured `error[io]:` form so
+/// every subcommand exits non-zero with a diagnosable message instead of
+/// panicking.
+fn read_input(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("error[io]: cannot read {path}: {e}"))
 }
 
 fn cmd_eval(graph: &str, query: &str, from: Option<&str>, want_dot: bool) -> Result<(), String> {
@@ -252,10 +274,9 @@ fn cmd_simplify(query: &str) -> Result<(), String> {
 }
 
 fn cmd_datalog(program: &str, goal: &str, graph: &str, limits: &Limits) -> Result<(), String> {
-    let content =
-        std::fs::read_to_string(program).map_err(|e| format!("cannot read {program}: {e}"))?;
-    let p = parse_program(&content).map_err(|e| e.to_string())?;
-    validate_program(&p).map_err(|e| e.to_string())?;
+    let content = read_input(program)?;
+    let p = parse_program(&content).map_err(|e| format!("error[parse]: {program}: {e}"))?;
+    validate_program(&p).map_err(|e| format!("error[parse]: {program}: {e}"))?;
     let q = DatalogQuery::new(p, goal);
     let db = load_graph(graph)?;
     let facts = graphdb_to_factdb(&db);
@@ -277,10 +298,9 @@ fn cmd_datalog(program: &str, goal: &str, graph: &str, limits: &Limits) -> Resul
 }
 
 fn cmd_recognize(program: &str) -> Result<(), String> {
-    let content =
-        std::fs::read_to_string(program).map_err(|e| format!("cannot read {program}: {e}"))?;
-    let p = parse_program(&content).map_err(|e| e.to_string())?;
-    validate_program(&p).map_err(|e| e.to_string())?;
+    let content = read_input(program)?;
+    let p = parse_program(&content).map_err(|e| format!("error[parse]: {program}: {e}"))?;
+    validate_program(&p).map_err(|e| format!("error[parse]: {program}: {e}"))?;
     let dg = DepGraph::new(&p);
     println!("predicates : {}", dg.predicates.join(", "));
     println!("recursive  : {}", dg.recursive_predicates().join(", "));
@@ -339,8 +359,7 @@ fn cmd_serve_batch(
         }
     }
     let db = load_graph(graph)?;
-    let content = std::fs::read_to_string(queries_path)
-        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let content = read_input(queries_path)?;
     let texts: Vec<&str> = content
         .lines()
         .map(str::trim)
@@ -355,6 +374,7 @@ fn cmd_serve_batch(
                 capacity: cache_cap,
                 ..CacheConfig::default()
             },
+            ..EngineConfig::default()
         },
     );
     let queries: Vec<TwoRpq> = texts
@@ -362,7 +382,7 @@ fn cmd_serve_batch(
         .map(|t| {
             engine
                 .parse(t)
-                .map_err(|e| format!("cannot parse query {t:?}: {e}"))
+                .map_err(|e| format!("error[parse]: {queries_path}: cannot parse query {t:?}: {e}"))
         })
         .collect::<Result<_, _>>()?;
     let start = std::time::Instant::now();
@@ -397,8 +417,9 @@ fn cmd_serve_batch(
 }
 
 fn load_uc2rpq(path: &str, al: &mut Alphabet) -> Result<regular_queries::core::Uc2Rpq, String> {
-    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    regular_queries::core::query_text::parse_uc2rpq(&content, al).map_err(|e| e.to_string())
+    let content = read_input(path)?;
+    regular_queries::core::query_text::parse_uc2rpq(&content, al)
+        .map_err(|e| format!("error[parse]: {path}: {e}"))
 }
 
 fn cmd_eval_cq(graph: &str, query: &str) -> Result<(), String> {
@@ -439,8 +460,9 @@ fn cmd_contain_cq(p1: &str, p2: &str, limits: &Limits) -> Result<(), String> {
 }
 
 fn load_rq(path: &str, goal: Option<&str>, al: &mut Alphabet) -> Result<RqQuery, String> {
-    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    regular_queries::core::rq_text::parse_rq(&content, goal, al).map_err(|e| e.to_string())
+    let content = read_input(path)?;
+    regular_queries::core::rq_text::parse_rq(&content, goal, al)
+        .map_err(|e| format!("error[parse]: {path}: {e}"))
 }
 
 fn cmd_eval_rq(graph: &str, query: &str, goal: Option<&str>) -> Result<(), String> {
@@ -476,4 +498,183 @@ fn cmd_contain_rq(p1: &str, p2: &str, limits: &Limits) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `rqtool lint`: run the `rq-analyze` passes over an inline 2RPQ, a
+/// single file, or every lintable file under a directory.
+fn cmd_lint(input: &str, goal: Option<&str>, limits: &Limits, json: bool) -> Result<(), String> {
+    let path = std::path::Path::new(input);
+    let mut entries: Vec<(String, Report)> = Vec::new();
+    if path.is_dir() {
+        let mut files = Vec::new();
+        collect_lintable(path, &mut files)?;
+        files.sort();
+        if files.is_empty() {
+            return Err(format!(
+                "error[io]: no lintable files (.dl/.cq/.rq/.batch) under {input}"
+            ));
+        }
+        for f in &files {
+            let origin = f.display().to_string();
+            let report = lint_file(&origin, goal, limits)?;
+            entries.push((origin, report));
+        }
+    } else if path.is_file() {
+        entries.push((input.to_owned(), lint_file(input, goal, limits)?));
+    } else {
+        // Not a path on disk: treat the argument as an inline 2RPQ.
+        let mut al = Alphabet::new();
+        let q = TwoRpq::parse(input, &mut al).map_err(|e| format!("error[parse]: <query>: {e}"))?;
+        let mut report = lint_two_rpq(&q, &al, limits);
+        report.sort();
+        entries.push(("<query>".to_owned(), report));
+    }
+
+    let total: usize = entries.iter().map(|(_, r)| r.diagnostics.len()).sum();
+    let errors: usize = entries
+        .iter()
+        .flat_map(|(_, r)| &r.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if json {
+        let arr = Json::Arr(
+            entries
+                .iter()
+                .map(|(origin, report)| {
+                    let mut fields = vec![("path".to_owned(), Json::Str(origin.clone()))];
+                    if let Json::Obj(rest) = report.to_json() {
+                        fields.extend(rest);
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        );
+        println!("{}", arr.emit());
+    } else {
+        for (origin, report) in &entries {
+            if !report.is_clean() {
+                println!("{}", report.render_text(origin));
+            }
+        }
+        println!(
+            "{total} finding(s) ({errors} error(s)) across {} input(s)",
+            entries.len()
+        );
+    }
+    if errors > 0 {
+        Err(format!("error[lint]: {errors} error-level finding(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Recursively gather `.dl`/`.cq`/`.rq`/`.batch` files under `dir`.
+fn collect_lintable(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> Result<(), String> {
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| format!("error[io]: cannot read directory {}: {e}", dir.display()))?;
+    for entry in listing {
+        let entry = entry
+            .map_err(|e| format!("error[io]: cannot read directory {}: {e}", dir.display()))?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_lintable(&p, out)?;
+        } else if matches!(
+            p.extension().and_then(|e| e.to_str()),
+            Some("dl" | "cq" | "rq" | "batch")
+        ) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file, dispatching on its extension. Unknown extensions are
+/// treated as a batch file: one 2RPQ per line, `#` comments skipped (the
+/// `serve-batch` query format).
+fn lint_file(path: &str, goal: Option<&str>, limits: &Limits) -> Result<Report, String> {
+    let content = read_input(path)?;
+    let ext = std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let mut report = match ext {
+        "dl" => {
+            let spanned = parse_program_spanned(&content)
+                .map_err(|e| format!("error[parse]: {path}: {e}"))?;
+            lint_program(&spanned.program, Some(&spanned.spans), goal)
+        }
+        "cq" => {
+            let mut al = Alphabet::new();
+            let q = parse_uc2rpq(&content, &mut al)
+                .map_err(|e| format!("error[parse]: {path}: {e}"))?;
+            let spans = rule_line_spans(&content);
+            lint_uc2rpq(&q, &al, limits, Some(&spans))
+        }
+        "rq" => {
+            let mut al = Alphabet::new();
+            let q = regular_queries::core::rq_text::parse_rq(&content, goal, &mut al)
+                .map_err(|e| format!("error[parse]: {path}: {e}"))?;
+            let mut rels = Vec::new();
+            collect_rels(&q.expr, &mut rels);
+            let mut r = Report::new();
+            for rel in rels {
+                r.merge(lint_two_rpq(rel, &al, limits));
+            }
+            r
+        }
+        _ => {
+            let mut al = Alphabet::new();
+            let mut r = Report::new();
+            for (i, raw) in content.lines().enumerate() {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let q = TwoRpq::parse(line, &mut al)
+                    .map_err(|e| format!("error[parse]: {path}:{}: {e}", i + 1))?;
+                let mut lr = lint_two_rpq(&q, &al, limits);
+                for d in &mut lr.diagnostics {
+                    if d.span.is_none() {
+                        d.span = Some(Span::new(i + 1, 1));
+                    }
+                }
+                r.merge(lr);
+            }
+            r
+        }
+    };
+    report.sort();
+    Ok(report)
+}
+
+/// Line/column spans of the rules in a `.cq` file, in parse order
+/// (mirrors the `query_text` parser's comment/blank-line skipping).
+fn rule_line_spans(content: &str) -> Vec<Span> {
+    content
+        .lines()
+        .enumerate()
+        .filter(|(_, raw)| {
+            let t = raw.trim();
+            !t.is_empty() && !t.starts_with('#') && !t.starts_with('%')
+        })
+        .map(|(i, raw)| Span::new(i + 1, raw.len() - raw.trim_start().len() + 1))
+        .collect()
+}
+
+/// Collect every 2RPQ relation atom mentioned in an RQ expression tree.
+fn collect_rels<'a>(e: &'a RqExpr, out: &mut Vec<&'a TwoRpq>) {
+    match e {
+        RqExpr::Rel2 { rel, .. } => out.push(rel),
+        RqExpr::Select { inner, .. }
+        | RqExpr::Project { inner, .. }
+        | RqExpr::Closure { inner, .. } => collect_rels(inner, out),
+        RqExpr::Union { left, right } | RqExpr::And { left, right } => {
+            collect_rels(left, out);
+            collect_rels(right, out);
+        }
+        RqExpr::Edge { .. } => {}
+    }
 }

@@ -13,6 +13,8 @@
 //! * [`datalog`] — a Datalog engine with GRQ recognition and translation;
 //! * [`core`] — the query classes, their evaluation, and the containment
 //!   checker suite;
+//! * [`analyze`] — static-analysis & lint passes over all query classes,
+//!   plus the engine's pre-flight normalizer (`rqtool lint`);
 //! * [`engine`] — concurrent query serving with a containment-based
 //!   semantic cache;
 //! * [`metrics`] — a lock-free metrics registry (counters, gauges,
@@ -43,6 +45,7 @@
 //! assert!(rpq_containment(&q, &q1, &alphabet).is_not_contained());
 //! ```
 
+pub use rq_analyze as analyze;
 pub use rq_automata as automata;
 pub use rq_core as core;
 pub use rq_datalog as datalog;
@@ -52,6 +55,7 @@ pub use rq_metrics as metrics;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
+    pub use rq_analyze::{lint_program, lint_two_rpq, lint_uc2rpq, preflight, Report, Severity};
     pub use rq_automata::{
         Alphabet, Counters, EngineError, Exhaustion, Governor, LabelId, Letter, Limits, Nfa, Regex,
         Resource,

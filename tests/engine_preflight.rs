@@ -1,0 +1,95 @@
+//! Differential test for the engine's `rq-analyze` pre-flight: with the
+//! pass on, provably-empty queries short-circuit (no worker jobs) and
+//! subsumed-union-branch normalization makes answer-equivalent requests
+//! collide on the canonical cache key — while every answer stays exactly
+//! what the sequential evaluator computes with the pass off.
+//!
+//! Worker jobs are counted as observations of the process-global
+//! `rq_governor_fuel_spent` histograms (one per evaluation stripe). This
+//! is the only test in this binary, so nothing else in the process
+//! records into those families between the two snapshots.
+
+use regular_queries::core::TwoRpq;
+use regular_queries::engine::{Disposition, Engine, EngineConfig};
+use regular_queries::graph::generate;
+use regular_queries::metrics::{global, Value};
+
+/// Total evaluation stripes recorded so far, across both outcomes.
+fn fuel_stripes() -> u64 {
+    let snap = global().snapshot();
+    ["ok", "exhausted"]
+        .iter()
+        .map(
+            |o| match snap.get("rq_governor_fuel_spent", &[("outcome", o)]) {
+                Some(Value::Histogram(hs)) => hs.count,
+                _ => 0,
+            },
+        )
+        .sum()
+}
+
+#[test]
+fn preflight_saves_worker_jobs_without_changing_answers() {
+    let db = generate::random_gnm(20, 60, &["a", "b"], 42);
+    let mut al = db.alphabet().clone();
+    let texts = [
+        "a ∅ b",      // collapses to ∅: short-circuits under pre-flight
+        "a+",         // ordinary miss either way
+        "b ∅ a",      // a second ∅ spelling
+        "a a- a",     // seeds the cache with the fold detour's key
+        "a | a a- a", // normalizes to `a a- a` → exact hit under pre-flight
+        "(a|b)*",     // ordinary miss either way
+    ];
+    let queries: Vec<TwoRpq> = texts
+        .iter()
+        .map(|t| TwoRpq::parse(t, &mut al).unwrap())
+        .collect();
+
+    let run = |preflight: bool| {
+        let engine = Engine::new(
+            db.clone(),
+            EngineConfig {
+                threads: 2,
+                preflight,
+                ..EngineConfig::default()
+            },
+        );
+        let before = fuel_stripes();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| engine.run(q).expect("unlimited budgets never trip"))
+            .collect();
+        (results, fuel_stripes() - before)
+    };
+    let (with, jobs_with) = run(true);
+    let (without, jobs_without) = run(false);
+
+    // Same answers as the sequential evaluator, pass on or off.
+    for ((t, a), b) in texts.iter().zip(&with).zip(&without) {
+        let expect = queries[texts.iter().position(|x| x == t).unwrap()].evaluate(&db);
+        assert_eq!(*a.answer, expect, "{t} (preflight on)");
+        assert_eq!(*b.answer, expect, "{t} (preflight off)");
+    }
+
+    // The ∅ queries short-circuit only under pre-flight.
+    assert_eq!(with[0].disposition, Disposition::Empty);
+    assert_eq!(with[2].disposition, Disposition::Empty);
+    assert_ne!(without[0].disposition, Disposition::Empty);
+
+    // Normalization: the union collides with its kept branch's cache key —
+    // an exact hit, no containment probes. Without pre-flight the cache
+    // can still answer it, but only through the (costlier) probe path.
+    assert_eq!(with[4].disposition, Disposition::Exact, "{:?}", with[4]);
+    assert_ne!(
+        without[4].disposition,
+        Disposition::Exact,
+        "{:?}",
+        without[4]
+    );
+
+    // The whole point: strictly fewer worker jobs for the same answers.
+    assert!(
+        jobs_with < jobs_without,
+        "pre-flight should save evaluation stripes: {jobs_with} vs {jobs_without}"
+    );
+}

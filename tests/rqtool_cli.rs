@@ -1,6 +1,7 @@
 //! Black-box tests of the `rqtool` binary (spawned via the path Cargo
 //! provides to integration tests).
 
+use regular_queries::analyze::{Json, Report};
 use std::process::Command;
 
 fn rqtool(args: &[&str]) -> (String, String, bool) {
@@ -138,7 +139,120 @@ fn bad_usage_fails_cleanly() {
     assert!(stderr.contains("usage:"), "{stderr}");
     let (_, stderr, ok) = rqtool(&["eval", "/nonexistent/file.graph", "a"]);
     assert!(!ok);
-    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("error[io]: cannot read"), "{stderr}");
+}
+
+#[test]
+fn parse_failures_exit_nonzero_with_structured_errors() {
+    // An inline query with a syntax error: structured error, no panic.
+    let (_, stderr, ok) = rqtool(&["lint", "a ("]);
+    assert!(!ok);
+    assert!(stderr.contains("error[parse]: <query>:"), "{stderr}");
+    // A malformed Datalog file, through `datalog` and `lint` alike.
+    let dir = scratch_dir("parse_failures");
+    let bad = dir.join("bad.dl");
+    std::fs::write(&bad, "P(X, Y) :-").unwrap();
+    let bad = bad.to_str().unwrap().to_owned();
+    let (_, stderr, ok) = rqtool(&["datalog", &bad, "P", &data("social.graph")]);
+    assert!(!ok);
+    assert!(stderr.contains("error[parse]:"), "{stderr}");
+    let (_, stderr, ok) = rqtool(&["lint", &bad]);
+    assert!(!ok);
+    assert!(stderr.contains("error[parse]:"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A fresh scratch directory under the target dir (unique per test).
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write a directory of deliberately messy inputs spanning all three
+/// linted languages and return it.
+fn messy_inputs() -> std::path::PathBuf {
+    let dir = scratch_dir("lint_inputs");
+    std::fs::write(
+        dir.join("queries.batch"),
+        "# 2RPQs, one per line\na ∅ b\na a- a\na | a?\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("union.cq"),
+        "Q(x, y) :- [a ∅](x, y).\n\
+         Q(x, y) :- [a](x, m), [b](z, y).\n\
+         Q(x, y) :- [a](x, y).\n\
+         Q(x, y) :- [a](x, y).\n\
+         Q(x, y) :- [a|b](x, y).\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("monadic.dl"),
+        "Q(X) :- E(X, Y), P(Y).\n\
+         Q(X) :- E(X, Y), Q(Y).\n\
+         Bad(X, Y) :- E(X, Z).\n\
+         Orphan(X, Y) :- E(X, Y).\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn lint_reports_many_distinct_rules_and_json_round_trips() {
+    let dir = messy_inputs();
+    let dir_arg = dir.to_str().unwrap();
+
+    // Text mode: findings print with rule ids; error-level findings make
+    // the exit code non-zero.
+    let (stdout, stderr, ok) = rqtool(&["lint", dir_arg, "--goal=Q"]);
+    assert!(!ok, "error-level findings must fail the lint");
+    assert!(stderr.contains("error[lint]:"), "{stderr}");
+    assert!(stdout.contains("error[RQA001] empty-language"), "{stdout}");
+    assert!(stdout.contains("warning[RQA004]"), "{stdout}");
+
+    // JSON mode: the output is one array entry per linted file, each
+    // re-parseable as a Report, with ≥ 8 distinct rule ids overall.
+    let (stdout, _, ok) = rqtool(&["lint", dir_arg, "--goal=Q", "--json"]);
+    assert!(!ok);
+    let v = Json::parse(&stdout).expect("lint --json emits valid JSON");
+    let entries = v.as_arr().expect("top level is an array");
+    assert_eq!(entries.len(), 3, "{stdout}");
+    let mut rule_ids = std::collections::BTreeSet::new();
+    for entry in entries {
+        assert!(entry.get("path").and_then(Json::as_str).is_some());
+        let report = Report::from_json_text(&entry.emit()).expect("entry re-parses as a Report");
+        // Full round-trip: emit → parse → emit is a fixed point.
+        let emitted = report.to_json().emit();
+        assert_eq!(Report::from_json_text(&emitted).unwrap(), report);
+        for d in &report.diagnostics {
+            rule_ids.insert(d.rule.clone());
+        }
+    }
+    assert!(
+        rule_ids.len() >= 8,
+        "expected ≥ 8 distinct rule ids, got {rule_ids:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_clean_input_exits_zero() {
+    let (stdout, _, ok) = rqtool(&["lint", "(a|b)* c"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    // The shipped example data stays lint-clean (modulo the RQD006 info
+    // classification) — this is the `examples/` batch-lint mode.
+    let (stdout, _, ok) = rqtool(&[
+        "lint",
+        &format!("{}/examples/data", env!("CARGO_MANIFEST_DIR")),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("info[RQD006] regular-recursion"),
+        "{stdout}"
+    );
 }
 
 #[test]
