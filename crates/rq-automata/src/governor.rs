@@ -249,6 +249,7 @@ pub struct Governor {
     tuples: Cell<u64>,
     words: Cell<u64>,
     cancel: Arc<AtomicBool>,
+    watched: Option<Arc<AtomicBool>>,
 }
 
 impl Governor {
@@ -274,7 +275,19 @@ impl Governor {
             tuples: Cell::new(0),
             words: Cell::new(0),
             cancel,
+            watched: None,
         }
+    }
+
+    /// Additionally observe a **read-only** cancellation flag. Unlike the
+    /// flag passed to [`Governor::with_cancel`], this one is never written
+    /// by the governor: [`Governor::cancel`] (the peer-cancel path inside
+    /// parallel evaluators) does not touch it, so the flag's owner can
+    /// reuse it across retries without an internal exhaustion in one
+    /// attempt poisoning the next.
+    pub fn watching(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.watched = Some(flag);
+        self
     }
 
     /// A governor that never exhausts (the ungoverned-API implementation).
@@ -384,6 +397,11 @@ impl Governor {
     pub fn check_wall(&self) -> Result<(), Exhaustion> {
         if self.cancel.load(Ordering::Relaxed) {
             return Err(self.exhaustion(Resource::Cancelled, 0, 0));
+        }
+        if let Some(watched) = &self.watched {
+            if watched.load(Ordering::Relaxed) {
+                return Err(self.exhaustion(Resource::Cancelled, 0, 0));
+            }
         }
         if let Some(at) = self.deadline_at {
             let now = Instant::now();
@@ -514,6 +532,23 @@ mod tests {
         let flag = g.cancel_flag();
         assert!(g.check_wall().is_ok());
         flag.store(true, Ordering::Relaxed);
+        assert_eq!(g.check_wall().unwrap_err().resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn watched_flag_is_observed_but_never_written() {
+        let external = Arc::new(AtomicBool::new(false));
+        let g = Governor::unlimited().watching(Arc::clone(&external));
+        assert!(g.check_wall().is_ok());
+        // The internal peer-cancel path must not leak into the watched
+        // flag: its owner may reuse it across retry attempts.
+        g.cancel();
+        assert!(!external.load(Ordering::Relaxed));
+        assert_eq!(g.check_wall().unwrap_err().resource, Resource::Cancelled);
+
+        let external = Arc::new(AtomicBool::new(false));
+        let g = Governor::unlimited().watching(Arc::clone(&external));
+        external.store(true, Ordering::Relaxed);
         assert_eq!(g.check_wall().unwrap_err().resource, Resource::Cancelled);
     }
 

@@ -1,9 +1,10 @@
 //! Regenerate the EXPERIMENTS.md measurement tables.
 //!
 //! Run with `cargo run --release -p rq-bench --bin report`. Prints one
-//! markdown table per experiment (E1–E10 and E12–E13); every row is
+//! markdown table per experiment (E1–E10 and E12–E14); every row is
 //! deterministic in the seeds baked into `rq_bench::workloads`, except
-//! wall-clock columns.
+//! wall-clock columns (and the E14 closed-loop counts, which depend on
+//! how many requests the machine serves in the fixed run length).
 
 use rq_automata::complement2::vardi_complement;
 use rq_automata::containment::{check_explicit, check_on_the_fly};
@@ -18,7 +19,8 @@ use rq_core::translate::{encode_query, grq_containment, grq_to_rq};
 use rq_datalog::eval::{evaluate_program, evaluate_program_naive};
 use rq_datalog::evaluate;
 use rq_engine::{Disposition, Engine, EngineConfig};
-use std::time::Instant;
+use rq_serve::{run_bench, BenchConfig, ServeConfig, Server, TenantQuota};
+use std::time::{Duration, Instant};
 
 fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();
@@ -47,6 +49,7 @@ fn main() {
     e10();
     e12();
     e13();
+    e14();
 }
 
 fn e1() {
@@ -527,6 +530,79 @@ fn e12() {
         }
     }
     println!("```\n");
+}
+
+fn e14() {
+    println!("## E14 — front-end overload: shed instead of collapse\n");
+    println!(
+        "| load | clients | queue cap | answered | ok | shed | shed % | timed out | goodput ok/s \
+         | admitted p50 µs | p95 µs | p99 µs |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let stream = e14_stream();
+    // Offered load scales with the closed-loop client count: 2 clients
+    // saturate the 2 serve workers (1×); 8 and 32 clients offer 4× and
+    // 16×. The tenant quota is made non-binding (the fuel bucket refills
+    // far faster than the workers can drain it) so the bounded queue is
+    // the only shedding axis under test; the control row replaces the
+    // bounded queue with one deep enough to never shed, which is what an
+    // unprotected server does — it queues.
+    for (label, clients, queue_capacity) in [
+        ("1× baseline", 2usize, 2usize),
+        ("4×", 8, 2),
+        ("16×", 32, 2),
+        ("16×, unbounded queue (control)", 32, 1 << 20),
+    ] {
+        let engine = Engine::new(
+            e14_graph(),
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 2,
+                queue_capacity,
+                max_connections: 64,
+                // The SLO every request carries: generous against the
+                // slowest cold query, tight against queueing delay —
+                // time spent queued past it is pure wasted work.
+                request_timeout: Duration::from_millis(300),
+                request_fuel: 50_000_000,
+                quota: TenantQuota {
+                    fuel_per_sec: 1_000_000_000_000,
+                    burst_fuel: 1_000_000_000_000,
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server boots");
+        let report = run_bench(&BenchConfig {
+            addr: server.addr().to_string(),
+            clients,
+            duration: Duration::from_secs(8),
+            queries: stream.clone(),
+            tenants: vec!["bench".into()],
+            honor_retry_after: true,
+        });
+        println!(
+            "| {label} | {clients} | {queue_capacity} | {} | {} | {} | {:.1}% | {} | {:.0} | {} | \
+             {} | {} |",
+            report.answered(),
+            report.ok,
+            report.shed,
+            report.shed_rate() * 100.0,
+            report.exhausted,
+            report.ok as f64 / report.elapsed.as_secs_f64(),
+            report.percentile_us(50.0),
+            report.percentile_us(95.0),
+            report.percentile_us(99.0),
+        );
+        server.shutdown();
+    }
+    println!();
 }
 
 fn e13() {

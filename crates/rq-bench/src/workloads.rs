@@ -1,4 +1,4 @@
-//! Deterministic workload generators for experiments E1–E10 and E12.
+//! Deterministic workload generators for experiments E1–E10 and E12–E14.
 
 use rq_automata::random::{random_regex, RegexConfig, SplitMix64};
 use rq_automata::{Alphabet, LabelId, Letter, Regex};
@@ -427,6 +427,79 @@ pub fn e13_empty_queries() -> Vec<TwoRpq> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// E14: front-end overload workloads
+// ---------------------------------------------------------------------
+
+/// The graph the E14 closed-loop bench serves: sized so a cache miss
+/// pays real evaluator work (around a millisecond) rather than parse
+/// overhead, while a full answer set still fits a cache entry.
+pub fn e14_graph() -> GraphDb {
+    rq_graph::generate::random_gnm(300, 900, &["a", "b"], 14)
+}
+
+/// The hot set: eight length-2 chain queries that recur constantly and
+/// stay resident in the engine's LRU cache, so every repetition is a
+/// cache hit. Deliberately free of broad `…*` superset queries (and of
+/// any length-≥3 chain) so nothing here can answer the cold stream
+/// below by subsumption.
+pub fn e14_hot() -> Vec<String> {
+    ["a b", "b a", "a a", "b b", "a- b", "b a-", "a b-", "b- a"]
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+/// The cold stream: 512 distinct chain 2RPQs of length 5–8 — far more
+/// canonical keys than the engine's 64-entry cache holds, so by the
+/// time a text recurs (even across convoying clients) it has been
+/// evicted and nearly every arrival is a genuine miss that pays a full
+/// evaluation. Chains of different lengths are pairwise incomparable,
+/// and the two middle alternations `(a|b)`/`(b|a-)` are incomparable
+/// pointwise, so no cold entry answers another by subsumption. The
+/// length band is deliberately narrow (~19–47 ms each on the E14
+/// graph): tail latency under load is then queueing policy, not
+/// service-time spread.
+pub fn e14_cold() -> Vec<String> {
+    let ends = ["a", "b", "a-", "b-"];
+    let mids = ["(a|b)", "(b|a-)"];
+    let mut queries = Vec::new();
+    for k in 3..=6usize {
+        for m in 0..(1usize << k).min(8) {
+            for prefix in ends {
+                for suffix in ends {
+                    let mut q = String::from(prefix);
+                    for pos in 0..k {
+                        q.push(' ');
+                        q.push_str(mids[(m >> pos) & 1]);
+                    }
+                    q.push(' ');
+                    q.push_str(suffix);
+                    queries.push(q);
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// The mixed stream each closed-loop client cycles through: hot and
+/// cold interleaved 3:1, so admitted-latency percentiles reflect both
+/// the cheap cache-hit population and the expensive miss population.
+pub fn e14_stream() -> Vec<String> {
+    let hot = e14_hot();
+    let mut stream = Vec::with_capacity(e14_cold().len() * 4);
+    let mut h = 0;
+    for cold in e14_cold() {
+        for _ in 0..3 {
+            stream.push(hot[h % hot.len()].clone());
+            h += 1;
+        }
+        stream.push(cold);
+    }
+    stream
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,5 +567,24 @@ mod tests {
             let q = e7_kary_reachability(k);
             assert!(rq_datalog::grq::is_grq(&q.program), "k={k}");
         }
+    }
+
+    #[test]
+    fn e14_streams_are_distinct_parseable_and_mixed() {
+        let cold = e14_cold();
+        let distinct: std::collections::BTreeSet<&String> = cold.iter().collect();
+        assert_eq!(distinct.len(), cold.len(), "cold keys must not collide");
+        assert_eq!(cold.len(), 512);
+        let hot = e14_hot();
+        // Hot and cold must stay disjoint (hot chains are shorter), or
+        // "cold" requests would be served from the resident hot entries.
+        assert!(hot.iter().all(|h| !distinct.contains(h)));
+        let mut al = ab_alphabet();
+        for q in hot.iter().chain(cold.iter()) {
+            TwoRpq::parse(q, &mut al).expect("stream entry parses");
+        }
+        let stream = e14_stream();
+        assert_eq!(stream.len(), cold.len() * 4, "3:1 hot:cold interleave");
+        assert!(stream.iter().filter(|q| distinct.contains(q)).count() == cold.len());
     }
 }

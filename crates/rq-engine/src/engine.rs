@@ -16,15 +16,21 @@ use rq_core::TwoRpq;
 use rq_graph::{GraphDb, NodeId};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads for parallel evaluation (clamped to ≥ 1).
+    /// Worker threads for parallel evaluation (clamped to
+    /// `1 ..= max_threads`).
     pub threads: usize,
+    /// Upper bound on `threads`, whether configured explicitly, detected
+    /// from the machine, or set through `RQ_THREADS`. Guards against a
+    /// huge `available_parallelism` (or a fat-fingered override) turning
+    /// one engine into hundreds of OS threads.
+    pub max_threads: usize,
     /// Per-worker budget for one query evaluation. Fuel is metered per
     /// worker; the wall-clock deadline spans the whole query.
     pub limits: Limits,
@@ -37,16 +43,67 @@ pub struct EngineConfig {
     pub preflight: bool,
 }
 
+/// Default cap on detected worker threads ([`EngineConfig::max_threads`]).
+pub const DEFAULT_MAX_THREADS: usize = 64;
+
+/// Worker-thread count for [`EngineConfig::default`]: the `RQ_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`]; either way clamped to
+/// `1 ..= max_threads`.
+pub fn detect_threads(max_threads: usize) -> usize {
+    let detected = std::env::var("RQ_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    detected.clamp(1, max_threads.max(1))
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: detect_threads(DEFAULT_MAX_THREADS),
+            max_threads: DEFAULT_MAX_THREADS,
             limits: Limits::unlimited(),
             cache: CacheConfig::default(),
             preflight: true,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Validate the configuration, returning a structured error instead
+    /// of panicking (or silently misbehaving) later. Checks that the
+    /// thread cap is non-zero, that `threads` respects it, and that the
+    /// cache is not configured to probe with zero candidates *and* a
+    /// zero-capacity store (a useless but historically panic-free combo
+    /// is allowed; a zero cap alone is fine — it disables caching).
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.max_threads == 0 {
+            return Err(EngineError::InvalidInput {
+                message: "config: max_threads must be at least 1".into(),
+            });
+        }
+        if self.threads == 0 {
+            return Err(EngineError::InvalidInput {
+                message: "config: threads must be at least 1 (use RQ_THREADS or \
+                          EngineConfig::threads to size the pool)"
+                    .into(),
+            });
+        }
+        if self.threads > self.max_threads {
+            return Err(EngineError::InvalidInput {
+                message: format!(
+                    "config: threads ({}) exceeds max_threads ({})",
+                    self.threads, self.max_threads
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +185,10 @@ pub struct Engine {
     pool: WorkerPool,
     shared: Mutex<Shared>,
     config: EngineConfig,
+    /// Set when a poisoned shared lock was recovered: the cache was
+    /// cleared and the engine now serves cache-off (every query evaluates
+    /// the graph). Process death is strictly worse than a cold cache.
+    degraded: AtomicBool,
 }
 
 impl Engine {
@@ -138,18 +199,61 @@ impl Engine {
         let alphabet = db.alphabet().clone();
         Engine {
             db: Arc::new(db),
-            pool: WorkerPool::new(config.threads),
+            pool: WorkerPool::new(config.threads.clamp(1, config.max_threads.max(1))),
             shared: Mutex::new(Shared {
                 alphabet,
                 cache: SemanticCache::new(config.cache.clone()),
             }),
             config,
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Lock the shared (alphabet + cache) state, *recovering* from poison
+    /// instead of propagating it. A panic inside the critical section can
+    /// leave the cache mid-mutation, so recovery drops every materialized
+    /// answer (restoring the cache's invariants) and flips the engine
+    /// into cache-off serving: requests keep being answered from the
+    /// graph rather than the whole process aborting on the next lookup.
+    fn shared(&self) -> std::sync::MutexGuard<'_, Shared> {
+        match self.shared.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.cache.clear();
+                self.shared.clear_poison();
+                if !self.degraded.swap(true, Ordering::SeqCst) {
+                    metrics::degraded(true);
+                }
+                metrics::lock_recovered();
+                guard
+            }
+        }
+    }
+
+    /// Whether the engine has degraded to cache-off serving after
+    /// recovering a poisoned lock.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Leave degraded (cache-off) mode and start caching again. The cache
+    /// was cleared during recovery, so this is always sound — it merely
+    /// re-enables materialization.
+    pub fn reset_degraded(&self) {
+        if self.degraded.swap(false, Ordering::SeqCst) {
+            metrics::degraded(false);
         }
     }
 
     /// The served database.
     pub fn db(&self) -> &GraphDb {
         &self.db
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Number of worker threads.
@@ -160,16 +264,12 @@ impl Engine {
     /// Snapshot of the engine's alphabet (the database's labels plus any
     /// labels interned by parsed queries).
     pub fn alphabet(&self) -> Alphabet {
-        self.shared
-            .lock()
-            .expect("engine poisoned")
-            .alphabet
-            .clone()
+        self.shared().alphabet.clone()
     }
 
     /// Parse a query against the engine's shared alphabet.
     pub fn parse(&self, text: &str) -> Result<TwoRpq, EngineError> {
-        let mut shared = self.shared.lock().expect("engine poisoned");
+        let mut shared = self.shared();
         TwoRpq::parse(text, &mut shared.alphabet).map_err(|e| EngineError::InvalidInput {
             message: e.to_string(),
         })
@@ -177,26 +277,72 @@ impl Engine {
 
     /// Cache counters since construction.
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.lock().expect("engine poisoned").cache.stats()
+        self.shared().cache.stats()
     }
 
     /// Drop all materialized answers (counters are kept).
     pub fn clear_cache(&self) {
-        self.shared.lock().expect("engine poisoned").cache.clear();
+        self.shared().cache.clear();
     }
 
     /// Serve the all-pairs answer `Q(D)`, consulting and feeding the
     /// semantic cache.
     pub fn run(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
+        self.run_with(q, &self.config.limits, None)
+    }
+
+    /// Serve `Q(D)` under request-specific `limits` and an optional
+    /// external cancellation flag. The flag is shared with every worker
+    /// stripe, so setting it from another thread (a request timeout, a
+    /// server drain) stops the evaluation cooperatively at the next
+    /// governor poll; the result surfaces as
+    /// [`EngineError::Exhausted`] with [`Resource::Cancelled`].
+    pub fn run_with(
+        &self,
+        q: &TwoRpq,
+        limits: &Limits,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Result<QueryResult, EngineError> {
         let start = std::time::Instant::now();
-        let result = self.run_inner(q);
+        let result = self.run_inner(q, limits, cancel);
         metrics::query(&result, start.elapsed());
         result
     }
 
-    fn run_inner(&self, q: &TwoRpq) -> Result<QueryResult, EngineError> {
+    fn run_inner(
+        &self,
+        q: &TwoRpq,
+        limits: &Limits,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Result<QueryResult, EngineError> {
+        // Degraded (post-recovery) serving: skip all cache traffic — the
+        // answer still comes from the graph.
+        if self.is_degraded() {
+            let q_eff = {
+                let mut shared = self.shared();
+                let Shared { alphabet, .. } = &mut *shared;
+                if self.config.preflight {
+                    let p = rq_analyze::preflight(q, alphabet, &self.config.cache.probe_limits);
+                    if p.action == rq_analyze::PreflightAction::Empty {
+                        return Ok(QueryResult {
+                            answer: Arc::new(BTreeSet::new()),
+                            disposition: Disposition::Empty,
+                        });
+                    }
+                    p.query
+                } else {
+                    q.clone()
+                }
+            };
+            let sources: Vec<NodeId> = self.db.nodes().collect();
+            let answer = Arc::new(self.eval_sources(&q_eff, sources, limits, cancel)?);
+            return Ok(QueryResult {
+                answer,
+                disposition: Disposition::Miss,
+            });
+        }
         let (key, lookup, q_eff) = {
-            let mut shared = self.shared.lock().expect("engine poisoned");
+            let mut shared = self.shared();
             let Shared { alphabet, cache } = &mut *shared;
             // Pre-flight (rq-analyze): short-circuit ∅-language queries
             // and normalize away union branches a sibling subsumes, so the
@@ -240,17 +386,22 @@ impl Engine {
                 // re-check.
                 let mut sources: Vec<NodeId> = superset.iter().map(|&(x, _)| x).collect();
                 sources.dedup();
-                let answer = Arc::new(self.eval_sources(q, sources)?);
+                let answer = Arc::new(self.eval_sources(q, sources, limits, cancel)?);
                 (answer, Disposition::Subsumed)
             }
             Lookup::Miss => {
                 let sources: Vec<NodeId> = self.db.nodes().collect();
-                let answer = Arc::new(self.eval_sources(q, sources)?);
+                let answer = Arc::new(self.eval_sources(q, sources, limits, cancel)?);
                 (answer, Disposition::Miss)
             }
         };
-        let mut shared = self.shared.lock().expect("engine poisoned");
-        shared.cache.insert(key, q, Arc::clone(&answer));
+        let mut shared = self.shared();
+        // The recovery may have happened mid-request (the poison was
+        // observed by this very lock call): don't materialize into a
+        // cache the engine has just stopped trusting.
+        if !self.is_degraded() {
+            shared.cache.insert(key, q, Arc::clone(&answer));
+        }
         Ok(QueryResult {
             answer,
             disposition,
@@ -283,7 +434,7 @@ impl Engine {
         let stats_before = self.cache_stats();
         // Group by cache key.
         let keys: Vec<String> = {
-            let mut shared = self.shared.lock().expect("engine poisoned");
+            let mut shared = self.shared();
             let Shared { alphabet, cache } = &mut *shared;
             queries.iter().map(|q| cache.key_of(q, alphabet)).collect()
         };
@@ -369,27 +520,38 @@ impl Engine {
     }
 
     /// Stripe `sources` across the pool, one governed product BFS per
-    /// source, merging the per-worker pair sets.
+    /// source, merging the per-worker pair sets. When `cancel` is given,
+    /// every stripe *watches* it read-only — setting it from another
+    /// thread (a request timeout, a server drain) stops the evaluation,
+    /// but the internal first-failure peer-cancel path runs on its own
+    /// flag, so an exhausted attempt never flips the caller's flag and a
+    /// retry with the same flag starts clean.
     fn eval_sources(
         &self,
         q: &TwoRpq,
         sources: Vec<NodeId>,
+        limits: &Limits,
+        cancel: Option<Arc<AtomicBool>>,
     ) -> Result<BTreeSet<(NodeId, NodeId)>, EngineError> {
         if sources.is_empty() {
             return Ok(BTreeSet::new());
         }
         let stripes = self.pool.threads().min(sources.len());
-        let cancel = Arc::new(AtomicBool::new(false));
+        let peer_cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Result<BTreeSet<(NodeId, NodeId)>, Exhaustion>>();
         for s in 0..stripes {
             let db = Arc::clone(&self.db);
             let q = q.clone();
             let tx = tx.clone();
-            let cancel = Arc::clone(&cancel);
-            let limits = self.config.limits.clone();
+            let peer_cancel = Arc::clone(&peer_cancel);
+            let external = cancel.clone();
+            let limits = limits.clone();
             let mine: Vec<NodeId> = sources.iter().skip(s).step_by(stripes).copied().collect();
             self.pool.execute(move || {
-                let gov = Governor::with_cancel(limits, Arc::clone(&cancel));
+                let mut gov = Governor::with_cancel(limits, peer_cancel);
+                if let Some(flag) = external {
+                    gov = gov.watching(flag);
+                }
                 let mut out = BTreeSet::new();
                 let mut failed = None;
                 for x in mine {
@@ -566,6 +728,32 @@ mod metrics {
         }
     }
 
+    /// One poisoned shared lock recovered (cache cleared, poison flag
+    /// reset).
+    pub(super) fn lock_recovered() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_engine_lock_recoveries_total",
+                "Poisoned engine locks recovered by clearing the cache",
+            )
+        })
+        .inc();
+    }
+
+    /// Flip the degraded-serving gauge (1 while the engine serves
+    /// cache-off after a poison recovery).
+    pub(super) fn degraded(on: bool) {
+        static CELL: OnceLock<Arc<rq_metrics::Gauge>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().gauge(
+                "rq_engine_degraded",
+                "1 while the engine is serving cache-off after recovering a poisoned lock",
+            )
+        })
+        .set(u64::from(on));
+    }
+
     /// Fuel one worker's governor metered over its stripe of sources,
     /// split by whether the stripe completed or tripped a budget.
     pub(super) fn worker_fuel(fuel_spent: u64, ok: bool) {
@@ -715,6 +903,122 @@ mod tests {
         // Without pre-flight the empty query evaluates like any other.
         assert_eq!(got.disposition, Disposition::Miss);
         assert!(got.answer.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_to_cache_off_serving() {
+        let eng = engine(2);
+        let q = eng.parse("a+").unwrap();
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Miss);
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Exact);
+        // Poison the shared lock: a thread panics while holding it.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _guard = eng.shared.lock().unwrap();
+                panic!("poison the engine lock");
+            });
+            assert!(h.join().is_err());
+        });
+        // Recovery: the next request is served from the graph (cache-off),
+        // not a process abort, and the answer is still correct.
+        let got = eng.run(&q).unwrap();
+        assert!(eng.is_degraded());
+        assert_eq!(got.disposition, Disposition::Miss);
+        assert_eq!(*got.answer, q.evaluate(eng.db()));
+        // Degraded mode is sticky until reset; then the (cleared) cache
+        // warms back up normally.
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Miss);
+        eng.reset_degraded();
+        assert!(!eng.is_degraded());
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Miss);
+        assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Exact);
+    }
+
+    #[test]
+    fn external_cancel_flag_stops_run_with() {
+        let db = generate::random_gnm(60, 180, &["a", "b"], 9);
+        let eng = Engine::new(
+            db,
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let q = eng.parse("(a|b)*").unwrap();
+        let cancel = Arc::new(AtomicBool::new(true)); // cancelled before start
+        match eng.run_with(&q, &Limits::unlimited(), Some(cancel)) {
+            Err(EngineError::Exhausted(e)) => assert_eq!(e.resource, Resource::Cancelled),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_exhaustion_never_flips_the_callers_cancel_flag() {
+        let db = generate::random_gnm(200, 800, &["a", "b"], 9);
+        let eng = Engine::new(
+            db,
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let q = eng.parse("(a|b)*").unwrap();
+        let cancel = Arc::new(AtomicBool::new(false));
+        // A fuel-starved run exhausts inside a stripe, which cancels its
+        // peers — over an *internal* flag. The caller's flag must come
+        // back untouched, and the error must name the real budget, so
+        // the caller can retry with the same flag without the previous
+        // attempt's peer-cancel masquerading as an external cancellation.
+        let starved = Limits::unlimited().with_fuel(50);
+        match eng.run_with(&q, &starved, Some(Arc::clone(&cancel))) {
+            Err(EngineError::Exhausted(e)) => assert_eq!(e.resource, Resource::Fuel),
+            other => panic!("expected fuel exhaustion, got {other:?}"),
+        }
+        assert!(!cancel.load(Ordering::SeqCst), "caller's flag was flipped");
+        // The retry (same flag, real budget) now succeeds.
+        assert!(eng.run_with(&q, &Limits::unlimited(), Some(cancel)).is_ok());
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_thread_counts() {
+        let ok = EngineConfig::default();
+        assert!(ok.validate().is_ok());
+        let zero = EngineConfig {
+            threads: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            zero.validate(),
+            Err(EngineError::InvalidInput { .. })
+        ));
+        let over = EngineConfig {
+            threads: 9,
+            max_threads: 4,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            over.validate(),
+            Err(EngineError::InvalidInput { .. })
+        ));
+        let no_cap = EngineConfig {
+            max_threads: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            no_cap.validate(),
+            Err(EngineError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn detected_threads_respect_the_cap() {
+        assert_eq!(detect_threads(1), 1);
+        let n = detect_threads(2);
+        assert!((1..=2).contains(&n));
+        assert!(detect_threads(usize::MAX) >= 1);
+        // The default config is always internally consistent.
+        let d = EngineConfig::default();
+        assert!(d.threads >= 1 && d.threads <= d.max_threads);
     }
 
     #[test]

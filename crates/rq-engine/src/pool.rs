@@ -1,22 +1,105 @@
-//! A small fixed-size worker pool.
+//! A small fixed-size worker pool with panic isolation.
 //!
 //! The engine's unit of parallelism is one product BFS per source node, so
 //! all it needs is a channel of boxed jobs drained by `n` OS threads — no
 //! work stealing, no external crates (the workspace builds offline). Jobs
 //! carry their own governors; the pool never touches query state.
+//!
+//! Failure isolation: a job that panics must not take serving capacity
+//! with it. Every job runs under [`catch_unwind`], so a panic fails only
+//! that job (counted in `rq_pool_worker_panics_total`) and the worker
+//! keeps draining the queue. If a panic nevertheless escapes the guard
+//! (e.g. a panic while dropping the payload), a sentinel respawns the
+//! worker thread, so the pool never shrinks below its configured size.
 
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// State shared between the pool handle and its workers. Worker lifetime
+/// is tracked by a live count + condvar (not `JoinHandle`s) so respawned
+/// workers are waited on exactly like original ones.
+struct Shared {
+    receiver: Mutex<Receiver<Job>>,
+    live: Mutex<usize>,
+    exited: Condvar,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Pop the next job. The queue mutex carries no invariants of its own
+    /// (it only serializes `recv`), so a poisoned lock — some worker
+    /// panicked between `lock` and `recv` — is recovered, not propagated.
+    fn next_job(&self) -> Option<Job> {
+        let guard = self.receiver.lock().unwrap_or_else(|e| e.into_inner());
+        guard.recv().ok()
+    }
+}
+
 /// A fixed set of worker threads draining a shared job queue. Dropping the
-/// pool closes the queue and joins every worker (pending jobs finish
+/// pool closes the queue and waits for every worker (pending jobs finish
 /// first).
 pub struct WorkerPool {
     sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+/// Respawns the worker if its thread unwinds out of the drain loop (a
+/// panic that escaped `catch_unwind`), and always announces the exit so
+/// `Drop for WorkerPool` can account for every thread it is waiting on.
+struct Sentinel {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.shutting_down.load(Ordering::SeqCst) {
+            metrics::worker_respawned();
+            spawn_worker(Arc::clone(&self.shared), self.index);
+        }
+        let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live -= 1;
+        drop(live);
+        self.shared.exited.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.next_job() {
+        metrics::job_started();
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        metrics::job_finished(outcome.is_ok());
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>, index: usize) {
+    {
+        let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live += 1;
+    }
+    let for_thread = Arc::clone(&shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("rq-engine-worker-{index}"))
+        .spawn(move || {
+            let _sentinel = Sentinel {
+                shared: Arc::clone(&for_thread),
+                index,
+            };
+            worker_loop(&for_thread);
+        });
+    if spawned.is_err() {
+        // Could not get an OS thread: undo the registration so shutdown
+        // does not wait forever on a worker that never existed.
+        let mut live = shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live -= 1;
+        drop(live);
+        shared.exited.notify_all();
+    }
 }
 
 impl WorkerPool {
@@ -24,57 +107,48 @@ impl WorkerPool {
     pub fn new(threads: usize) -> WorkerPool {
         let threads = threads.max(1);
         let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("rq-engine-worker-{i}"))
-                    .spawn(move || loop {
-                        // Holding the lock only while receiving keeps
-                        // workers from serializing on job execution.
-                        let job = {
-                            let guard = receiver.lock().expect("worker queue poisoned");
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => {
-                                metrics::job_started();
-                                job();
-                                metrics::job_completed();
-                            }
-                            Err(_) => break, // queue closed: pool dropped
-                        }
-                    })
-                    .expect("failed to spawn engine worker")
-            })
-            .collect();
+        let shared = Arc::new(Shared {
+            receiver: Mutex::new(receiver),
+            live: Mutex::new(0),
+            exited: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        for i in 0..threads {
+            spawn_worker(Arc::clone(&shared), i);
+        }
         WorkerPool {
             sender: Some(sender),
-            workers,
+            shared,
+            threads,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads
     }
 
     /// Enqueue a job. Jobs run in submission order per worker but complete
-    /// in any order; use a results channel to collect outputs.
+    /// in any order; use a results channel to collect outputs. If the
+    /// queue is unexpectedly closed the job runs inline on the caller's
+    /// thread rather than being dropped or panicking.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         metrics::job_submitted();
-        self.sender
-            .as_ref()
-            .expect("pool is shutting down")
-            .send(Box::new(job))
-            .expect("all workers exited");
+        let send_failed = match &self.sender {
+            Some(sender) => sender.send(Box::new(job)).err(),
+            None => unreachable!("sender only taken in Drop"),
+        };
+        if let Some(failed) = send_failed {
+            metrics::job_started();
+            let outcome = catch_unwind(AssertUnwindSafe(failed.0));
+            metrics::job_finished(outcome.is_ok());
+        }
     }
 }
 
-/// Pool metrics: jobs submitted/completed and the instantaneous queue
-/// depth (submitted but not yet picked up by a worker). The pool is a
-/// single shared channel — there is no work stealing to count.
+/// Pool metrics: jobs submitted/completed, the instantaneous queue depth
+/// (submitted but not yet picked up by a worker), panics caught, and
+/// workers respawned after an escaped panic.
 mod metrics {
     use rq_metrics::{global, Counter, Gauge};
     use std::sync::{Arc, OnceLock};
@@ -82,6 +156,8 @@ mod metrics {
     struct Cells {
         submitted: Arc<Counter>,
         completed: Arc<Counter>,
+        panics: Arc<Counter>,
+        respawns: Arc<Counter>,
         depth: Arc<Gauge>,
     }
 
@@ -90,6 +166,14 @@ mod metrics {
         CELLS.get_or_init(|| Cells {
             submitted: global().counter("rq_pool_jobs_total", "Jobs submitted to the worker pool"),
             completed: global().counter("rq_pool_jobs_completed_total", "Jobs run to completion"),
+            panics: global().counter(
+                "rq_pool_worker_panics_total",
+                "Jobs that panicked; the panic was caught and the worker kept serving",
+            ),
+            respawns: global().counter(
+                "rq_pool_worker_respawns_total",
+                "Workers respawned after a panic escaped the per-job guard",
+            ),
             depth: global().gauge(
                 "rq_pool_queue_depth",
                 "Jobs enqueued but not yet picked up by a worker",
@@ -107,16 +191,31 @@ mod metrics {
         cells().depth.sub(1);
     }
 
-    pub(super) fn job_completed() {
-        cells().completed.inc();
+    pub(super) fn job_finished(ok: bool) {
+        let c = cells();
+        if ok {
+            c.completed.inc();
+        } else {
+            c.panics.inc();
+        }
+    }
+
+    pub(super) fn worker_respawned() {
+        cells().respawns.inc();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
         drop(self.sender.take());
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        let mut live = self.shared.live.lock().unwrap_or_else(|e| e.into_inner());
+        while *live > 0 {
+            live = self
+                .shared
+                .exited
+                .wait(live)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -168,5 +267,40 @@ mod tests {
             }
         } // Drop waits for all 16.
         assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    /// A panicking job fails alone: every other job — including jobs
+    /// submitted *after* the panics — still runs, on a pool of one worker
+    /// (so the panicking and surviving jobs share a thread).
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        for _ in 0..8 {
+            pool.execute(|| panic!("injected job panic"));
+        }
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    /// Interleaved panics and real work on several workers: every real
+    /// job completes and the pool still drains cleanly on drop.
+    #[test]
+    fn panics_interleaved_with_work() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(3);
+            for i in 0..60 {
+                if i % 3 == 0 {
+                    pool.execute(|| panic!("chaos"));
+                } else {
+                    let hits = Arc::clone(&hits);
+                    pool.execute(move || {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            }
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 40);
     }
 }

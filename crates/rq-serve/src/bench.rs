@@ -1,0 +1,236 @@
+//! A closed-loop bench driver for the front-end.
+//!
+//! `clients` threads each run an independent keep-alive connection in a
+//! closed loop: send one `/query`, wait for the answer, immediately send
+//! the next. Offered load therefore scales with the client count — the
+//! standard way to push a server to `N×` its capacity without modelling
+//! arrival processes. The driver records per-request latency *of admitted
+//! requests* separately from sheds, because the whole point of admission
+//! control is that the two populations behave differently: under overload
+//! the shed rate climbs while admitted-request latency stays flat.
+
+use crate::http::Client;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bench driver knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Query texts cycled through by each client.
+    pub queries: Vec<String>,
+    /// Tenant names cycled through by the clients.
+    pub tenants: Vec<String>,
+    /// Whether shed clients honor the server's `Retry-After` header
+    /// before retrying. This is the protocol working as intended —
+    /// admission control only helps when sheds are *cheaper* than
+    /// service, which a client that instantly re-sends defeats. Turn it
+    /// off to model an abusive client that hammers the shed path.
+    pub honor_retry_after: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            clients: 4,
+            duration: Duration::from_secs(5),
+            queries: vec!["a+".into(), "(a|b)+".into(), "a b- a".into(), "b+".into()],
+            tenants: vec!["bench".into()],
+            honor_retry_after: true,
+        }
+    }
+}
+
+/// Aggregated outcome of one bench run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Requests answered `200`.
+    pub ok: usize,
+    /// Requests shed (`429`/`503`).
+    pub shed: usize,
+    /// Requests answered with an exhaustion report or deadline (`408`/`422`).
+    pub exhausted: usize,
+    /// Transport errors (dropped connections, timeouts at the client).
+    pub errors: usize,
+    /// Latencies of admitted (non-shed) answers, microseconds, sorted.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock time the run actually took.
+    pub elapsed: Duration,
+}
+
+impl BenchReport {
+    /// Total requests that got any HTTP answer.
+    pub fn answered(&self) -> usize {
+        self.ok + self.shed + self.exhausted
+    }
+
+    /// Admitted-request latency percentile (`p` in `0..=100`), in
+    /// microseconds.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[rank.min(self.latencies_us.len() - 1)]
+    }
+
+    /// Answered requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.answered() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Shed fraction of all answered requests.
+    pub fn shed_rate(&self) -> f64 {
+        if self.answered() == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.answered() as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} answered in {:.2?} ({:.0} req/s): {} ok, {} shed ({:.1}%), {} exhausted, {} \
+             transport errors; admitted p50={}us p95={}us p99={}us",
+            self.answered(),
+            self.elapsed,
+            self.throughput(),
+            self.ok,
+            self.shed,
+            self.shed_rate() * 100.0,
+            self.exhausted,
+            self.errors,
+            self.percentile_us(50.0),
+            self.percentile_us(95.0),
+            self.percentile_us(99.0),
+        )
+    }
+}
+
+/// Run the closed loop against a live server and aggregate every client's
+/// counts.
+pub fn run(cfg: &BenchConfig) -> BenchReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    // Spread starting offsets across the whole query stream: clients
+    // launched one position apart would convoy on the same entries (the
+    // trailer always hitting what the leader just cached), which makes
+    // every cold query look warm.
+    let stride = (cfg.queries.len() / cfg.clients.max(1)).max(1);
+    for c in 0..cfg.clients.max(1) {
+        let stop = Arc::clone(&stop);
+        let addr = cfg.addr.clone();
+        let queries = cfg.queries.clone();
+        let tenants = cfg.tenants.clone();
+        let honor_retry_after = cfg.honor_retry_after;
+        handles.push(std::thread::spawn(move || {
+            let mut report = BenchReport::default();
+            let mut client = match Client::connect(&addr, Duration::from_secs(10)) {
+                Ok(c) => c,
+                Err(_) => {
+                    report.errors += 1;
+                    return report;
+                }
+            };
+            let tenant = tenants[c % tenants.len()].clone();
+            let mut i = c * stride;
+            while !stop.load(Ordering::Relaxed) {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                let t0 = Instant::now();
+                match client.request(
+                    "POST",
+                    "/query",
+                    &[("X-Tenant", tenant.as_str())],
+                    q.as_bytes(),
+                ) {
+                    Ok(resp) => match resp.status {
+                        200 => {
+                            report.ok += 1;
+                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        429 | 503 => {
+                            report.shed += 1;
+                            if honor_retry_after {
+                                let secs = resp
+                                    .header("Retry-After")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                    .unwrap_or(1);
+                                // Sleep in slices so the run's stop flag
+                                // still ends the client promptly.
+                                let until = Instant::now() + Duration::from_secs(secs);
+                                while Instant::now() < until && !stop.load(Ordering::Relaxed) {
+                                    std::thread::sleep(Duration::from_millis(20));
+                                }
+                            }
+                        }
+                        408 | 422 => {
+                            report.exhausted += 1;
+                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        _ => report.errors += 1,
+                    },
+                    Err(_) => {
+                        report.errors += 1;
+                        if client.reconnect().is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            report
+        }));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = BenchReport::default();
+    for h in handles {
+        if let Ok(part) = h.join() {
+            total.ok += part.ok;
+            total.shed += part.shed;
+            total.exhausted += part.exhausted;
+            total.errors += part.errors;
+            total.latencies_us.extend(part.latencies_us);
+        }
+    }
+    total.latencies_us.sort_unstable();
+    total.elapsed = started.elapsed();
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_a_known_distribution() {
+        let report = BenchReport {
+            ok: 100,
+            latencies_us: (1..=100).collect(),
+            elapsed: Duration::from_secs(1),
+            ..BenchReport::default()
+        };
+        assert_eq!(report.percentile_us(0.0), 1);
+        assert_eq!(report.percentile_us(50.0), 51);
+        assert_eq!(report.percentile_us(100.0), 100);
+        assert_eq!(report.answered(), 100);
+        assert!((report.throughput() - 100.0).abs() < 1.0);
+        assert!(report.summary().contains("100 ok"));
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let report = BenchReport::default();
+        assert_eq!(report.percentile_us(99.0), 0);
+        assert_eq!(report.shed_rate(), 0.0);
+    }
+}

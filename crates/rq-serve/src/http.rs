@@ -1,0 +1,431 @@
+//! A minimal, dependency-free HTTP/1.1 layer: enough of the protocol to
+//! serve and drive the front-end, and nothing more.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! persistent connections (`Connection: close` honored both ways),
+//! percent-free query strings (`/poll?id=7`). Not supported — and
+//! rejected with structured errors rather than undefined behavior —
+//! chunked request bodies, header/body sizes beyond the configured caps,
+//! and HTTP/2 preambles. Responses are always written with an explicit
+//! `Content-Length` so clients can pipeline over keep-alive connections.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/poll`).
+    pub path: String,
+    /// Decoded `k=v` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header pairs with lowercased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8, or an error suitable for a 400 response.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("body is not UTF-8"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before (or mid-) request — the
+    /// normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// Read timed out or failed at the socket level.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// Head or body exceeded the configured size caps.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Read one request from a buffered stream. Returns [`HttpError::Closed`]
+/// on clean EOF before the first byte (keep-alive session over).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    let mut line = String::new();
+    // Request line.
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(HttpError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let request_line = line.trim_end().to_string();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(HttpError::Malformed("EOF inside headers")),
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without a colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Body.
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.to_ascii_lowercase().contains("chunked"))
+    {
+        return Err(HttpError::Malformed("chunked request bodies unsupported"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Write one response with `Content-Length` framing. `extra_headers` are
+/// emitted verbatim (e.g. `("Retry-After", "2")`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A parsed response, as seen by the tiny client below.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as (lossy) UTF-8.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client over one keep-alive connection.
+/// Used by the closed-loop bench driver and the test suites; it speaks
+/// exactly the dialect the server emits.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7878`) with one read/write
+    /// timeout for every exchange.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            addr: addr.to_string(),
+            timeout,
+        })
+    }
+
+    /// Reconnect in place (used after the server closes a connection).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        *self = Client::connect(&self.addr, self.timeout)?;
+        Ok(())
+    }
+
+    /// Send one request and read the response. `headers` are emitted
+    /// verbatim in addition to `Host` and `Content-Length`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rq-serve\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (k, v) in headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("EOF inside response headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = trimmed.split_once(':') {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let len = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| bad("response without Content-Length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a request and response through a real socket pair.
+    #[test]
+    fn request_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let req = read_request(&mut reader).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/query");
+            assert_eq!(req.query_param("x"), Some("1"));
+            assert_eq!(req.header("x-tenant"), Some("acme"));
+            assert_eq!(req.body_utf8().unwrap(), "a+");
+            let mut stream = reader.into_inner();
+            write_response(
+                &mut stream,
+                200,
+                "application/json",
+                &[("Retry-After", "2".to_string())],
+                b"{\"ok\":true}",
+                false,
+            )
+            .unwrap();
+            // Second request on the same connection (keep-alive).
+            let mut reader = BufReader::new(stream);
+            let req = read_request(&mut reader).unwrap();
+            assert_eq!(req.method, "GET");
+            let mut stream = reader.into_inner();
+            write_response(&mut stream, 404, "text/plain", &[], b"nope", true).unwrap();
+        });
+        let mut client = Client::connect(&addr, Duration::from_secs(5)).unwrap();
+        let resp = client
+            .request("POST", "/query?x=1", &[("X-Tenant", "acme")], b"a+")
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.text(), "{\"ok\":true}");
+        let resp = client.request("GET", "/miss", &[], b"").unwrap();
+        assert_eq!(resp.status, 404);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                assert!(read_request(&mut reader).is_err());
+            }
+        });
+        for raw in [
+            "NOT-HTTP\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nonsense\r\n\r\n",
+        ] {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            drop(s);
+        }
+        server.join().unwrap();
+    }
+}

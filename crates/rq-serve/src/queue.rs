@@ -1,0 +1,201 @@
+//! A bounded submission queue with explicit load-shedding.
+//!
+//! The queue is the server's *only* buffer between admission and
+//! execution, and it is bounded by construction: when it is full the push
+//! fails **immediately** with the depth observed (so the caller can shed
+//! with a `Retry-After` derived from it) instead of growing a hidden
+//! backlog. Draining stops admission while letting workers finish the
+//! backlog; `take_all` empties whatever is left at the drain deadline so
+//! every queued request is answered, never leaked.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    admitting: bool,
+    closed: bool,
+}
+
+/// Why a push was refused. The rejected item is returned to the caller
+/// so it can be answered (shed responses still carry the request id).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; `depth` is the length observed.
+    Full {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The rejected item, returned to the caller.
+        item: T,
+    },
+    /// The server is draining; no new work is admitted.
+    Draining(
+        /// The rejected item, returned to the caller.
+        T,
+    ),
+}
+
+/// A mutex+condvar MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    notify: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (≥ 1 enforced by
+    /// [`crate::ServeConfig::validate`]).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                admitting: true,
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue, or shed. On success returns the queue depth *after* the
+    /// push (≥ 1), the caller's backpressure signal.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock();
+        if !inner.admitting || inner.closed {
+            return Err(PushError::Draining(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: inner.items.len(),
+                item,
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.notify.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// empty (`None`: the worker should exit). Queued items are still
+    /// handed out after close, so a close never abandons admitted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.notify.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop admitting new items (pushes fail `Draining`); queued items
+    /// keep flowing to workers.
+    pub fn stop_admitting(&self) {
+        self.lock().admitting = false;
+        self.notify.notify_all();
+    }
+
+    /// Close the queue: workers exit once the backlog is empty.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.admitting = false;
+        inner.closed = true;
+        drop(inner);
+        self.notify.notify_all();
+    }
+
+    /// Remove and return everything still queued (the drain-deadline
+    /// path: the caller answers each with a structured cancellation).
+    pub fn take_all(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.items.drain(..).collect()
+    }
+
+    /// Current backlog length.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether new items are currently admitted.
+    pub fn is_admitting(&self) -> bool {
+        let inner = self.lock();
+        inner.admitting && !inner.closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        match q.push(3) {
+            Err(PushError::Full { depth, item }) => {
+                assert_eq!(depth, 2);
+                assert_eq!(item, 3);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn drain_stops_admission_but_serves_backlog() {
+        let q = BoundedQueue::new(8);
+        q.push("queued").unwrap();
+        q.stop_admitting();
+        assert!(matches!(q.push("late"), Err(PushError::Draining("late"))));
+        assert!(!q.is_admitting());
+        // Backlog still flows.
+        assert_eq!(q.pop(), Some("queued"));
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn take_all_empties_the_backlog() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.stop_admitting();
+        assert_eq!(q.take_all(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn workers_exit_on_close_after_backlog() {
+        let q = Arc::new(BoundedQueue::new(64));
+        for i in 0..32 {
+            q.push(i).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut seen = 0;
+                while q.pop().is_some() {
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        q.close();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 32, "every queued item was handed to some worker");
+    }
+}

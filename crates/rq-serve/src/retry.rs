@@ -1,0 +1,186 @@
+//! Retry semantics: decorrelated-jitter backoff under a global retry
+//! budget.
+//!
+//! Queries are idempotent (pure reads over an immutable graph), so an
+//! `Unknown`/exhausted outcome may be retried safely — but retries are
+//! *amplification* under overload, so they are only allowed while a
+//! global budget is in credit. The budget earns a fraction of a token per
+//! success and spends a whole token per retry (the classic ≤10%-of-
+//! successes rule), so a healthy server retries freely and an overloaded
+//! one degrades to single attempts instead of a retry storm.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+/// Per-request retry knobs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial try.
+    pub max_retries: u32,
+    /// Backoff floor.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Deterministic xorshift64* generator — seeded per request, so a chaos
+/// run with a fixed [`crate::FaultPlan`] seed replays the same backoff
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator (`seed` must not matter beyond reproducibility;
+    /// zero is mapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[lo, hi)` (`hi > lo`).
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// The decorrelated-jitter schedule: each delay is drawn uniformly from
+/// `[base, 3 × previous]`, clamped to `[base, cap]`. Independent clients
+/// spread out instead of synchronizing into retry waves.
+pub fn decorrelated_jitter(policy: &RetryPolicy, rng: &mut Rng, previous: Duration) -> Duration {
+    let base = policy.base.as_micros().max(1) as u64;
+    let cap = policy.cap.as_micros().max(1) as u64;
+    let prev = previous.as_micros().max(base as u128) as u64;
+    let hi = prev.saturating_mul(3).clamp(base + 1, cap.max(base + 1));
+    Duration::from_micros(rng.uniform(base, hi.max(base + 1)))
+}
+
+/// A global retry budget in tenths of a token: a success deposits 1
+/// tenth (capped), a retry withdraws 10. Starts full so cold-start
+/// exhaustion can still retry.
+pub struct RetryBudget {
+    tenths: AtomicI64,
+    cap_tenths: i64,
+}
+
+impl RetryBudget {
+    /// A budget allowing at most `cap` outstanding retries' worth of
+    /// credit.
+    pub fn new(cap: u32) -> RetryBudget {
+        let cap_tenths = i64::from(cap) * 10;
+        RetryBudget {
+            tenths: AtomicI64::new(cap_tenths),
+            cap_tenths,
+        }
+    }
+
+    /// Record a successful request (earns 0.1 retry).
+    pub fn record_success(&self) {
+        let cap = self.cap_tenths;
+        let _ = self
+            .tenths
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some((v + 1).min(cap))
+            });
+    }
+
+    /// Try to spend one retry; `false` means the budget is exhausted and
+    /// the caller must surface the last outcome instead of retrying.
+    pub fn try_spend(&self) -> bool {
+        self.tenths
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                if v >= 10 {
+                    Some(v - 10)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Remaining whole retries.
+    pub fn remaining(&self) -> u32 {
+        (self.tenths.load(Ordering::Relaxed).max(0) / 10) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_bounds_and_varies() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        };
+        let mut rng = Rng::new(42);
+        let mut prev = policy.base;
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let d = decorrelated_jitter(&policy, &mut rng, prev);
+            assert!(d >= policy.base, "{d:?}");
+            assert!(d <= policy.cap, "{d:?}");
+            distinct.insert(d.as_micros());
+            prev = d;
+        }
+        assert!(distinct.len() > 10, "jitter must actually jitter");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let policy = RetryPolicy::default();
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut prev = policy.base;
+            (0..10)
+                .map(|_| {
+                    prev = decorrelated_jitter(&policy, &mut rng, prev);
+                    prev.as_micros()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "deterministic under a fixed seed");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn budget_spends_and_earns() {
+        let b = RetryBudget::new(2);
+        assert_eq!(b.remaining(), 2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "budget exhausted");
+        // Ten successes earn one retry back.
+        for _ in 0..10 {
+            b.record_success();
+        }
+        assert_eq!(b.remaining(), 1);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        // Earnings cap at the configured ceiling.
+        for _ in 0..1000 {
+            b.record_success();
+        }
+        assert_eq!(b.remaining(), 2);
+    }
+}

@@ -1,0 +1,1472 @@
+//! The front-end proper: admission, execution, recovery, and drain.
+//!
+//! One accept loop feeds per-connection handler threads; handlers admit
+//! requests (tenant bucket, then bounded queue) and park on a
+//! [`JobCell`]; serve workers pop jobs and execute them against the
+//! engine under `catch_unwind`, per-request budgets, and the retry
+//! policy. Every admitted job is answered exactly once — by its worker,
+//! or by the drain sweep that empties the queue at the deadline. The
+//! failure ladder is: shed at admission (429/503) → retry within budget →
+//! partial exhaustion report (422) → contained panic (500) — the process
+//! itself never goes down with a request.
+
+use crate::bucket::{Admission, TenantBuckets};
+use crate::config::{ConfigError, ServeConfig};
+use crate::faults::{Fault, FaultSite};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::retry::{decorrelated_jitter, RetryBudget, Rng};
+use rq_analyze::Json;
+use rq_automata::governor::{EngineError, Exhaustion, Limits, Resource};
+use rq_engine::Engine;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on admitted-but-unpolled async jobs.
+const MAX_ASYNC_JOBS: usize = 1024;
+/// Extra wait past a request's deadline before the handler gives up on
+/// its worker (it should answer within one governor poll of the
+/// cancellation flag).
+const STUCK_GRACE: Duration = Duration::from_secs(60);
+
+/// A one-shot mailbox the handler parks on and the worker (or the drain
+/// sweep) fulfills exactly once.
+struct JobCell {
+    slot: Mutex<Option<(u16, String)>>,
+    ready: Condvar,
+}
+
+impl JobCell {
+    fn new() -> Arc<JobCell> {
+        Arc::new(JobCell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the response. First writer wins; a late worker result after
+    /// a drain sweep already answered is dropped silently.
+    fn fulfill(&self, status: u16, body: String) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some((status, body));
+            self.ready.notify_all();
+        }
+    }
+
+    /// Block until fulfilled or `deadline` passes.
+    fn wait_until(&self, deadline: Instant) -> Option<(u16, String)> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(resp) = slot.clone() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking peek (the `/poll` path).
+    fn peek(&self) -> Option<(u16, String)> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// One admitted request travelling from handler to worker.
+struct Job {
+    id: u64,
+    text: String,
+    fuel: u64,
+    deadline: Instant,
+    cancel: Arc<AtomicBool>,
+    cell: Arc<JobCell>,
+}
+
+/// What a finished drain observed.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Jobs still queued at the drain deadline, answered `error[draining]`.
+    pub swept: usize,
+    /// Jobs in flight at the drain deadline whose cancellation flag was
+    /// raised.
+    pub cancelled: usize,
+    /// Whether the backlog fully drained before the deadline.
+    pub clean: bool,
+    /// Wall-clock time the drain took.
+    pub elapsed: Duration,
+    /// Final metrics exposition, rendered after the last job was answered
+    /// (the "final flush" a scraper would otherwise miss).
+    pub metrics: String,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    engine: Arc<Engine>,
+    queue: BoundedQueue<Job>,
+    buckets: TenantBuckets,
+    budget: RetryBudget,
+    /// Cancellation flags of jobs currently executing, by job id.
+    inflight: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    /// Async (`/submit`) jobs awaiting `/poll`, by job id.
+    async_jobs: Mutex<HashMap<u64, Arc<JobCell>>>,
+    next_id: AtomicU64,
+    /// Monotone fault-decision sequence (shared across sites).
+    fault_seq: AtomicU64,
+    open_conns: AtomicUsize,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    started: Instant,
+}
+
+/// A running front-end. Dropping the handle does **not** stop the server;
+/// call [`Server::drain`] (or [`Server::shutdown`]) for an orderly exit.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Validate `cfg`, bind the listener, and start the accept loop plus
+    /// `cfg.workers` serve workers.
+    pub fn start(engine: Engine, cfg: ServeConfig) -> Result<Server, ConfigError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ConfigError {
+            message: format!("cannot bind {}: {e}", cfg.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ConfigError {
+            message: format!("cannot resolve bound address: {e}"),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| ConfigError {
+            message: format!("cannot set the listener non-blocking: {e}"),
+        })?;
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            buckets: TenantBuckets::new(cfg.quota.clone()),
+            budget: RetryBudget::new(cfg.retry.max_retries.max(1) * 8),
+            inflight: Mutex::new(HashMap::new()),
+            async_jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            fault_seq: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            started: Instant::now(),
+            engine: Arc::new(engine),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rq-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("rq-serve-accept".to_string())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Whether a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drain: stop admitting, let workers finish the backlog,
+    /// and at `drain_deadline` cancel in-flight evaluations and answer
+    /// everything still queued with `error[draining]`. Idempotent; blocks
+    /// until the drain completes and returns what it observed.
+    pub fn drain(&self) -> DrainReport {
+        drain(&self.inner)
+    }
+
+    /// Drain, then join every thread the server owns.
+    pub fn shutdown(mut self) -> DrainReport {
+        let report = self.drain();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Handler threads are detached; give them one idle-timeout tick to
+        // notice `stopped` and hang up.
+        let waited = Instant::now();
+        while self.inner.open_conns.load(Ordering::SeqCst) > 0
+            && waited.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        report
+    }
+}
+
+fn drain(inner: &Arc<Inner>) -> DrainReport {
+    let start = Instant::now();
+    if inner.draining.swap(true, Ordering::SeqCst) {
+        // A concurrent drain is (or was) already running; wait it out.
+        while !inner.stopped.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        return DrainReport {
+            swept: 0,
+            cancelled: 0,
+            clean: true,
+            elapsed: start.elapsed(),
+            metrics: rq_metrics::global().render(),
+        };
+    }
+    metrics::draining(true);
+    inner.queue.stop_admitting();
+    // Phase 1: let the backlog and in-flight work finish on their own.
+    let deadline = start + inner.cfg.drain_deadline;
+    while Instant::now() < deadline {
+        let idle = inner.queue.depth() == 0
+            && inner
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+        if idle {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Phase 2 (deadline): cancel whatever is still running and answer
+    // whatever is still queued. Nothing is abandoned.
+    let cancelled = {
+        let inflight = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        for flag in inflight.values() {
+            flag.store(true, Ordering::SeqCst);
+        }
+        inflight.len()
+    };
+    let swept_jobs = inner.queue.take_all();
+    let swept = swept_jobs.len();
+    for job in swept_jobs {
+        metrics::shed("draining");
+        job.cell.fulfill(
+            503,
+            error_body(
+                job.id,
+                "draining",
+                "server drained before this job ran",
+                vec![],
+            ),
+        );
+    }
+    // Wait (briefly) for cancelled workers to report in, then stop.
+    let grace = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < grace {
+        if inner
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    inner.queue.close();
+    inner.stopped.store(true, Ordering::SeqCst);
+    metrics::queue_depth(0);
+    DrainReport {
+        swept,
+        cancelled,
+        clean: swept == 0 && cancelled == 0,
+        elapsed: start.elapsed(),
+        metrics: rq_metrics::global().render(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and connection handling
+// ---------------------------------------------------------------------------
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.open_conns.load(Ordering::SeqCst) >= inner.cfg.max_connections {
+                    metrics::shed("connections");
+                    let mut stream = stream;
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1".to_string())],
+                        error_body(0, "overload", "connection limit reached", vec![]).as_bytes(),
+                        true,
+                    );
+                    continue;
+                }
+                inner.open_conns.fetch_add(1, Ordering::SeqCst);
+                let inner = Arc::clone(inner);
+                let _ = std::thread::Builder::new()
+                    .name("rq-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(&inner, stream);
+                        inner.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.cfg.idle_timeout));
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive tick: hang up once the server stopped so
+                // shutdown is not held open by parked clients.
+                if inner.stopped.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                // Malformed or oversized: answer once, then hang up.
+                let status = match e {
+                    HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let body = error_body(0, "invalid", &e.to_string(), vec![]);
+                let stream = reader.get_mut();
+                let _ = write_response(
+                    stream,
+                    status,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    true,
+                );
+                return;
+            }
+        };
+        // Injected I/O fault: delay the exchange or drop the connection.
+        match decide_fault(inner, FaultSite::Io) {
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Panic) => return, // simulated connection loss
+            _ => {}
+        }
+        let close = req.wants_close();
+        let resp = dispatch(inner, &req);
+        let stream = reader.get_mut();
+        if write_response(
+            stream,
+            resp.status,
+            resp.content_type,
+            &resp.headers,
+            resp.body.as_bytes(),
+            close,
+        )
+        .is_err()
+            || close
+        {
+            return;
+        }
+    }
+}
+
+struct Resp {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Resp {
+    fn json(status: u16, body: String) -> Resp {
+        Resp {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn with_retry_after(mut self, after: Duration) -> Resp {
+        let secs = after.as_secs_f64().ceil().max(1.0) as u64;
+        self.headers.push(("Retry-After", secs.to_string()));
+        self
+    }
+}
+
+fn dispatch(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let start = Instant::now();
+    let endpoint = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => "query",
+        ("POST", "/submit") => "submit",
+        ("GET", "/poll") => "poll",
+        ("POST", "/stream") => "stream",
+        ("POST", "/lint") => "lint",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/healthz") => "healthz",
+        ("POST", "/drainz") => "drainz",
+        _ => "other",
+    };
+    metrics::request(endpoint);
+    let resp = match endpoint {
+        "query" => query_sync(inner, req),
+        "submit" => submit_async(inner, req),
+        "poll" => poll(inner, req),
+        "stream" => stream(inner, req),
+        "lint" => lint(inner, req),
+        "metrics" => Resp {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: rq_metrics::global().render(),
+        },
+        "healthz" => healthz(inner),
+        "drainz" => drainz(inner),
+        _ => Resp::json(404, error_body(0, "invalid", "no such endpoint", vec![])),
+    };
+    metrics::latency(start.elapsed());
+    resp
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+/// Parse the per-request knobs: tenants identify themselves with
+/// `X-Tenant`; `X-Fuel` and `X-Timeout-Ms` may lower (never raise) the
+/// configured budgets.
+fn request_knobs(inner: &Inner, req: &Request) -> (String, u64, Duration) {
+    let tenant = req.header("x-tenant").unwrap_or("anonymous").to_string();
+    let fuel = req
+        .header("x-fuel")
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&f| f > 0)
+        .map_or(inner.cfg.request_fuel, |f| f.min(inner.cfg.request_fuel));
+    let timeout = req
+        .header("x-timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map_or(inner.cfg.request_timeout, |ms| {
+            Duration::from_millis(ms).min(inner.cfg.request_timeout)
+        });
+    (tenant, fuel, timeout)
+}
+
+/// Admit one query body: tenant bucket, then bounded queue. On success the
+/// job is enqueued and its cell returned; on shed, the structured refusal.
+fn admit(inner: &Arc<Inner>, req: &Request, text: &str) -> Result<(u64, Arc<JobCell>), Resp> {
+    let (tenant, fuel, timeout) = request_knobs(inner, req);
+    if text.trim().is_empty() {
+        return Err(Resp::json(
+            400,
+            error_body(0, "invalid", "empty query body", vec![]),
+        ));
+    }
+    if inner.draining.load(Ordering::SeqCst) {
+        metrics::shed("draining");
+        return Err(Resp::json(
+            503,
+            error_body(0, "draining", "server is draining", vec![]),
+        ));
+    }
+    match inner.buckets.admit(&tenant, fuel, Instant::now()) {
+        Admission::Admitted => {}
+        Admission::Throttled(after) => {
+            metrics::shed("quota");
+            return Err(Resp::json(
+                429,
+                error_body(
+                    0,
+                    "quota",
+                    &format!("tenant {tenant:?} is over its fuel quota"),
+                    vec![("retry_after_ms", num(after.as_millis() as u64))],
+                ),
+            )
+            .with_retry_after(after));
+        }
+    }
+    let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+    let cell = JobCell::new();
+    let job = Job {
+        id,
+        text: text.to_string(),
+        fuel,
+        deadline: Instant::now() + timeout,
+        cancel: Arc::new(AtomicBool::new(false)),
+        cell: Arc::clone(&cell),
+    };
+    match inner.queue.push(job) {
+        Ok(depth) => {
+            metrics::queue_depth(depth);
+            Ok((id, cell))
+        }
+        Err(PushError::Full { depth, .. }) => {
+            metrics::shed("queue");
+            // Retry-After derived from the backlog: the time this many
+            // queued jobs need at worst-case service time per worker.
+            let per_job = inner.cfg.request_timeout.as_secs_f64();
+            let secs = (depth as f64 * per_job / inner.cfg.workers.max(1) as f64).clamp(1.0, 30.0);
+            Err(Resp::json(
+                429,
+                error_body(
+                    id,
+                    "overload",
+                    "submission queue is full",
+                    vec![("queue_depth", num(depth as u64))],
+                ),
+            )
+            .with_retry_after(Duration::from_secs_f64(secs)))
+        }
+        Err(PushError::Draining(_)) => {
+            metrics::shed("draining");
+            Err(Resp::json(
+                503,
+                error_body(id, "draining", "server is draining", vec![]),
+            ))
+        }
+    }
+}
+
+fn query_sync(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let text = match req.body_utf8() {
+        Ok(t) => t.to_string(),
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    let (_, _, timeout) = request_knobs(inner, req);
+    let (id, cell) = match admit(inner, req, &text) {
+        Ok(ok) => ok,
+        Err(resp) => return resp,
+    };
+    // The worker enforces the deadline via its governor; the handler just
+    // waits it out, plus a stuck-grace that only trips if a worker failed
+    // to answer at all (which `catch_unwind` + the drain sweep prevent).
+    let deadline = Instant::now() + timeout + STUCK_GRACE;
+    match cell.wait_until(deadline) {
+        Some((status, body)) => Resp::json(status, body),
+        None => Resp::json(
+            500,
+            error_body(id, "internal", "worker never answered", vec![]),
+        ),
+    }
+}
+
+fn submit_async(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let text = match req.body_utf8() {
+        Ok(t) => t.to_string(),
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    {
+        let jobs = inner.async_jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if jobs.len() >= MAX_ASYNC_JOBS {
+            metrics::shed("queue");
+            return Resp::json(
+                429,
+                error_body(0, "overload", "too many unpolled async jobs", vec![]),
+            )
+            .with_retry_after(Duration::from_secs(1));
+        }
+    }
+    match admit(inner, req, &text) {
+        Ok((id, cell)) => {
+            inner
+                .async_jobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, cell);
+            Resp::json(
+                202,
+                Json::Obj(vec![
+                    ("id".to_string(), num(id)),
+                    ("done".to_string(), Json::Bool(false)),
+                ])
+                .emit(),
+            )
+        }
+        Err(resp) => resp,
+    }
+}
+
+fn poll(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let id = match req.query_param("id").and_then(|v| v.parse::<u64>().ok()) {
+        Some(id) => id,
+        None => {
+            return Resp::json(
+                400,
+                error_body(0, "invalid", "poll requires ?id=<job id>", vec![]),
+            )
+        }
+    };
+    let mut jobs = inner.async_jobs.lock().unwrap_or_else(|e| e.into_inner());
+    match jobs.get(&id) {
+        None => Resp::json(404, error_body(id, "invalid", "unknown job id", vec![])),
+        Some(cell) => match cell.peek() {
+            // Delivery is one-shot: the entry is dropped once the result
+            // has been handed out, so the async table cannot leak.
+            Some((status, body)) => {
+                jobs.remove(&id);
+                Resp::json(status, body)
+            }
+            None => Resp::json(
+                202,
+                Json::Obj(vec![
+                    ("id".to_string(), num(id)),
+                    ("done".to_string(), Json::Bool(false)),
+                ])
+                .emit(),
+            ),
+        },
+    }
+}
+
+/// JSON-lines batch: one query per input line, one result object per
+/// output line, each line going through full admission independently — so
+/// a drain or shed mid-batch answers the remaining lines structurally
+/// instead of dropping them.
+fn stream(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let text = match req.body_utf8() {
+        Ok(t) => t.to_string(),
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    let (_, _, timeout) = request_knobs(inner, req);
+    let mut lines = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let line_resp = match admit(inner, req, line) {
+            Ok((id, cell)) => match cell.wait_until(Instant::now() + timeout + STUCK_GRACE) {
+                Some((_, body)) => body,
+                None => error_body(id, "internal", "worker never answered", vec![]),
+            },
+            Err(resp) => resp.body,
+        };
+        lines.push(line_resp);
+    }
+    lines.push(String::new()); // trailing newline
+    Resp {
+        status: 200,
+        content_type: "application/jsonl",
+        headers: Vec::new(),
+        body: lines.join("\n"),
+    }
+}
+
+fn lint(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let text = match req.body_utf8() {
+        Ok(t) => t,
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    let q = match inner.engine.parse(text) {
+        Ok(q) => q,
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    let alphabet = inner.engine.alphabet();
+    let report = rq_analyze::lint_two_rpq(&q, &alphabet, &inner.engine.config().cache.probe_limits);
+    Resp::json(200, report.to_json().emit())
+}
+
+fn healthz(inner: &Arc<Inner>) -> Resp {
+    let status = if inner.stopped.load(Ordering::SeqCst) {
+        "stopped"
+    } else if inner.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Resp::json(
+        200,
+        Json::Obj(vec![
+            ("status".to_string(), Json::Str(status.to_string())),
+            (
+                "degraded".to_string(),
+                Json::Bool(inner.engine.is_degraded()),
+            ),
+            ("queue_depth".to_string(), num(inner.queue.depth() as u64)),
+            ("tenants".to_string(), num(inner.buckets.tenants() as u64)),
+            (
+                "retry_budget".to_string(),
+                num(u64::from(inner.budget.remaining())),
+            ),
+            (
+                "uptime_ms".to_string(),
+                num(inner.started.elapsed().as_millis() as u64),
+            ),
+        ])
+        .emit(),
+    )
+}
+
+fn drainz(inner: &Arc<Inner>) -> Resp {
+    let already = inner.draining.load(Ordering::SeqCst);
+    if !already {
+        let inner = Arc::clone(inner);
+        let _ = std::thread::Builder::new()
+            .name("rq-serve-drain".to_string())
+            .spawn(move || {
+                drain(&inner);
+            });
+    }
+    Resp::json(
+        202,
+        Json::Obj(vec![
+            ("draining".to_string(), Json::Bool(true)),
+            ("already".to_string(), Json::Bool(already)),
+        ])
+        .emit(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some(job) = inner.queue.pop() {
+        metrics::queue_depth(inner.queue.depth());
+        inner
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.id, Arc::clone(&job.cancel));
+        metrics::inflight(1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &job)));
+        let (status, body) = outcome.unwrap_or_else(|_| {
+            metrics::job_panic();
+            (
+                500,
+                error_body(
+                    job.id,
+                    "internal",
+                    "request evaluation panicked (contained; other requests unaffected)",
+                    vec![],
+                ),
+            )
+        });
+        inner
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.id);
+        metrics::inflight(-1);
+        job.cell.fulfill(status, body);
+    }
+}
+
+fn decide_fault(inner: &Inner, site: FaultSite) -> Option<Fault> {
+    let fault = inner
+        .cfg
+        .faults
+        .decide(site, inner.fault_seq.fetch_add(1, Ordering::Relaxed));
+    if let Some(f) = fault {
+        metrics::fault_injected(match f {
+            Fault::Panic => "panic",
+            Fault::Delay(_) => "delay",
+            Fault::Starve => "starve",
+        });
+    }
+    fault
+}
+
+/// Execute one admitted job: parse, then evaluate under the per-request
+/// budget with idempotent retries of exhausted outcomes. Every exit path
+/// returns a structured body; panics (real or injected) escape to the
+/// worker's `catch_unwind`.
+fn execute(inner: &Arc<Inner>, job: &Job) -> (u16, String) {
+    let started = Instant::now();
+    if job.cancel.load(Ordering::SeqCst) {
+        return if inner.draining.load(Ordering::SeqCst) {
+            (
+                503,
+                error_body(job.id, "draining", "cancelled before execution", vec![]),
+            )
+        } else {
+            metrics::deadline_timeout();
+            (
+                408,
+                error_body(job.id, "deadline", "cancelled before execution", vec![]),
+            )
+        };
+    }
+    if Instant::now() >= job.deadline {
+        metrics::deadline_timeout();
+        return (
+            408,
+            error_body(job.id, "deadline", "deadline expired in the queue", vec![]),
+        );
+    }
+    let q = match inner.engine.parse(&job.text) {
+        Ok(q) => q,
+        Err(e) => return (400, error_body(job.id, "invalid", &e.to_string(), vec![])),
+    };
+    let mut rng = Rng::new(inner.cfg.faults.seed ^ job.id);
+    let mut attempts = 0u32;
+    let mut previous_delay = inner.cfg.retry.base;
+    loop {
+        attempts += 1;
+        let mut fuel = job.fuel;
+        // Injected faults, per attempt: the pool site may panic, stall, or
+        // starve the whole attempt; the cache-probe site starves the fuel
+        // budget so the exhaustion/retry machinery gets exercised.
+        match decide_fault(inner, FaultSite::Pool) {
+            Some(Fault::Panic) => panic!("injected fault: pool panic (job {})", job.id),
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Starve) => fuel = 1,
+            None => {}
+        }
+        if matches!(
+            decide_fault(inner, FaultSite::CacheProbe),
+            Some(Fault::Starve | Fault::Panic)
+        ) {
+            fuel = 1;
+        }
+        let now = Instant::now();
+        if now >= job.deadline {
+            metrics::deadline_timeout();
+            return (
+                408,
+                error_body(
+                    job.id,
+                    "deadline",
+                    "deadline expired between attempts",
+                    vec![("attempts", num(u64::from(attempts)))],
+                ),
+            );
+        }
+        let limits = Limits::unlimited()
+            .with_fuel(fuel)
+            .with_deadline(job.deadline - now);
+        match inner
+            .engine
+            .run_with(&q, &limits, Some(Arc::clone(&job.cancel)))
+        {
+            Ok(result) => {
+                inner.budget.record_success();
+                return (200, success_body(inner, job.id, &result, attempts, started));
+            }
+            Err(EngineError::InvalidInput { message }) => {
+                return (400, error_body(job.id, "invalid", &message, vec![]))
+            }
+            Err(EngineError::Exhausted(e)) => match e.resource {
+                Resource::Cancelled => {
+                    // The flag is shared: a drain and a handler timeout
+                    // both land here; report whichever caused it.
+                    return if inner.draining.load(Ordering::SeqCst) {
+                        (
+                            503,
+                            error_body_with_exhaustion(
+                                job.id,
+                                "draining",
+                                "evaluation cancelled by drain",
+                                &e,
+                                attempts,
+                            ),
+                        )
+                    } else {
+                        metrics::deadline_timeout();
+                        (
+                            408,
+                            error_body_with_exhaustion(
+                                job.id,
+                                "deadline",
+                                "evaluation cancelled at the deadline",
+                                &e,
+                                attempts,
+                            ),
+                        )
+                    };
+                }
+                Resource::Deadline => {
+                    metrics::deadline_timeout();
+                    return (
+                        408,
+                        error_body_with_exhaustion(
+                            job.id,
+                            "deadline",
+                            "evaluation hit the request deadline",
+                            &e,
+                            attempts,
+                        ),
+                    );
+                }
+                // Fuel / states / tuples: idempotent and retryable while
+                // the retry budget, attempt cap, and deadline all allow.
+                _ => {
+                    let can_retry = attempts <= inner.cfg.retry.max_retries
+                        && Instant::now() < job.deadline
+                        && !inner.draining.load(Ordering::SeqCst);
+                    if can_retry {
+                        if inner.budget.try_spend() {
+                            metrics::retry();
+                            previous_delay =
+                                decorrelated_jitter(&inner.cfg.retry, &mut rng, previous_delay);
+                            let remaining = job.deadline.saturating_duration_since(Instant::now());
+                            std::thread::sleep(previous_delay.min(remaining));
+                            continue;
+                        }
+                        metrics::retry_budget_exhausted();
+                    }
+                    metrics::exhausted();
+                    // Partial result: the structured report of the budget
+                    // that tripped on the *last* attempt.
+                    return (
+                        422,
+                        error_body_with_exhaustion(
+                            job.id,
+                            "exhausted",
+                            "evaluation budget exhausted",
+                            &e,
+                            attempts,
+                        ),
+                    );
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire bodies
+// ---------------------------------------------------------------------------
+
+/// Cap on answer pairs inlined into a response body.
+const MAX_INLINE_PAIRS: usize = 100;
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn success_body(
+    inner: &Inner,
+    id: u64,
+    result: &rq_engine::QueryResult,
+    attempts: u32,
+    started: Instant,
+) -> String {
+    let pairs = result.answer.len();
+    let sample: Vec<Json> = result
+        .answer
+        .iter()
+        .take(MAX_INLINE_PAIRS)
+        .map(|&(x, y)| Json::Arr(vec![num(x.index() as u64), num(y.index() as u64)]))
+        .collect();
+    Json::Obj(vec![
+        ("id".to_string(), num(id)),
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "disposition".to_string(),
+            Json::Str(result.disposition.to_string()),
+        ),
+        ("pairs".to_string(), num(pairs as u64)),
+        ("sample".to_string(), Json::Arr(sample)),
+        (
+            "truncated".to_string(),
+            Json::Bool(pairs > MAX_INLINE_PAIRS),
+        ),
+        ("attempts".to_string(), num(u64::from(attempts))),
+        (
+            "degraded".to_string(),
+            Json::Bool(inner.engine.is_degraded()),
+        ),
+        (
+            "elapsed_us".to_string(),
+            num(started.elapsed().as_micros() as u64),
+        ),
+    ])
+    .emit()
+}
+
+fn error_body(id: u64, code: &str, message: &str, extra: Vec<(&str, Json)>) -> String {
+    let mut fields = vec![
+        ("id".to_string(), num(id)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(code.to_string())),
+        (
+            "message".to_string(),
+            Json::Str(format!("error[{code}]: {message}")),
+        ),
+    ];
+    fields.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(fields).emit()
+}
+
+/// The structured `ExhaustionReport` carried by partial-result responses.
+fn exhaustion_json(e: &Exhaustion) -> Json {
+    Json::Obj(vec![
+        ("resource".to_string(), Json::Str(e.resource.to_string())),
+        ("spent".to_string(), num(e.spent)),
+        ("limit".to_string(), num(e.limit)),
+        ("fuel_spent".to_string(), num(e.counters.fuel_spent)),
+        (
+            "states_constructed".to_string(),
+            num(e.counters.states_constructed),
+        ),
+        ("tuples_derived".to_string(), num(e.counters.tuples_derived)),
+        (
+            "elapsed_ms".to_string(),
+            num(e.counters.elapsed.as_millis() as u64),
+        ),
+    ])
+}
+
+fn error_body_with_exhaustion(
+    id: u64,
+    code: &str,
+    message: &str,
+    e: &Exhaustion,
+    attempts: u32,
+) -> String {
+    error_body(
+        id,
+        code,
+        message,
+        vec![
+            ("exhaustion", exhaustion_json(e)),
+            ("attempts", num(u64::from(attempts))),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+mod metrics {
+    use rq_metrics::{global, latency_buckets_us, Counter, Gauge, Histogram};
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::{Arc, OnceLock};
+    use std::time::Duration;
+
+    pub(super) fn request(endpoint: &str) {
+        static CELLS: OnceLock<[Arc<Counter>; 9]> = OnceLock::new();
+        const ENDPOINTS: [&str; 9] = [
+            "query", "submit", "poll", "stream", "lint", "metrics", "healthz", "drainz", "other",
+        ];
+        let cells = CELLS.get_or_init(|| {
+            ENDPOINTS.map(|e| {
+                global().counter_with(
+                    "rq_serve_requests_total",
+                    &[("endpoint", e)],
+                    "HTTP requests received, by endpoint",
+                )
+            })
+        });
+        let i = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(8);
+        cells[i].inc();
+    }
+
+    pub(super) fn shed(reason: &str) {
+        static CELLS: OnceLock<[Arc<Counter>; 4]> = OnceLock::new();
+        const REASONS: [&str; 4] = ["quota", "queue", "draining", "connections"];
+        let cells = CELLS.get_or_init(|| {
+            REASONS.map(|r| {
+                global().counter_with(
+                    "rq_serve_shed_total",
+                    &[("reason", r)],
+                    "Requests shed at admission, by reason",
+                )
+            })
+        });
+        let i = REASONS.iter().position(|r| *r == reason).unwrap_or(1);
+        cells[i].inc();
+    }
+
+    pub(super) fn latency(elapsed: Duration) {
+        static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().histogram(
+                "rq_serve_request_latency_us",
+                "End-to-end latency of one HTTP exchange, microseconds",
+                &latency_buckets_us(),
+            )
+        })
+        .observe(elapsed.as_micros() as u64);
+    }
+
+    pub(super) fn queue_depth(depth: usize) {
+        static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().gauge(
+                "rq_serve_queue_depth",
+                "Jobs admitted but not yet picked up by a serve worker",
+            )
+        })
+        .set(depth as u64);
+    }
+
+    pub(super) fn inflight(delta: i64) {
+        static COUNT: AtomicI64 = AtomicI64::new(0);
+        static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+        let now = COUNT.fetch_add(delta, Ordering::SeqCst) + delta;
+        CELL.get_or_init(|| {
+            global().gauge(
+                "rq_serve_inflight_jobs",
+                "Jobs currently executing on serve workers",
+            )
+        })
+        .set(now.max(0) as u64);
+    }
+
+    pub(super) fn retry() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_serve_retries_total",
+                "Exhausted evaluations retried with backoff",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn retry_budget_exhausted() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_serve_retry_budget_exhausted_total",
+                "Retries denied because the global retry budget was spent",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn exhausted() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_serve_exhausted_total",
+                "Requests answered with a partial exhaustion report (422)",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn deadline_timeout() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_serve_deadline_timeouts_total",
+                "Requests that hit their deadline (queued or mid-evaluation)",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn job_panic() {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_serve_job_panics_total",
+                "Request evaluations that panicked and were contained",
+            )
+        })
+        .inc();
+    }
+
+    pub(super) fn fault_injected(kind: &str) {
+        static CELLS: OnceLock<[Arc<Counter>; 3]> = OnceLock::new();
+        const KINDS: [&str; 3] = ["panic", "delay", "starve"];
+        let cells = CELLS.get_or_init(|| {
+            KINDS.map(|k| {
+                global().counter_with(
+                    "rq_serve_faults_injected_total",
+                    &[("kind", k)],
+                    "Faults injected by the active FaultPlan, by kind",
+                )
+            })
+        });
+        let i = KINDS.iter().position(|k| *k == kind).unwrap_or(0);
+        cells[i].inc();
+    }
+
+    pub(super) fn draining(on: bool) {
+        static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().gauge("rq_serve_draining", "1 once a graceful drain has started")
+        })
+        .set(u64::from(on));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Client;
+    use rq_engine::EngineConfig;
+    use rq_graph::generate;
+
+    fn test_server(cfg: ServeConfig) -> Server {
+        let db = generate::random_gnm(30, 90, &["a", "b"], 7);
+        let engine = Engine::new(
+            db,
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        );
+        Server::start(engine, cfg).unwrap()
+    }
+
+    fn client(server: &Server) -> Client {
+        Client::connect(&server.addr().to_string(), Duration::from_secs(10)).unwrap()
+    }
+
+    #[test]
+    fn query_round_trip_and_cache_disposition() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("disposition").and_then(Json::as_str), Some("miss"));
+        // Same query again: served from the cache.
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(
+            body.get("disposition").and_then(Json::as_str),
+            Some("exact")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_query_is_a_structured_400() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c.request("POST", "/query", &[], b"((((").unwrap();
+        assert_eq!(r.status, 400);
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("invalid"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_exhaustion_sheds_with_retry_after() {
+        let server = test_server(ServeConfig {
+            quota: crate::TenantQuota {
+                fuel_per_sec: 1,
+                burst_fuel: 200_000,
+            },
+            ..ServeConfig::default()
+        });
+        let mut c = client(&server);
+        // First request drains the burst; the second is throttled.
+        let r = c
+            .request("POST", "/query", &[("X-Tenant", "greedy")], b"a+")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        let r = c
+            .request("POST", "/query", &[("X-Tenant", "greedy")], b"b+")
+            .unwrap();
+        assert_eq!(r.status, 429);
+        assert!(r.header("retry-after").is_some());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("quota"));
+        // Another tenant is unaffected.
+        let r = c
+            .request("POST", "/query", &[("X-Tenant", "patient")], b"b+")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fuel_exhaustion_returns_the_report_after_retries() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        // X-Fuel lowers the budget below anything useful, so every attempt
+        // exhausts and the final answer carries the last report.
+        let r = c
+            .request("POST", "/query", &[("X-Fuel", "3")], b"(a|b)*")
+            .unwrap();
+        assert_eq!(r.status, 422, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("exhausted"));
+        let ex = body.get("exhaustion").expect("exhaustion report");
+        assert_eq!(ex.get("resource").and_then(Json::as_str), Some("fuel"));
+        assert_eq!(ex.get("limit").and_then(Json::as_u64), Some(3));
+        let attempts = body.get("attempts").and_then(Json::as_u64).unwrap();
+        assert!(attempts >= 1, "at least the initial attempt");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_poll_round_trip() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c.request("POST", "/submit", &[], b"a (a|b)*").unwrap();
+        assert_eq!(r.status, 202);
+        let id = Json::parse(&r.text())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_u64)
+            .unwrap();
+        // Poll until done.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = c
+                .request("GET", &format!("/poll?id={id}"), &[], b"")
+                .unwrap();
+            if r.status == 200 {
+                let body = Json::parse(&r.text()).unwrap();
+                assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+                break;
+            }
+            assert_eq!(r.status, 202);
+            assert!(Instant::now() < deadline, "job never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Delivery is one-shot.
+        let r = c
+            .request("GET", &format!("/poll?id={id}"), &[], b"")
+            .unwrap();
+        assert_eq!(r.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_serves_one_result_line_per_query_line() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c
+            .request("POST", "/stream", &[], b"a+\n(a|b)+\nb+\n")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        let lines: Vec<Json> = r
+            .text()
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert_eq!(line.get("ok"), Some(&Json::Bool(true)));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_lint_and_healthz_endpoints() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        c.request("POST", "/query", &[], b"a+").unwrap();
+        let r = c.request("GET", "/metrics", &[], b"").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().contains("rq_serve_requests_total"), "{}", r.text());
+        let r = c.request("POST", "/lint", &[], "a ∅ b".as_bytes()).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().contains("\"diagnostics\""), "{}", r.text());
+        let r = c.request("GET", "/healthz", &[], b"").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(body.get("degraded"), Some(&Json::Bool(false)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_answers_everything_and_stops_admitting() {
+        let server = test_server(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let mut c = client(&server);
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        assert_eq!(r.status, 200);
+        let report = server.drain();
+        assert!(report.clean, "{report:?}");
+        assert!(report.metrics.contains("rq_serve_draining 1"));
+        // Post-drain admission sheds with a structured 503.
+        let r = c.request("POST", "/query", &[], b"b+").unwrap();
+        assert_eq!(r.status, 503);
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("draining"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_queue_derived_retry_after() {
+        // One worker, a one-slot queue, and slow queries: concurrent
+        // submissions must shed rather than buffer without bound.
+        let server = test_server(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            request_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().to_string();
+        let mut sheds = 0;
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+                let r = c
+                    .request("POST", "/query", &[], b"(a|b)* a (a|b)*")
+                    .unwrap();
+                (r.status, r.header("retry-after").map(|v| v.to_string()))
+            }));
+        }
+        let mut answered = 0;
+        for h in handles {
+            let (status, retry_after) = h.join().unwrap();
+            match status {
+                200 | 408 | 422 => answered += 1,
+                429 => {
+                    sheds += 1;
+                    assert!(retry_after.is_some(), "shed responses carry Retry-After");
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        assert!(answered >= 1, "someone must be served");
+        assert!(sheds >= 1, "an 8-deep burst into a 1-slot queue must shed");
+        server.shutdown();
+    }
+}

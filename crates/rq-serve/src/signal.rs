@@ -1,0 +1,69 @@
+//! SIGTERM/SIGINT → graceful drain, with no libc crate.
+//!
+//! `std` already links the platform libc, so the two symbols we need —
+//! `signal(2)` and the handler registration — are declared here directly.
+//! The handler does the only async-signal-safe thing possible: store a
+//! relaxed atomic flag. The serving loop polls [`triggered`] and runs the
+//! drain from ordinary thread context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)`; the return value (the previous handler) is unused.
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+/// Install the termination handler for `SIGTERM` and `SIGINT`. Safe to
+/// call more than once; a no-op on non-Unix targets (where [`triggered`]
+/// simply never fires).
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGTERM, on_signal);
+        sys::signal(sys::SIGINT, on_signal);
+    }
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Reset the flag (tests; also lets a supervisor re-arm after a handled
+/// drain).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_sets_the_flag() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        install();
+        reset();
+        assert!(!triggered());
+        unsafe {
+            raise(super::sys::SIGTERM);
+        }
+        assert!(triggered());
+        reset();
+    }
+}

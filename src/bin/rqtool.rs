@@ -14,6 +14,8 @@
 //! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]
 //! rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
 //! rqtool lint <query|file|dir> [--goal=PRED] [--json]
+//! rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--faults=SPEC]
+//! rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]
 //! ```
 //!
 //! `lint` runs the `rq-analyze` passes: over an inline regex, a single
@@ -24,6 +26,22 @@
 //! enables the Datalog reachability lints. Failures to read or parse any
 //! input are reported as structured `error[io]:` / `error[parse]:` lines
 //! on stderr, never as panics.
+//!
+//! `serve` starts the `rq-serve` HTTP front-end over a graph: `POST
+//! /query` (sync), `POST /submit` + `GET /poll?id=N` (async), `POST
+//! /stream` (JSON-lines batch), `POST /lint`, `GET /metrics`, `GET
+//! /healthz`, and `POST /drainz`. Requests carry `X-Tenant`, `X-Fuel`,
+//! and `X-Timeout-Ms` headers; overload is shed with `429` +
+//! `Retry-After`. `SIGTERM`/`SIGINT` (or `/drainz`) triggers a graceful
+//! drain bounded by `--drain-ms`, ending with a final metrics flush on
+//! stderr. `--faults=seed=S,panic=PPM,delay=PPM,delay_ms=MS,starve=PPM`
+//! arms the deterministic fault-injection plan (needs `--features
+//! faults`). `bench-serve` starts a private server over the same graph
+//! and drives it with `--clients=N` closed-loop clients for
+//! `--duration-ms`, printing the shed rate and admitted-request
+//! latency percentiles (experiment E14). Shed clients honor the
+//! server's `Retry-After` before retrying unless `--no-backoff` is
+//! given.
 //!
 //! `serve-batch` reads one 2RPQ per line (blank lines and `#` comments
 //! skipped), serves the batch through the `rq-engine` semantic cache, and
@@ -96,7 +114,18 @@ fn main() -> ExitCode {
             || f.starts_with("--fuel=")
             || f.starts_with("--timeout-ms=")
             || f.starts_with("--threads=")
-            || f.starts_with("--cache-cap="))
+            || f.starts_with("--cache-cap=")
+            || f.starts_with("--addr=")
+            || f.starts_with("--workers=")
+            || f.starts_with("--queue-cap=")
+            || f.starts_with("--request-fuel=")
+            || f.starts_with("--drain-ms=")
+            || f.starts_with("--tenant-fuel-per-sec=")
+            || f.starts_with("--tenant-burst=")
+            || f.starts_with("--faults=")
+            || f.starts_with("--clients=")
+            || f.starts_with("--duration-ms=")
+            || f.as_str() == "--no-backoff")
     });
     if flags.iter().any(|f| *f == "--trace") {
         if regular_queries::metrics::trace::supported() {
@@ -130,6 +159,11 @@ fn main() -> ExitCode {
                 cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::MetricsOnly)
             }
             ("lint", [input]) => cmd_lint(input, goal.as_deref(), &limits, want_json),
+            ("serve", [graph]) => cmd_serve(graph, &flags, &limits),
+            ("bench-serve", [graph]) => cmd_bench_serve(graph, None, &flags, &limits),
+            ("bench-serve", [graph, queries]) => {
+                cmd_bench_serve(graph, Some(queries), &flags, &limits)
+            }
             _ => Err(usage()),
         },
         _ => Err(usage()),
@@ -156,7 +190,9 @@ fn usage() -> String {
      rqtool contain-rq <query1.rq> <query2.rq>\n  \
      rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]\n  \
      rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n  \
-     rqtool lint <query|file|dir> [--goal=PRED] [--json]\n\
+     rqtool lint <query|file|dir> [--goal=PRED] [--json]\n  \
+     rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--request-fuel=N] [--drain-ms=N] [--faults=SPEC]\n  \
+     rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]\n\
      budget flags (contain*, datalog, serve-batch, stats, lint): --fuel=N --timeout-ms=N"
         .to_owned()
 }
@@ -413,6 +449,143 @@ fn cmd_serve_batch(
         }
         print!("{}", regular_queries::metrics::global().render());
     }
+    Ok(())
+}
+
+/// Parse a `--name=N` integer flag, or return the default.
+fn flag_u64(flags: &[&String], name: &str, default: u64) -> Result<u64, String> {
+    let prefix = format!("--{name}=");
+    for f in flags {
+        if let Some(v) = f.strip_prefix(&prefix) {
+            return v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got {v:?}"));
+        }
+    }
+    Ok(default)
+}
+
+/// Build the serve configuration shared by `serve` and `bench-serve` from
+/// the command-line flags. `--timeout-ms` (the global budget flag) sets
+/// the per-request deadline.
+fn serve_config(flags: &[&String], limits: &Limits, addr: String) -> Result<ServeConfig, String> {
+    let defaults = ServeConfig::default();
+    let mut cfg = ServeConfig {
+        addr,
+        workers: flag_u64(flags, "workers", defaults.workers as u64)? as usize,
+        queue_capacity: flag_u64(flags, "queue-cap", defaults.queue_capacity as u64)? as usize,
+        request_fuel: flag_u64(flags, "request-fuel", defaults.request_fuel)?,
+        drain_deadline: std::time::Duration::from_millis(flag_u64(
+            flags,
+            "drain-ms",
+            defaults.drain_deadline.as_millis() as u64,
+        )?),
+        quota: TenantQuota {
+            fuel_per_sec: flag_u64(flags, "tenant-fuel-per-sec", defaults.quota.fuel_per_sec)?,
+            burst_fuel: flag_u64(flags, "tenant-burst", defaults.quota.burst_fuel)?,
+        },
+        ..defaults
+    };
+    if let Some(deadline) = limits.deadline {
+        cfg.request_timeout = deadline;
+    }
+    for f in flags {
+        if let Some(spec) = f.strip_prefix("--faults=") {
+            cfg.faults = FaultPlan::parse(spec).map_err(|e| format!("error[config]: {e}"))?;
+            if !regular_queries::serve::faults::compiled() {
+                eprintln!(
+                    "note: --faults requires building with `--features faults`; the plan is inert"
+                );
+            }
+        }
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+/// Build the engine under a serve front-end (`--threads` sizes its pool).
+fn serve_engine(graph: &str, flags: &[&String]) -> Result<Engine, String> {
+    let db = load_graph(graph)?;
+    let config = EngineConfig {
+        threads: flag_u64(flags, "threads", 2)? as usize,
+        ..EngineConfig::default()
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(Engine::new(db, config))
+}
+
+/// `rqtool serve`: run the front-end until SIGTERM/SIGINT (or `/drainz`),
+/// then drain gracefully and flush metrics to stderr.
+fn cmd_serve(graph: &str, flags: &[&String], limits: &Limits) -> Result<(), String> {
+    let addr = flags
+        .iter()
+        .find_map(|f| f.strip_prefix("--addr="))
+        .unwrap_or("127.0.0.1:7878")
+        .to_string();
+    let cfg = serve_config(flags, limits, addr)?;
+    let engine = serve_engine(graph, flags)?;
+    let server = Server::start(engine, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "rq-serve listening on {} ({} workers, {} engine threads); SIGTERM or POST /drainz to drain",
+        server.addr(),
+        flag_u64(flags, "workers", ServeConfig::default().workers as u64)?,
+        server.engine().threads(),
+    );
+    regular_queries::serve::signal::install();
+    while !regular_queries::serve::signal::triggered() && !server.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining...");
+    let report = server.drain();
+    eprintln!(
+        "drained in {:.2?}: clean={} swept={} cancelled={}",
+        report.elapsed, report.clean, report.swept, report.cancelled
+    );
+    // The final flush: everything a scraper would have seen on /metrics.
+    eprint!("{}", report.metrics);
+    server.shutdown();
+    Ok(())
+}
+
+/// `rqtool bench-serve`: start a private server over the graph and drive
+/// it closed-loop (experiment E14's harness).
+fn cmd_bench_serve(
+    graph: &str,
+    queries: Option<&str>,
+    flags: &[&String],
+    limits: &Limits,
+) -> Result<(), String> {
+    let cfg = serve_config(flags, limits, "127.0.0.1:0".to_string())?;
+    let engine = serve_engine(graph, flags)?;
+    let server = Server::start(engine, cfg).map_err(|e| e.to_string())?;
+    let mut bench = regular_queries::serve::BenchConfig {
+        addr: server.addr().to_string(),
+        clients: flag_u64(flags, "clients", 4)? as usize,
+        duration: std::time::Duration::from_millis(flag_u64(flags, "duration-ms", 5000)?),
+        // `--no-backoff` models an abusive client that re-sends the
+        // instant it is shed instead of honoring `Retry-After`.
+        honor_retry_after: !flags.iter().any(|f| f.as_str() == "--no-backoff"),
+        ..regular_queries::serve::BenchConfig::default()
+    };
+    if let Some(path) = queries {
+        let content = read_input(path)?;
+        bench.queries = content
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        if bench.queries.is_empty() {
+            return Err(format!("error[io]: no queries in {path}"));
+        }
+    }
+    println!(
+        "bench-serve: {} clients closed-loop for {:?} against {}",
+        bench.clients, bench.duration, bench.addr
+    );
+    let report = regular_queries::serve::run_bench(&bench);
+    println!("{}", report.summary());
+    server.shutdown();
     Ok(())
 }
 

@@ -19,7 +19,10 @@
 //!   semantic cache;
 //! * [`metrics`] — a lock-free metrics registry (counters, gauges,
 //!   fixed-bucket histograms) with Prometheus-style text exposition and
-//!   optional JSON-lines tracing, threaded through the other layers.
+//!   optional JSON-lines tracing, threaded through the other layers;
+//! * [`serve`] — a fault-tolerant multi-tenant HTTP front-end over the
+//!   engine: admission control, load-shedding, deadlines/retries,
+//!   graceful drain, and deterministic fault injection (`rqtool serve`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use rq_datalog as datalog;
 pub use rq_engine as engine;
 pub use rq_graph as graph;
 pub use rq_metrics as metrics;
+pub use rq_serve as serve;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
@@ -70,4 +74,5 @@ pub mod prelude {
     pub use rq_datalog::{FactDb, Program, Query as DatalogQuery};
     pub use rq_engine::{CacheConfig, CacheStats, Disposition, Engine, EngineConfig};
     pub use rq_graph::{GraphDb, NodeId, Semipath};
+    pub use rq_serve::{FaultPlan, ServeConfig, Server, TenantQuota};
 }

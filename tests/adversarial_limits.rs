@@ -145,3 +145,104 @@ fn quadratic_datalog_tuple_cap_never_panics() {
     assert_eq!(e.resource, Resource::Tuples);
     assert!(e.counters.tuples_derived >= 10_000);
 }
+
+/// A deadline that fires *while a cached subsumption hit is re-evaluating*
+/// (the `Lookup::Subsumed` path re-runs the product BFS restricted to the
+/// superset's sources) must surface as a structured exhaustion — and must
+/// not corrupt the cache entry it was filtering against.
+#[test]
+fn timeout_mid_subsumption_reevaluation_is_structured() {
+    use regular_queries::graph::generate;
+    let db = generate::random_gnm(800, 3200, &["a", "b"], 13);
+    let eng = Engine::new(
+        db,
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    );
+    // Seed the cache with the superset query.
+    let big = eng.parse("(a|b)+").expect("valid 2RPQ");
+    assert_eq!(
+        eng.run(&big).expect("seeding run").disposition,
+        Disposition::Miss
+    );
+    // The subsumed query now answers by re-evaluation; a microsecond
+    // deadline trips inside that re-evaluation at the first governor poll.
+    let small = eng.parse("a+").expect("valid 2RPQ");
+    let tiny = Limits::unlimited().with_deadline(Duration::from_micros(1));
+    let start = Instant::now();
+    let err = eng
+        .run_with(&small, &tiny, None)
+        .expect_err("1µs is not enough for an 800-node re-evaluation");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "exhaustion must be prompt, ran {:?}",
+        start.elapsed()
+    );
+    match err {
+        EngineError::Exhausted(e) => assert_eq!(e.resource, Resource::Deadline),
+        other => panic!("expected a deadline exhaustion, got {other:?}"),
+    }
+    // The cached superset entry survived: the same query, ungoverned, is
+    // still a subsumption hit with correct answers.
+    let ok = eng.run(&small).expect("ungoverned re-run");
+    assert_eq!(ok.disposition, Disposition::Subsumed);
+    assert_eq!(*ok.answer, small.evaluate(eng.db()));
+}
+
+/// Sustained fuel starvation must drain the serve retry budget and then
+/// keep returning the *last* structured exhaustion report — never a
+/// generic failure, and never an unbounded retry storm.
+#[test]
+fn retry_budget_exhaustion_returns_last_exhaustion_report() {
+    use regular_queries::analyze::Json;
+    use regular_queries::graph::generate;
+    use regular_queries::serve::Client;
+    let db = generate::random_gnm(40, 160, &["a", "b"], 17);
+    let engine = Engine::new(
+        db,
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let server = Server::start(engine, ServeConfig::default()).expect("server starts");
+    let mut client =
+        Client::connect(&server.addr().to_string(), Duration::from_secs(10)).expect("connect");
+    // Default retry policy: 2 retries per request against a budget of 16
+    // retries total (and nothing refills it, since no request succeeds).
+    let mut attempts_seen = Vec::new();
+    for _ in 0..30 {
+        let resp = client
+            .request("POST", "/query", &[("X-Fuel", "2")], b"(a|b)*")
+            .expect("request");
+        assert_eq!(resp.status, 422, "{}", resp.text());
+        let body = Json::parse(&resp.text()).expect("json body");
+        assert_eq!(
+            body.get("error").and_then(Json::as_str),
+            Some("exhausted"),
+            "structured code, not a generic failure"
+        );
+        let ex = body
+            .get("exhaustion")
+            .expect("every 422 carries the report");
+        assert_eq!(ex.get("resource").and_then(Json::as_str), Some("fuel"));
+        assert_eq!(ex.get("limit").and_then(Json::as_u64), Some(2));
+        assert!(ex.get("fuel_spent").and_then(Json::as_u64).unwrap_or(0) >= 2);
+        attempts_seen.push(body.get("attempts").and_then(Json::as_u64).unwrap());
+    }
+    // Early requests exercised the full retry schedule; once the budget is
+    // spent, later requests degrade to a single attempt — with the report
+    // still attached.
+    assert_eq!(attempts_seen[0], 3, "initial attempt + 2 retries");
+    assert_eq!(
+        *attempts_seen.last().unwrap(),
+        1,
+        "budget exhausted: no retries, but still a structured report"
+    );
+    let report = server.shutdown();
+    assert!(report
+        .metrics
+        .contains("rq_serve_retry_budget_exhausted_total"));
+}
