@@ -82,9 +82,14 @@ pub(crate) fn subsumed_branches(
 }
 
 /// Run the pre-flight analysis on a query. Records the outcome in the
-/// `rq_analyze_preflight_total` metric family.
+/// `rq_analyze_preflight_total` metric family and opens an
+/// `analyze.preflight` trace span annotated with the action taken (the
+/// ladder probes each dropped-branch decision runs appear as its child
+/// `ladder.*` spans).
 pub fn preflight(q: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Preflight {
-    let action = |a: PreflightAction, query: TwoRpq| {
+    let mut span = rq_metrics::span::start("analyze.preflight");
+    let mut action = move |a: PreflightAction, query: TwoRpq| {
+        span.record("action", a.name());
         metrics::preflight(a);
         Preflight { query, action: a }
     };

@@ -316,6 +316,13 @@ impl Governor {
         self.started.elapsed()
     }
 
+    /// Fuel spent so far — the one counter trace spans delta against.
+    /// Unlike [`Governor::counters`] this reads a single cell and never
+    /// touches the clock, so it is safe on hot paths.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel.get()
+    }
+
     /// Snapshot of everything metered so far.
     pub fn counters(&self) -> Counters {
         Counters {

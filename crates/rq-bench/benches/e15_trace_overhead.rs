@@ -1,0 +1,81 @@
+//! E15 — request-tracing overhead: the E12 batch-serving workload with a
+//! per-query `TraceContext` installed and every finished trace offered
+//! to a flight recorder, against the same workload untraced.
+//!
+//! The acceptance bar for rq-trace: always-on capture (head sampling at
+//! 1, i.e. every request's spans recorded) must stay within a few
+//! percent of the untraced path. Span starts are one `Instant::now()`
+//! plus a thread-local probe; completions append to a per-trace `Vec`
+//! under a mutex held for the push; the recorder writes one `Arc` into a
+//! ring slot per request — all far off the BFS hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rq_bench::{e10_graph, e12_batch};
+use rq_core::rpq::TwoRpq;
+use rq_engine::{Engine, EngineConfig};
+use rq_metrics::recorder::{Recorder, RecorderConfig};
+use rq_metrics::span::{self, TraceContext};
+use std::hint::black_box;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15/trace_overhead");
+    g.sample_size(20);
+    let db = e10_graph(100, 3);
+    let engine = Engine::new(
+        db,
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let queries: Vec<TwoRpq> = e12_batch(32)
+        .iter()
+        .map(|t| engine.parse(t).unwrap())
+        .collect();
+
+    g.bench_function("untraced", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            for q in &queries {
+                black_box(engine.run(q).unwrap().answer.len());
+            }
+        })
+    });
+
+    g.bench_function("traced_capture_only", |b| {
+        // Span capture without sealing: isolates the per-span cost
+        // (thread-local bookkeeping, field formatting, the trace-vec
+        // push) from the per-request snapshot + recorder write.
+        b.iter(|| {
+            engine.clear_cache();
+            for q in &queries {
+                let ctx = TraceContext::start();
+                let _guard = span::install(&ctx, 0);
+                black_box(engine.run(q).unwrap().answer.len());
+            }
+        })
+    });
+
+    g.bench_function("traced_recorded", |b| {
+        // Serve-like per-request tracing: fresh context installed around
+        // each query, finished and recorded — sampling at 1 (every
+        // request captures spans) so this is the worst case.
+        let recorder = Recorder::new(RecorderConfig::default());
+        b.iter(|| {
+            engine.clear_cache();
+            for q in &queries {
+                let ctx = TraceContext::start();
+                {
+                    let _guard = span::install(&ctx, 0);
+                    black_box(engine.run(q).unwrap().answer.len());
+                }
+                black_box(recorder.record(ctx.finish("ok", "")));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(e15, bench_trace_overhead);
+criterion_main!(e15);

@@ -1,0 +1,86 @@
+//! E15 — paired tracing-overhead measurement.
+//!
+//! The criterion bench (`benches/e15_trace_overhead.rs`) times the
+//! untraced and traced paths as separate sequential groups, so minutes
+//! of machine drift (frequency scaling, container neighbors) lands
+//! entirely on one side and can dwarf a few-percent effect. This binary
+//! interleaves them — untraced pass, traced pass, repeat — and compares
+//! medians, which cancels the drift and gives a stable overhead figure.
+//!
+//! Usage: `cargo run --release -p rq-bench --bin e15_overhead [rounds]`
+
+use rq_bench::{e10_graph, e12_batch};
+use rq_core::rpq::TwoRpq;
+use rq_engine::{Engine, EngineConfig};
+use rq_metrics::recorder::{Recorder, RecorderConfig};
+use rq_metrics::span::{self, TraceContext};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let db = e10_graph(100, 3);
+    let engine = Engine::new(
+        db,
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let queries: Vec<TwoRpq> = e12_batch(32)
+        .iter()
+        .map(|t| engine.parse(t).unwrap())
+        .collect();
+    let recorder = Recorder::new(RecorderConfig::default());
+
+    let untraced = |engine: &Engine| {
+        engine.clear_cache();
+        for q in &queries {
+            black_box(engine.run(q).unwrap().answer.len());
+        }
+    };
+    let traced = |engine: &Engine| {
+        engine.clear_cache();
+        for q in &queries {
+            let ctx = TraceContext::start();
+            {
+                let _guard = span::install(&ctx, 0);
+                black_box(engine.run(q).unwrap().answer.len());
+            }
+            black_box(recorder.record(ctx.finish("ok", "")));
+        }
+    };
+
+    // Warm both paths (allocator, cache shapes, branch predictors).
+    untraced(&engine);
+    traced(&engine);
+
+    let mut base_ms = Vec::with_capacity(rounds);
+    let mut traced_ms = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        untraced(&engine);
+        base_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        traced(&engine);
+        traced_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let (b, t) = (median(base_ms), median(traced_ms));
+    println!("e15 paired overhead over {rounds} interleaved rounds (32-query batch, 2 threads):");
+    println!("  untraced median        {b:.2} ms per batch");
+    println!("  traced+recorded median {t:.2} ms per batch");
+    println!("  overhead               {:+.1}%", (t / b - 1.0) * 100.0);
+    println!(
+        "  recorder: {} traces recorded, {} retained slow",
+        recorder.recorded_total(),
+        recorder.retained_slow_total()
+    );
+}

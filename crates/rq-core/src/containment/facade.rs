@@ -22,6 +22,7 @@ use crate::rpq::TwoRpq;
 use rq_automata::governor::{Governor, Limits};
 use rq_automata::regex::simplify;
 use rq_automata::Alphabet;
+use rq_metrics::span;
 
 /// Decide `q1 ⊑ q2` cheaply first, escalating to the exact 2RPQ checker
 /// only when the fast rungs are inconclusive. All work is metered by a
@@ -33,7 +34,10 @@ pub fn check_quick(q1: &TwoRpq, q2: &TwoRpq, alphabet: &Alphabet, limits: &Limit
 /// [`check_quick`] against a caller-owned governor, so callers (the
 /// semantic cache) can read back how much budget the probe actually spent
 /// from [`Governor::counters`]. Each rung records which stage of the
-/// ladder decided the check in the `rq_containment_ladder_total` metric.
+/// ladder decided the check in the `rq_containment_ladder_total` metric,
+/// and opens a trace span (`ladder.*`, see ALGORITHMS.md) annotated with
+/// the rung's verdict — `contained` / `not_contained` / `unknown` when it
+/// decided, `pass` when it was inconclusive and the ladder escalated.
 pub fn check_quick_governed(
     q1: &TwoRpq,
     q2: &TwoRpq,
@@ -41,34 +45,69 @@ pub fn check_quick_governed(
     gov: &Governor,
 ) -> Outcome {
     let r1 = simplify(q1.regex());
-    if r1.is_empty_language() {
-        metrics::ladder_stage(metrics::Stage::EmptyLeft);
-        return Outcome::Contained(Certificate::EmptyLeft);
+    {
+        let mut s = span::start("ladder.empty_left");
+        if r1.is_empty_language() {
+            s.record("verdict", "contained");
+            metrics::ladder_stage(metrics::Stage::EmptyLeft);
+            return Outcome::Contained(Certificate::EmptyLeft);
+        }
+        s.record("verdict", "pass");
     }
-    if r1 == simplify(q2.regex()) {
-        metrics::ladder_stage(metrics::Stage::SyntacticEq);
-        return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
-    }
-    match (
-        canonical_key_governed(q1, alphabet, gov),
-        canonical_key_governed(q2, alphabet, gov),
-    ) {
-        (Ok(k1), Ok(k2)) if k1 == k2 => {
-            metrics::ladder_stage(metrics::Stage::CanonicalKey);
+    {
+        let mut s = span::start("ladder.syntactic_eq");
+        if r1 == simplify(q2.regex()) {
+            s.record("verdict", "contained");
+            metrics::ladder_stage(metrics::Stage::SyntacticEq);
             return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
         }
-        (Err(e), _) | (_, Err(e)) => {
-            metrics::ladder_stage(metrics::Stage::Exhausted);
-            return Outcome::exhausted(e);
-        }
-        _ => {}
+        s.record("verdict", "pass");
     }
-    match two_rpq::check_governed(q1, q2, alphabet, gov) {
+    {
+        let mut s = span::start("ladder.canonical_key");
+        let fuel_before = gov.fuel_spent();
+        let keys = (
+            canonical_key_governed(q1, alphabet, gov),
+            canonical_key_governed(q2, alphabet, gov),
+        );
+        if s.active() {
+            s.record("fuel", gov.fuel_spent() - fuel_before);
+        }
+        match keys {
+            (Ok(k1), Ok(k2)) if k1 == k2 => {
+                s.record("verdict", "contained");
+                metrics::ladder_stage(metrics::Stage::CanonicalKey);
+                return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                s.record("verdict", "unknown");
+                metrics::ladder_stage(metrics::Stage::Exhausted);
+                return Outcome::exhausted(e);
+            }
+            _ => s.record("verdict", "pass"),
+        }
+    }
+    let mut s = span::start("ladder.full_check");
+    let fuel_before = gov.fuel_spent();
+    let result = two_rpq::check_governed(q1, q2, alphabet, gov);
+    if s.active() {
+        s.record("fuel", gov.fuel_spent() - fuel_before);
+    }
+    match result {
         Ok(outcome) => {
+            s.record(
+                "verdict",
+                match &outcome {
+                    Outcome::Contained(_) => "contained",
+                    Outcome::NotContained(_) => "not_contained",
+                    Outcome::Unknown(_) => "unknown",
+                },
+            );
             metrics::ladder_stage(metrics::Stage::FullCheck);
             outcome
         }
         Err(e) => {
+            s.record("verdict", "unknown");
             metrics::ladder_stage(metrics::Stage::Exhausted);
             Outcome::exhausted(e)
         }
@@ -147,6 +186,49 @@ mod tests {
         // Fold containment: only the exact checker can prove this.
         assert!(check_quick(&p, &zigzag, &al, &Limits::unlimited()).is_contained());
         assert!(check_quick(&zigzag, &p, &al, &Limits::unlimited()).is_not_contained());
+    }
+
+    #[test]
+    fn ladder_stages_open_annotated_spans() {
+        let ctx = span::TraceContext::start();
+        let mut al = Alphabet::new();
+        let a = TwoRpq::parse("a b | a c", &mut al).unwrap();
+        let b = TwoRpq::parse("a(b|c)", &mut al).unwrap();
+        {
+            let _g = span::install(&ctx, 0);
+            assert!(check_quick(&a, &b, &al, &Limits::unlimited()).is_contained());
+        }
+        let t = ctx.finish("ok", "");
+        let verdict = |name: &str| {
+            t.spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span {name}"))
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "verdict")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(verdict("ladder.empty_left").as_deref(), Some("pass"));
+        assert_eq!(verdict("ladder.syntactic_eq").as_deref(), Some("pass"));
+        assert_eq!(
+            verdict("ladder.canonical_key").as_deref(),
+            Some("contained")
+        );
+        let canonical = t
+            .spans
+            .iter()
+            .find(|s| s.name == "ladder.canonical_key")
+            .unwrap();
+        assert!(
+            canonical.fields.iter().any(|(k, _)| *k == "fuel"),
+            "metered rung records its fuel: {:?}",
+            canonical.fields
+        );
+        assert!(
+            !t.spans.iter().any(|s| s.name == "ladder.full_check"),
+            "decided at rung 3 — the exact checker never ran"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rq_core::containment::facade::check_quick_governed;
 use rq_core::containment::Outcome;
 use rq_core::TwoRpq;
 use rq_graph::NodeId;
+use rq_metrics::span;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -228,22 +229,38 @@ impl SemanticCache {
     /// its verdict recorded in the probe metrics. An exhausted probe is
     /// counted as such — not as a non-containment verdict.
     fn probe(&mut self, a: &TwoRpq, b: &TwoRpq, alphabet: &Alphabet) -> Outcome {
+        let mut span = span::start("cache.probe");
         self.stats.probes += 1;
         let gov = Governor::new(self.config.probe_limits.clone());
         let out = check_quick_governed(a, b, alphabet, &gov);
         if out.is_unknown() {
             self.stats.probe_exhausted += 1;
         }
-        metrics::probe(&out, gov.counters().fuel_spent);
+        if span.active() {
+            span.record(
+                "verdict",
+                if out.is_contained() {
+                    "contained"
+                } else if out.is_unknown() {
+                    "exhausted"
+                } else {
+                    "not_contained"
+                },
+            );
+            span.record("fuel", gov.fuel_spent());
+        }
+        metrics::probe(&out, gov.fuel_spent());
         out
     }
 
     /// Look up `q` (with `key` from [`Self::key_of`]), updating counters
     /// and recency.
     pub fn lookup(&mut self, q: &TwoRpq, key: &str, alphabet: &Alphabet) -> Lookup {
+        let mut span = span::start("cache.lookup");
         if let Some(i) = self.entries.iter().position(|e| e.key == key) {
             self.touch(i);
             self.stats.exact += 1;
+            span.record("disposition", "exact");
             metrics::disposition("exact");
             return Lookup::Exact(Arc::clone(&self.entries[i].answer));
         }
@@ -264,10 +281,13 @@ impl SemanticCache {
             self.touch(i);
             return if equivalent {
                 self.stats.equivalent += 1;
+                span.record("disposition", "equivalent");
                 metrics::disposition("equivalent");
                 Lookup::Equivalent(answer)
             } else {
                 self.stats.subsumed += 1;
+                span.record("disposition", "subsumed");
+                span.record("superset_pairs", answer.len());
                 metrics::disposition("subsumed");
                 Lookup::Subsumed {
                     query: cached_query,
@@ -276,6 +296,7 @@ impl SemanticCache {
             };
         }
         self.stats.misses += 1;
+        span.record("disposition", "miss");
         metrics::disposition("miss");
         Lookup::Miss
     }

@@ -14,6 +14,7 @@ use rq_automata::governor::{EngineError, Exhaustion, Governor, Limits, Resource}
 use rq_automata::Alphabet;
 use rq_core::TwoRpq;
 use rq_graph::{GraphDb, NodeId};
+use rq_metrics::span;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -303,8 +304,18 @@ impl Engine {
         limits: &Limits,
         cancel: Option<Arc<AtomicBool>>,
     ) -> Result<QueryResult, EngineError> {
+        let mut span = span::start("engine.run");
         let start = std::time::Instant::now();
         let result = self.run_inner(q, limits, cancel);
+        if span.active() {
+            match &result {
+                Ok(r) => {
+                    span.record("disposition", r.disposition);
+                    span.record("pairs", r.answer.len());
+                }
+                Err(e) => span.record("error", e),
+            }
+        }
         metrics::query(&result, start.elapsed());
         result
     }
@@ -430,6 +441,7 @@ impl Engine {
     /// that (heuristically) subsuming queries evaluate first — seeding the
     /// cache for the rest — and each evaluation fans out across the pool.
     pub fn run_batch(&self, queries: &[TwoRpq]) -> BatchReport {
+        let mut span = span::start("engine.batch");
         let batch_start = std::time::Instant::now();
         let stats_before = self.cache_stats();
         // Group by cache key.
@@ -515,6 +527,10 @@ impl Engine {
                 evictions: after.evictions - stats_before.evictions,
             },
         };
+        if span.active() {
+            span.record("queries", report.items.len());
+            span.record("stats", report.stats);
+        }
         metrics::batch(&report, batch_start.elapsed());
         report
     }
@@ -536,7 +552,16 @@ impl Engine {
         if sources.is_empty() {
             return Ok(BTreeSet::new());
         }
+        let mut eval_span = span::start("engine.eval");
         let stripes = self.pool.threads().min(sources.len());
+        if eval_span.active() {
+            eval_span.record("sources", sources.len());
+            eval_span.record("stripes", stripes);
+        }
+        // Hand the request's trace to every stripe, parented under the
+        // eval span, so worker-side spans (stripe, per-source BFS) land
+        // in the same tree even though they run on pool threads.
+        let trace_parent = span::current_context().map(|(ctx, _)| (ctx, eval_span.id()));
         let peer_cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Result<BTreeSet<(NodeId, NodeId)>, Exhaustion>>();
         for s in 0..stripes {
@@ -546,8 +571,13 @@ impl Engine {
             let peer_cancel = Arc::clone(&peer_cancel);
             let external = cancel.clone();
             let limits = limits.clone();
+            let trace_parent = trace_parent.clone();
             let mine: Vec<NodeId> = sources.iter().skip(s).step_by(stripes).copied().collect();
             self.pool.execute(move || {
+                let _trace_guard = trace_parent
+                    .as_ref()
+                    .map(|(ctx, parent)| span::install(ctx, *parent));
+                let mut stripe_span = span::start("engine.stripe");
                 let mut gov = Governor::with_cancel(limits, peer_cancel);
                 if let Some(flag) = external {
                     gov = gov.watching(flag);
@@ -564,7 +594,15 @@ impl Engine {
                         }
                     }
                 }
-                metrics::worker_fuel(gov.counters().fuel_spent, failed.is_none());
+                if stripe_span.active() {
+                    stripe_span.record("stripe", s);
+                    stripe_span.record("fuel", gov.fuel_spent());
+                    if failed.is_some() {
+                        stripe_span.record("exhausted", "true");
+                    }
+                }
+                drop(stripe_span);
+                metrics::worker_fuel(gov.fuel_spent(), failed.is_none());
                 let _ = tx.send(match failed {
                     None => Ok(out),
                     Some(e) => Err(e),
@@ -611,11 +649,14 @@ impl Engine {
 
 /// Engine-level metrics: per-query and per-batch latency histograms,
 /// disposition/error counters, and per-worker governor fuel consumption
-/// split by outcome. Each served query and batch also emits a `trace`
-/// event when a JSON-lines sink is installed.
+/// split by outcome. JSON-lines trace events are no longer emitted here:
+/// the `engine.run` / `engine.batch` spans opened by the serving path
+/// emit them on completion (one schema, one sink — see
+/// `rq_metrics::trace`). The latency histograms observe *traced* so
+/// their exposition buckets carry trace-id exemplars.
 mod metrics {
     use super::{BatchReport, Disposition, EngineError, QueryResult};
-    use rq_metrics::{fuel_buckets, global, latency_buckets_us, trace, Counter, Histogram};
+    use rq_metrics::{fuel_buckets, global, latency_buckets_us, Counter, Histogram};
     use std::sync::{Arc, OnceLock};
     use std::time::Duration;
 
@@ -665,30 +706,10 @@ mod metrics {
             )
         });
         let us = elapsed.as_micros() as u64;
-        latency.observe(us);
+        latency.observe_traced(us);
         match result {
-            Ok(r) => {
-                queries_total(r.disposition).inc();
-                if trace::active() {
-                    trace::event(
-                        "query",
-                        &[
-                            ("disposition", r.disposition.to_string()),
-                            ("pairs", r.answer.len().to_string()),
-                            ("latency_us", us.to_string()),
-                        ],
-                    );
-                }
-            }
-            Err(e) => {
-                errors.inc();
-                if trace::active() {
-                    trace::event(
-                        "query_error",
-                        &[("error", e.to_string()), ("latency_us", us.to_string())],
-                    );
-                }
-            }
+            Ok(r) => queries_total(r.disposition).inc(),
+            Err(_) => errors.inc(),
         }
     }
 
@@ -706,7 +727,7 @@ mod metrics {
         });
         batches.inc();
         let us = elapsed.as_micros() as u64;
-        latency.observe(us);
+        latency.observe_traced(us);
         let deduped = report
             .items
             .iter()
@@ -714,17 +735,6 @@ mod metrics {
             .count();
         for _ in 0..deduped {
             queries_total(Disposition::Deduped).inc();
-        }
-        if trace::active() {
-            trace::event(
-                "batch",
-                &[
-                    ("queries", report.items.len().to_string()),
-                    ("deduped", deduped.to_string()),
-                    ("stats", report.stats.to_string()),
-                    ("latency_us", us.to_string()),
-                ],
-            );
         }
     }
 

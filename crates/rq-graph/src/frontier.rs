@@ -17,6 +17,7 @@
 use crate::db::{GraphDb, NodeId};
 use rq_automata::governor::{Exhaustion, Governor};
 use rq_automata::Nfa;
+use rq_metrics::span;
 use std::collections::{BTreeSet, VecDeque};
 
 /// A product state: a database node paired with an automaton state.
@@ -90,12 +91,18 @@ impl<'a> ProductBfs<'a> {
 
     /// Drain the frontier, collecting every node reached in a final state.
     pub fn run(&mut self, gov: &Governor) -> Result<BTreeSet<NodeId>, Exhaustion> {
+        let mut span = span::start("frontier.bfs");
+        // The counter snapshot includes a clock read; skip it (like the
+        // annotations below) on the untraced hot path.
+        let fuel_before = if span.active() { gov.fuel_spent() } else { 0 };
         let mut out = BTreeSet::new();
         let mut expanded = 0u64;
+        let mut peak = self.queue.len();
         let result = loop {
             match self.step(gov) {
                 Ok(Some((node, state))) => {
                     expanded += 1;
+                    peak = peak.max(self.queue.len());
                     if self.nfa.is_final(state) {
                         out.insert(node);
                     }
@@ -107,6 +114,14 @@ impl<'a> ProductBfs<'a> {
         // One flush per search, never per expansion, keeps the atomics off
         // the BFS hot path (partial work is reported even on exhaustion).
         metrics::record_search(expanded);
+        if span.active() {
+            span.record("expanded", expanded);
+            span.record("frontier_peak", peak);
+            span.record("fuel", gov.fuel_spent() - fuel_before);
+            if result.is_err() {
+                span.record("exhausted", "true");
+            }
+        }
         result
     }
 }
@@ -156,6 +171,8 @@ pub fn pair_reachable_governed(
     target: NodeId,
     gov: &Governor,
 ) -> Result<bool, Exhaustion> {
+    let mut span = span::start("frontier.pair_check");
+    let fuel_before = if span.active() { gov.fuel_spent() } else { 0 };
     let mut bfs = ProductBfs::new(db, nfa, source);
     let mut expanded = 0u64;
     let result = loop {
@@ -171,6 +188,13 @@ pub fn pair_reachable_governed(
         }
     };
     metrics::record_search(expanded);
+    if span.active() {
+        span.record("expanded", expanded);
+        span.record("fuel", gov.fuel_spent() - fuel_before);
+        if let Ok(hit) = &result {
+            span.record("verdict", if *hit { "reached" } else { "unreached" });
+        }
+    }
     result
 }
 
@@ -252,6 +276,37 @@ mod tests {
         let gov = Limits::unlimited().with_fuel(1).governor();
         let e = reachable_governed(&db, &n, ns[0], &gov).unwrap_err();
         assert_eq!(e.resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn bfs_records_an_annotated_span() {
+        let (db, ns) = chain3();
+        let mut al = db.alphabet().clone();
+        let n = nfa("r+", &mut al);
+        let ctx = span::TraceContext::start();
+        {
+            let _g = span::install(&ctx, 0);
+            let gov = Governor::unlimited();
+            reachable_governed(&db, &n, ns[0], &gov).unwrap();
+        }
+        let t = ctx.finish("ok", "");
+        let bfs_span = t
+            .spans
+            .iter()
+            .find(|s| s.name == "frontier.bfs")
+            .expect("BFS opened a span");
+        let field = |k: &str| {
+            bfs_span
+                .fields
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+        };
+        // 3 reachable nodes on the chain: expansions and fuel both > 0.
+        assert!(field("expanded").unwrap().parse::<u64>().unwrap() > 0);
+        assert!(field("fuel").unwrap().parse::<u64>().unwrap() > 0);
+        assert!(field("frontier_peak").is_some());
+        assert_eq!(field("exhausted"), None, "search completed");
     }
 
     #[test]

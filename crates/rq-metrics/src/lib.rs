@@ -23,12 +23,23 @@
 //!   call into a single relaxed load — this is how the E12 bench measures
 //!   the metrics overhead (< 3% is the acceptance bar).
 //!
-//! The optional `trace` cargo feature adds [`trace`]: span-style scoped
-//! timers double as structured JSON-lines events for replayable
-//! diagnosis. Without the feature every `trace::*` call compiles to a
-//! no-op.
+//! Request-scoped attribution lives in two always-compiled companions:
+//! [`span`] (a [`span::TraceContext`] carrying a tree of timed spans,
+//! installable per-thread so any layer can open spans without plumbing)
+//! and [`recorder`] (a bounded flight recorder of recently completed
+//! traces plus a slow/errored retention ring). Histograms carry an
+//! OpenMetrics-style exemplar per bucket linking aggregate latency back
+//! to a recent trace id.
+//!
+//! The optional `trace` cargo feature adds [`trace`]: structured
+//! JSON-lines events for replayable diagnosis. Span completion emits
+//! through the same sink, so spans and events share one schema. Without
+//! the feature every `trace::*` call compiles to a no-op (span capture
+//! itself is feature-independent).
 
+pub mod recorder;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use registry::{global, HistogramSnapshot, MetricSnapshot, Registry, Snapshot, Value};
@@ -147,6 +158,13 @@ pub struct Histogram {
     bounds: Vec<u64>,
     buckets: Box<[AtomicU64]>,
     sum: AtomicU64,
+    // Per-bucket exemplar: the trace id (0 = none) and sample value of
+    // the most recent traced observation to land in the bucket. The two
+    // words are written with independent relaxed stores — a rare torn
+    // pair links to a slightly stale value, which is acceptable for a
+    // diagnostic pointer and keeps the hot path lock-free.
+    exemplar_ids: Box<[AtomicU64]>,
+    exemplar_vals: Box<[AtomicU64]>,
 }
 
 impl Histogram {
@@ -157,13 +175,17 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
         );
-        let buckets = (0..bounds.len() + 1)
-            .map(|_| AtomicU64::new(0))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
+        let zeros = |n: usize| {
+            (0..n)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
         Histogram {
+            buckets: zeros(bounds.len() + 1),
+            exemplar_ids: zeros(bounds.len() + 1),
+            exemplar_vals: zeros(bounds.len() + 1),
             bounds,
-            buckets,
             sum: AtomicU64::new(0),
         }
     }
@@ -177,12 +199,30 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn observe(&self, v: u64) {
+        self.observe_with_exemplar(v, 0);
+    }
+
+    /// Record one sample attributed to the current thread's trace (if
+    /// one is installed), so the bucket's exposition line carries an
+    /// exemplar pointing at a concrete recent request.
+    #[inline]
+    pub fn observe_traced(&self, v: u64) {
+        self.observe_with_exemplar(v, span::current_trace_id().unwrap_or(0));
+    }
+
+    /// Record one sample with an explicit exemplar trace id (0 = none).
+    #[inline]
+    pub fn observe_with_exemplar(&self, v: u64, trace_id: u64) {
         if !enabled() {
             return;
         }
         let i = self.bounds.partition_point(|&b| b < v);
         self.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplar_vals[i].store(v, Ordering::Relaxed);
+            self.exemplar_ids[i].store(trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Total samples recorded (sum over buckets, so it can never disagree
@@ -204,11 +244,21 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = buckets.iter().sum();
+        let exemplars = self
+            .exemplar_ids
+            .iter()
+            .zip(self.exemplar_vals.iter())
+            .map(|(id, v)| {
+                let id = id.load(Ordering::Relaxed);
+                (id != 0).then(|| (id, v.load(Ordering::Relaxed)))
+            })
+            .collect();
         HistogramSnapshot {
             bounds: self.bounds.clone(),
             buckets,
             sum: self.sum(),
             count,
+            exemplars,
         }
     }
 
@@ -238,7 +288,7 @@ impl ScopedTimer<'_> {
     pub fn stop(mut self) -> u64 {
         self.armed = false;
         let us = self.start.elapsed().as_micros() as u64;
-        self.histogram.observe(us);
+        self.histogram.observe_traced(us);
         us
     }
 
@@ -252,7 +302,7 @@ impl Drop for ScopedTimer<'_> {
     fn drop(&mut self) {
         if self.armed {
             self.histogram
-                .observe(self.start.elapsed().as_micros() as u64);
+                .observe_traced(self.start.elapsed().as_micros() as u64);
         }
     }
 }

@@ -1,0 +1,272 @@
+//! Bounded flight recorder for completed traces.
+//!
+//! Two fixed-size rings of `Arc<FinishedTrace>`:
+//!
+//! * **recent** — the last `recent_capacity` completed traces, overwritten
+//!   round-robin. Answers "what just went through" (`/tracez`).
+//! * **slow** — traces retained because they crossed the slow threshold
+//!   or ended in an error, also round-robin. This is the tail-retention
+//!   half of the sampling policy: even when head sampling drops most
+//!   traces' spans, the interesting tail survives (`/slowz`).
+//!
+//! Memory is bounded by construction: `(recent + slow) × Arc` plus each
+//! trace's span cap ([`crate::span::MAX_SPANS_PER_TRACE`]). There is no
+//! global lock — the write cursor is an `AtomicU64` and each slot has its
+//! own mutex held only for a pointer swap (or clone, on snapshot), so
+//! concurrent record/snapshot never contend beyond a single slot and a
+//! reader can never observe a torn trace (it clones whole `Arc`s).
+//!
+//! Head sampling (`sample_every`) is decided by [`Recorder::sample`] at
+//! trace *creation*: unsampled requests still get a trace id (responses
+//! always carry one) but skip span capture entirely, keeping the
+//! always-on cost to id generation. Completed traces are offered to
+//! [`Recorder::record`] unconditionally so the slow/errored tail is
+//! retained even for unsampled requests (their traces just have no
+//! spans).
+
+use crate::span::FinishedTrace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Flight-recorder sizing and sampling policy.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Slots in the recent-traces ring.
+    pub recent_capacity: usize,
+    /// Slots in the slow/errored retention ring.
+    pub slow_capacity: usize,
+    /// Traces at least this long are retained in the slow ring.
+    pub slow_threshold: Duration,
+    /// Head sampling: capture spans for every Nth trace (1 = all).
+    pub sample_every: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            recent_capacity: 64,
+            slow_capacity: 32,
+            slow_threshold: Duration::from_millis(100),
+            sample_every: 1,
+        }
+    }
+}
+
+/// One ring: an atomic write cursor over per-slot mutexes.
+#[derive(Debug)]
+struct Ring {
+    cursor: AtomicU64,
+    slots: Box<[Mutex<Option<Arc<FinishedTrace>>>]>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn push(&self, trace: Arc<FinishedTrace>) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *self.slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(trace);
+    }
+
+    /// Occupied slots, newest first.
+    fn snapshot(&self) -> Vec<Arc<FinishedTrace>> {
+        let n = self.slots.len();
+        let cursor = self.cursor.load(Ordering::Relaxed) as usize;
+        let mut out = Vec::with_capacity(n);
+        for k in 1..=n {
+            // Walk backwards from the most recently written slot.
+            let i = (cursor + n - k) % n;
+            let slot = self.slots[i].lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = slot.as_ref() {
+                out.push(Arc::clone(t));
+            }
+        }
+        out
+    }
+}
+
+/// The flight recorder. Instantiable (not global) so each server — and
+/// each test — owns its own bounded buffers.
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: RecorderConfig,
+    recent: Ring,
+    slow: Ring,
+    seq: AtomicU64,
+    recorded: AtomicU64,
+    retained_slow: AtomicU64,
+}
+
+impl Recorder {
+    /// A recorder with the given sizing/sampling policy.
+    pub fn new(cfg: RecorderConfig) -> Recorder {
+        Recorder {
+            recent: Ring::new(cfg.recent_capacity),
+            slow: Ring::new(cfg.slow_capacity),
+            seq: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            retained_slow: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    /// Head-sampling decision for the next trace: should its spans be
+    /// captured? Deterministic round-robin (every Nth), not random, so
+    /// tests and replays are stable.
+    pub fn sample(&self) -> bool {
+        let n = self.cfg.sample_every.max(1);
+        self.seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(n)
+    }
+
+    /// Offer a completed trace. Always lands in the recent ring; also
+    /// retained in the slow ring when it crossed the slow threshold or
+    /// did not end `"ok"`. Returns the shared handle (callers rendering
+    /// an `explain` profile reuse it without a second clone).
+    pub fn record(&self, trace: FinishedTrace) -> Arc<FinishedTrace> {
+        let slow = trace.duration_us >= self.cfg.slow_threshold.as_micros() as u64
+            || trace.outcome != "ok";
+        let trace = Arc::new(trace);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.recent.push(Arc::clone(&trace));
+        if slow {
+            self.retained_slow.fetch_add(1, Ordering::Relaxed);
+            self.slow.push(Arc::clone(&trace));
+        }
+        trace
+    }
+
+    /// Recent completed traces, newest first (at most `recent_capacity`).
+    pub fn recent(&self) -> Vec<Arc<FinishedTrace>> {
+        self.recent.snapshot()
+    }
+
+    /// Retained slow/errored traces, newest first (at most
+    /// `slow_capacity`).
+    pub fn slow(&self) -> Vec<Arc<FinishedTrace>> {
+        self.slow.snapshot()
+    }
+
+    /// Total traces offered to [`record`](Recorder::record).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Of those, how many were retained in the slow ring.
+    pub fn retained_slow_total(&self) -> u64 {
+        self.retained_slow.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceContext;
+
+    fn trace_with(duration_us: u64, outcome: &str) -> FinishedTrace {
+        let mut t = TraceContext::start().finish(outcome, "q");
+        t.duration_us = duration_us;
+        t
+    }
+
+    #[test]
+    fn recent_ring_overwrites_round_robin() {
+        let rec = Recorder::new(RecorderConfig {
+            recent_capacity: 4,
+            ..RecorderConfig::default()
+        });
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            ids.push(rec.record(trace_with(1, "ok")).trace_id);
+        }
+        let snap = rec.recent();
+        assert_eq!(snap.len(), 4, "bounded at capacity");
+        let got: Vec<u64> = snap.iter().map(|t| t.trace_id).collect();
+        let want: Vec<u64> = ids.iter().rev().take(4).copied().collect();
+        assert_eq!(got, want, "newest first, oldest overwritten");
+    }
+
+    #[test]
+    fn slow_and_errored_traces_are_retained() {
+        let rec = Recorder::new(RecorderConfig {
+            slow_threshold: Duration::from_micros(500),
+            ..RecorderConfig::default()
+        });
+        rec.record(trace_with(10, "ok"));
+        rec.record(trace_with(10_000, "ok"));
+        rec.record(trace_with(10, "error[internal]"));
+        let slow = rec.slow();
+        assert_eq!(slow.len(), 2);
+        assert!(slow.iter().any(|t| t.duration_us == 10_000));
+        assert!(slow.iter().any(|t| t.outcome == "error[internal]"));
+        assert_eq!(rec.recent().len(), 3);
+        assert_eq!(rec.recorded_total(), 3);
+        assert_eq!(rec.retained_slow_total(), 2);
+    }
+
+    #[test]
+    fn head_sampling_is_every_nth() {
+        let rec = Recorder::new(RecorderConfig {
+            sample_every: 4,
+            ..RecorderConfig::default()
+        });
+        let decisions: Vec<bool> = (0..8).map(|_| rec.sample()).collect();
+        assert_eq!(
+            decisions,
+            vec![true, false, false, false, true, false, false, false]
+        );
+        let all = Recorder::new(RecorderConfig::default());
+        assert!((0..5).all(|_| all.sample()), "sample_every=1 captures all");
+    }
+
+    /// Multi-threaded record/snapshot: no panics, no torn traces
+    /// (snapshots only ever hand out whole `Arc`s), memory bounded by
+    /// capacity throughout.
+    #[test]
+    fn concurrent_record_and_snapshot_do_not_tear() {
+        let rec = Arc::new(Recorder::new(RecorderConfig {
+            recent_capacity: 8,
+            slow_capacity: 4,
+            slow_threshold: Duration::from_micros(50),
+            sample_every: 1,
+        }));
+        let iters = if cfg!(miri) { 20 } else { 500 };
+        let writers = 4;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..iters {
+                        let outcome = if i % 7 == 0 { "error[x]" } else { "ok" };
+                        rec.record(trace_with((w * 1000 + i) as u64, outcome));
+                    }
+                });
+            }
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for _ in 0..iters {
+                    let recent = rec.recent();
+                    assert!(recent.len() <= 8);
+                    for t in &recent {
+                        // A trace is internally consistent: outcome and
+                        // detail always intact, never half-written.
+                        assert!(t.outcome == "ok" || t.outcome == "error[x]");
+                        assert_eq!(t.detail, "q");
+                    }
+                    assert!(rec.slow().len() <= 4);
+                }
+            });
+        });
+        assert_eq!(rec.recorded_total(), (writers * iters) as u64);
+        assert_eq!(rec.recent().len(), 8, "ring full after the storm");
+    }
+}

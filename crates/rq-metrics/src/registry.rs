@@ -217,6 +217,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Total samples (always the sum of `buckets`).
     pub count: u64,
+    /// Per-bucket exemplar `(trace_id, sample_value)` — the most recent
+    /// traced observation to land in the bucket, if any. Same length as
+    /// `buckets`.
+    pub exemplars: Vec<Option<(u64, u64)>>,
 }
 
 /// One registered metric in a [`Snapshot`].
@@ -243,6 +247,12 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// The text format requires `\` and line feeds escaped in `# HELP` text
+/// (quotes are legal there, unlike in label values).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn label_block(labels: &[(String, String)]) -> String {
@@ -295,7 +305,7 @@ impl Snapshot {
                 Value::Histogram(_) => "histogram",
             };
             if !first.help.is_empty() {
-                let _ = writeln!(out, "# HELP {family} {}", first.help);
+                let _ = writeln!(out, "# HELP {family} {}", escape_help(&first.help));
             }
             let _ = writeln!(out, "# TYPE {family} {type_name}");
             for m in members {
@@ -312,9 +322,17 @@ impl Snapshot {
                                 Some(b) => b.to_string(),
                                 None => "+Inf".to_string(),
                             };
+                            // OpenMetrics-style exemplar suffix linking
+                            // the bucket to a recent trace id.
+                            let exemplar = match h.exemplars.get(i).copied().flatten() {
+                                Some((id, v)) => {
+                                    format!(" # {{trace_id=\"{id:016x}\"}} {v}")
+                                }
+                                None => String::new(),
+                            };
                             let _ = writeln!(
                                 out,
-                                "{family}_bucket{} {cumulative}",
+                                "{family}_bucket{} {cumulative}{exemplar}",
                                 bucket_labels(&m.labels, &le)
                             );
                         }
@@ -417,6 +435,80 @@ mod tests {
             4 * iters
         );
         assert_eq!(r.snapshot().metrics.len(), 1);
+    }
+
+    /// Regression: the text format requires `\n` (and `\` and `"`) in
+    /// label values to be escaped — an unescaped line feed splits the
+    /// sample across two lines and corrupts the whole exposition.
+    #[test]
+    fn label_values_escape_newlines_backslashes_and_quotes() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        r.counter_with("weird", &[("q", "a\nb\\c\"d")], "odd labels")
+            .add(1);
+        let text = r.render();
+        assert!(
+            text.contains(r#"weird{q="a\nb\\c\"d"} 1"#),
+            "label escaping broken:\n{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "raw newline split a sample line: {line:?}\n{text}"
+            );
+        }
+    }
+
+    /// Regression: `# HELP` text must escape `\` and `\n` too (quotes
+    /// are legal there) — help is caller-provided prose, and a line feed
+    /// in it would otherwise inject a bogus exposition line.
+    #[test]
+    fn help_text_escapes_newlines_and_backslashes() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        r.counter("helped", "first line\nsecond \\ line").add(1);
+        let text = r.render();
+        assert!(
+            text.contains(r"# HELP helped first line\nsecond \\ line"),
+            "help escaping broken:\n{text}"
+        );
+        assert!(!text.contains("\nsecond"), "raw newline leaked:\n{text}");
+    }
+
+    #[test]
+    fn bucket_lines_carry_trace_exemplars() {
+        let _g = crate::recording_lock();
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "latency", &[10, 100]);
+        h.observe(5); // untraced: no exemplar on this bucket
+        h.observe_with_exemplar(50, 0xBEEF);
+        let text = r.render();
+        assert!(
+            text.contains("lat_us_bucket{le=\"10\"} 1\n"),
+            "untraced bucket must have no exemplar suffix:\n{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{le=\"100\"} 2 # {trace_id=\"000000000000beef\"} 50"),
+            "{text}"
+        );
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars[0], None);
+        assert_eq!(snap.exemplars[1], Some((0xBEEF, 50)));
+    }
+
+    #[test]
+    fn scoped_timer_stamps_exemplar_from_installed_trace() {
+        let _g = crate::recording_lock();
+        let ctx = crate::span::TraceContext::start();
+        let h = Histogram::new(vec![u64::MAX - 1]);
+        {
+            let _install = crate::span::install(&ctx, 0);
+            let _t = h.start_timer();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        let stamped: Vec<u64> = snap.exemplars.iter().flatten().map(|(id, _)| *id).collect();
+        assert_eq!(stamped, vec![ctx.id()]);
     }
 
     #[test]

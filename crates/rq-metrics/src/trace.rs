@@ -4,8 +4,25 @@
 //! every function here is an inlineable no-op, and with the feature events
 //! are dropped until a sink is installed ([`install_stderr`] /
 //! [`install_writer`]). Each event is one JSON object per line —
-//! `{"ts_us":…,"event":"query","disposition":"miss",…}` — so a serve-batch
-//! run can be replayed or diffed offline with standard line tools.
+//! `{"ts_us":…,"event":"engine.run","disposition":"miss",…}` — so a
+//! serve-batch run can be replayed or diffed offline with standard line
+//! tools.
+//!
+//! ## Migration: one schema, one sink
+//!
+//! This module used to be the *only* request-scoped signal: instrumented
+//! code emitted ad-hoc events (`"query"`, `"batch"`, …) directly. Since
+//! the span layer ([`crate::span`]) landed, spans are the primary
+//! instrumentation and **span completion emits the JSON-lines event**
+//! through this module's sink: the event name is the span name
+//! (`engine.run`, `cache.probe`, `frontier.bfs`, … — table in
+//! ALGORITHMS.md), and the event fields are the span's annotations plus
+//! `trace_id`/`span`/`parent`/`duration_us`. Direct [`event`] calls
+//! remain supported for genuinely span-less facts (process lifecycle,
+//! sink management), but new instrumentation should open a span and let
+//! completion do the emitting — that way the in-memory trace tree, the
+//! flight recorder, `/tracez`, `rqtool explain`, and the JSON-lines
+//! stream can never disagree about what happened.
 
 /// Whether the crate was compiled with the `trace` feature.
 pub fn supported() -> bool {

@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use crate::retry::RetryPolicy;
+use rq_metrics::recorder::RecorderConfig;
 use std::time::Duration;
 
 /// Per-tenant admission quotas: a token bucket denominated in **governor
@@ -63,6 +64,10 @@ pub struct ServeConfig {
     /// Socket read timeout for idle keep-alive connections. Bounds how
     /// long a drain must wait for handler threads to notice the flag.
     pub idle_timeout: Duration,
+    /// Flight-recorder sizing and head-sampling policy for request
+    /// traces (`/tracez`, `/slowz`, and the `explain` option). Memory is
+    /// bounded by the two ring capacities regardless of load.
+    pub tracing: RecorderConfig,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +84,7 @@ impl Default for ServeConfig {
             quota: TenantQuota::default(),
             faults: FaultPlan::none(),
             idle_timeout: Duration::from_millis(500),
+            tracing: RecorderConfig::default(),
         }
     }
 }
@@ -136,6 +142,14 @@ impl ServeConfig {
                 self.quota.burst_fuel, self.request_fuel
             ));
         }
+        if self.tracing.recent_capacity == 0 || self.tracing.slow_capacity == 0 {
+            return fail("tracing ring capacities must be at least 1".into());
+        }
+        if self.tracing.sample_every == 0 {
+            return fail(
+                "tracing.sample_every must be at least 1 (1 = trace every request)".into(),
+            );
+        }
         Ok(())
     }
 }
@@ -182,6 +196,20 @@ mod tests {
             },
             ServeConfig {
                 drain_deadline: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                tracing: RecorderConfig {
+                    sample_every: 0,
+                    ..RecorderConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                tracing: RecorderConfig {
+                    recent_capacity: 0,
+                    ..RecorderConfig::default()
+                },
                 ..ServeConfig::default()
             },
         ] {

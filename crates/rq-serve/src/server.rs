@@ -19,6 +19,8 @@ use crate::retry::{decorrelated_jitter, RetryBudget, Rng};
 use rq_analyze::Json;
 use rq_automata::governor::{EngineError, Exhaustion, Limits, Resource};
 use rq_engine::Engine;
+use rq_metrics::recorder::Recorder;
+use rq_metrics::span::{self, FinishedTrace, TraceContext};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,6 +95,15 @@ struct Job {
     deadline: Instant,
     cancel: Arc<AtomicBool>,
     cell: Arc<JobCell>,
+    /// The request's trace context — every job has one (its id is echoed
+    /// in the response) even when head sampling skips span capture.
+    trace: Arc<TraceContext>,
+    /// Whether spans are captured for this request (head sampling, forced
+    /// on by `explain`).
+    sampled: bool,
+    /// Whether the response should inline the finished span tree and the
+    /// rendered per-stage profile.
+    explain: bool,
 }
 
 /// What a finished drain observed.
@@ -115,6 +126,8 @@ pub struct DrainReport {
 struct Inner {
     cfg: ServeConfig,
     engine: Arc<Engine>,
+    /// Bounded flight recorder backing `/tracez`, `/slowz`, and `explain`.
+    recorder: Recorder,
     queue: BoundedQueue<Job>,
     buckets: TenantBuckets,
     budget: RetryBudget,
@@ -155,6 +168,7 @@ impl Server {
             message: format!("cannot set the listener non-blocking: {e}"),
         })?;
         let inner = Arc::new(Inner {
+            recorder: Recorder::new(cfg.tracing.clone()),
             queue: BoundedQueue::new(cfg.queue_capacity),
             buckets: TenantBuckets::new(cfg.quota.clone()),
             budget: RetryBudget::new(cfg.retry.max_retries.max(1) * 8),
@@ -201,6 +215,11 @@ impl Server {
     /// The served engine.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.inner.engine
+    }
+
+    /// The request flight recorder (`/tracez` / `/slowz` backing store).
+    pub fn recorder(&self) -> &Recorder {
+        &self.inner.recorder
     }
 
     /// Whether a drain has started.
@@ -281,13 +300,20 @@ fn drain(inner: &Arc<Inner>) -> DrainReport {
     let swept = swept_jobs.len();
     for job in swept_jobs {
         metrics::shed("draining");
+        let finished = inner
+            .recorder
+            .record(job.trace.finish("error[draining]", &job.text));
         job.cell.fulfill(
             503,
-            error_body(
-                job.id,
-                "draining",
-                "server drained before this job ran",
-                vec![],
+            stamp_trace(
+                error_body(
+                    job.id,
+                    "draining",
+                    "server drained before this job ran",
+                    vec![],
+                ),
+                &finished,
+                false,
             ),
         );
     }
@@ -454,6 +480,8 @@ fn dispatch(inner: &Arc<Inner>, req: &Request) -> Resp {
         ("POST", "/stream") => "stream",
         ("POST", "/lint") => "lint",
         ("GET", "/metrics") => "metrics",
+        ("GET", "/tracez") => "tracez",
+        ("GET", "/slowz") => "slowz",
         ("GET", "/healthz") => "healthz",
         ("POST", "/drainz") => "drainz",
         _ => "other",
@@ -471,6 +499,8 @@ fn dispatch(inner: &Arc<Inner>, req: &Request) -> Resp {
             headers: Vec::new(),
             body: rq_metrics::global().render(),
         },
+        "tracez" => tracez(inner, false),
+        "slowz" => tracez(inner, true),
         "healthz" => healthz(inner),
         "drainz" => drainz(inner),
         _ => Resp::json(404, error_body(0, "invalid", "no such endpoint", vec![])),
@@ -503,9 +533,34 @@ fn request_knobs(inner: &Inner, req: &Request) -> (String, u64, Duration) {
     (tenant, fuel, timeout)
 }
 
+/// A query body is either the raw query text or a JSON envelope
+/// `{"query": "...", "explain": true}`. The envelope opts the request
+/// into the inline span profile; anything that does not parse as such an
+/// object is treated as raw query text (and judged by the query parser).
+fn parse_query_body(text: &str) -> (String, bool) {
+    if text.trim_start().starts_with('{') {
+        if let Ok(body) = Json::parse(text) {
+            if let Some(q) = body.get("query").and_then(Json::as_str) {
+                let explain = body.get("explain") == Some(&Json::Bool(true));
+                return (q.to_string(), explain);
+            }
+        }
+    }
+    (text.to_string(), false)
+}
+
 /// Admit one query body: tenant bucket, then bounded queue. On success the
-/// job is enqueued and its cell returned; on shed, the structured refusal.
-fn admit(inner: &Arc<Inner>, req: &Request, text: &str) -> Result<(u64, Arc<JobCell>), Resp> {
+/// job is enqueued and its cell + trace id returned; on shed, the
+/// structured refusal. Every admitted job gets a trace context — fresh,
+/// or adopted from a well-formed `X-RQ-Trace-Id` header — whose id the
+/// response echoes; span capture is head-sampled (forced on by
+/// `explain`).
+fn admit(
+    inner: &Arc<Inner>,
+    req: &Request,
+    text: &str,
+    explain: bool,
+) -> Result<(u64, Arc<JobCell>, String), Resp> {
     let (tenant, fuel, timeout) = request_knobs(inner, req);
     if text.trim().is_empty() {
         return Err(Resp::json(
@@ -538,6 +593,11 @@ fn admit(inner: &Arc<Inner>, req: &Request, text: &str) -> Result<(u64, Arc<JobC
     }
     let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
     let cell = JobCell::new();
+    let trace = match req.header("x-rq-trace-id").and_then(span::parse_trace_id) {
+        Some(tid) => TraceContext::with_id(tid),
+        None => TraceContext::start(),
+    };
+    let trace_hex = trace.id_hex();
     let job = Job {
         id,
         text: text.to_string(),
@@ -545,11 +605,14 @@ fn admit(inner: &Arc<Inner>, req: &Request, text: &str) -> Result<(u64, Arc<JobC
         deadline: Instant::now() + timeout,
         cancel: Arc::new(AtomicBool::new(false)),
         cell: Arc::clone(&cell),
+        sampled: explain || inner.recorder.sample(),
+        explain,
+        trace,
     };
     match inner.queue.push(job) {
         Ok(depth) => {
             metrics::queue_depth(depth);
-            Ok((id, cell))
+            Ok((id, cell, trace_hex))
         }
         Err(PushError::Full { depth, .. }) => {
             metrics::shed("queue");
@@ -583,8 +646,9 @@ fn query_sync(inner: &Arc<Inner>, req: &Request) -> Resp {
         Ok(t) => t.to_string(),
         Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
     };
+    let (query, explain) = parse_query_body(&text);
     let (_, _, timeout) = request_knobs(inner, req);
-    let (id, cell) = match admit(inner, req, &text) {
+    let (id, cell, trace_hex) = match admit(inner, req, &query, explain) {
         Ok(ok) => ok,
         Err(resp) => return resp,
     };
@@ -592,13 +656,15 @@ fn query_sync(inner: &Arc<Inner>, req: &Request) -> Resp {
     // waits it out, plus a stuck-grace that only trips if a worker failed
     // to answer at all (which `catch_unwind` + the drain sweep prevent).
     let deadline = Instant::now() + timeout + STUCK_GRACE;
-    match cell.wait_until(deadline) {
+    let mut resp = match cell.wait_until(deadline) {
         Some((status, body)) => Resp::json(status, body),
         None => Resp::json(
             500,
             error_body(id, "internal", "worker never answered", vec![]),
         ),
-    }
+    };
+    resp.headers.push(("X-RQ-Trace-Id", trace_hex));
+    resp
 }
 
 fn submit_async(inner: &Arc<Inner>, req: &Request) -> Resp {
@@ -617,8 +683,9 @@ fn submit_async(inner: &Arc<Inner>, req: &Request) -> Resp {
             .with_retry_after(Duration::from_secs(1));
         }
     }
-    match admit(inner, req, &text) {
-        Ok((id, cell)) => {
+    let (query, explain) = parse_query_body(&text);
+    match admit(inner, req, &query, explain) {
+        Ok((id, cell, _)) => {
             inner
                 .async_jobs
                 .lock()
@@ -681,8 +748,8 @@ fn stream(inner: &Arc<Inner>, req: &Request) -> Resp {
     let (_, _, timeout) = request_knobs(inner, req);
     let mut lines = Vec::new();
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let line_resp = match admit(inner, req, line) {
-            Ok((id, cell)) => match cell.wait_until(Instant::now() + timeout + STUCK_GRACE) {
+        let line_resp = match admit(inner, req, line, false) {
+            Ok((id, cell, _)) => match cell.wait_until(Instant::now() + timeout + STUCK_GRACE) {
                 Some((_, body)) => body,
                 None => error_body(id, "internal", "worker never answered", vec![]),
             },
@@ -711,6 +778,28 @@ fn lint(inner: &Arc<Inner>, req: &Request) -> Resp {
     let alphabet = inner.engine.alphabet();
     let report = rq_analyze::lint_two_rpq(&q, &alphabet, &inner.engine.config().cache.probe_limits);
     Resp::json(200, report.to_json().emit())
+}
+
+/// `/tracez` (recent traces) and `/slowz` (slow/errored retention): a
+/// JSON array of finished traces, newest first, straight out of the
+/// bounded flight recorder.
+fn tracez(inner: &Arc<Inner>, slow_only: bool) -> Resp {
+    let traces = if slow_only {
+        inner.recorder.slow()
+    } else {
+        inner.recorder.recent()
+    };
+    let items: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
+    Resp::json(
+        200,
+        format!(
+            "{{\"count\":{},\"recorded_total\":{},\"retained_slow_total\":{},\"traces\":[{}]}}",
+            items.len(),
+            inner.recorder.recorded_total(),
+            inner.recorder.retained_slow_total(),
+            items.join(",")
+        ),
+    )
 }
 
 fn healthz(inner: &Arc<Inner>) -> Resp {
@@ -777,7 +866,17 @@ fn worker_loop(inner: &Arc<Inner>) {
             .unwrap_or_else(|e| e.into_inner())
             .insert(job.id, Arc::clone(&job.cancel));
         metrics::inflight(1);
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &job)));
+        // The trace context is installed for the whole execution (when
+        // sampled), so every engine/core/frontier span lands in this
+        // request's tree under one `serve.execute` root. A panic unwinds
+        // the guard and the root span like any other drop.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = job.sampled.then(|| span::install(&job.trace, 0));
+            let mut root = span::start("serve.execute");
+            let (status, body) = execute(inner, &job);
+            root.record("status", status);
+            (status, body)
+        }));
         let (status, body) = outcome.unwrap_or_else(|_| {
             metrics::job_panic();
             (
@@ -796,8 +895,48 @@ fn worker_loop(inner: &Arc<Inner>) {
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job.id);
         metrics::inflight(-1);
-        job.cell.fulfill(status, body);
+        // Close out the trace (slow/errored tails survive in the
+        // recorder regardless of sampling) and stamp the response body
+        // with the trace id — plus the profile when `explain` asked.
+        let finished = inner
+            .recorder
+            .record(job.trace.finish(outcome_name(status), &job.text));
+        job.cell
+            .fulfill(status, stamp_trace(body, &finished, job.explain));
     }
+}
+
+/// Trace-level outcome label for a response status.
+fn outcome_name(status: u16) -> &'static str {
+    match status {
+        200 => "ok",
+        400 => "error[invalid]",
+        408 => "error[deadline]",
+        422 => "error[exhausted]",
+        500 => "error[internal]",
+        503 => "error[draining]",
+        _ => "error",
+    }
+}
+
+/// Add the `trace_id` field (and, for `explain`, the span tree plus the
+/// rendered profile) to a structured JSON response body. Non-object
+/// bodies pass through untouched.
+fn stamp_trace(body: String, trace: &FinishedTrace, explain: bool) -> String {
+    let Ok(Json::Obj(mut fields)) = Json::parse(&body) else {
+        return body;
+    };
+    fields.push((
+        "trace_id".to_string(),
+        Json::Str(span::format_trace_id(trace.trace_id)),
+    ));
+    if explain {
+        if let Ok(spans) = Json::parse(&trace.to_json()) {
+            fields.push(("trace".to_string(), spans));
+        }
+        fields.push(("profile".to_string(), Json::Str(trace.render())));
+    }
+    Json::Obj(fields).emit()
 }
 
 fn decide_fault(inner: &Inner, site: FaultSite) -> Option<Fault> {
@@ -1085,9 +1224,10 @@ mod metrics {
     use std::time::Duration;
 
     pub(super) fn request(endpoint: &str) {
-        static CELLS: OnceLock<[Arc<Counter>; 9]> = OnceLock::new();
-        const ENDPOINTS: [&str; 9] = [
-            "query", "submit", "poll", "stream", "lint", "metrics", "healthz", "drainz", "other",
+        static CELLS: OnceLock<[Arc<Counter>; 11]> = OnceLock::new();
+        const ENDPOINTS: [&str; 11] = [
+            "query", "submit", "poll", "stream", "lint", "metrics", "tracez", "slowz", "healthz",
+            "drainz", "other",
         ];
         let cells = CELLS.get_or_init(|| {
             ENDPOINTS.map(|e| {
@@ -1098,7 +1238,7 @@ mod metrics {
                 )
             })
         });
-        let i = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(8);
+        let i = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(10);
         cells[i].inc();
     }
 
@@ -1272,6 +1412,133 @@ mod tests {
         assert_eq!(
             body.get("disposition").and_then(Json::as_str),
             Some("exact")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn every_query_response_carries_a_trace_id() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        // Success, client-supplied id echo, and error bodies all carry it.
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        assert_eq!(r.status, 200);
+        let body = Json::parse(&r.text()).unwrap();
+        let tid = body.get("trace_id").and_then(Json::as_str).unwrap();
+        assert!(span::parse_trace_id(tid).is_some(), "malformed id {tid:?}");
+        assert_eq!(r.header("x-rq-trace-id"), Some(tid));
+
+        let supplied = "00000000deadbeef";
+        let r = c
+            .request("POST", "/query", &[("X-RQ-Trace-Id", supplied)], b"b+")
+            .unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(
+            body.get("trace_id").and_then(Json::as_str),
+            Some(supplied),
+            "well-formed client trace ids are adopted"
+        );
+
+        let r = c.request("POST", "/query", &[], b"((((").unwrap();
+        assert_eq!(r.status, 400);
+        let body = Json::parse(&r.text()).unwrap();
+        assert!(
+            body.get("trace_id").and_then(Json::as_str).is_some(),
+            "error responses are traced too"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn explain_inlines_the_span_profile() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c
+            .request(
+                "POST",
+                "/query",
+                &[],
+                br#"{"query": "a (a|b)*", "explain": true}"#,
+            )
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        let profile = body.get("profile").and_then(Json::as_str).unwrap();
+        for needle in [
+            "serve.execute",
+            "engine.run",
+            "analyze.preflight",
+            "fuel by stage:",
+        ] {
+            assert!(
+                profile.contains(needle),
+                "missing {needle:?} in:\n{profile}"
+            );
+        }
+        let trace = body.get("trace").expect("span tree inlined");
+        assert_eq!(
+            trace.get("trace_id").and_then(Json::as_str),
+            body.get("trace_id").and_then(Json::as_str)
+        );
+        // The JSON envelope without explain is still a plain response.
+        let r = c
+            .request("POST", "/query", &[], br#"{"query": "a+"}"#)
+            .unwrap();
+        assert_eq!(r.status, 200);
+        let body = Json::parse(&r.text()).unwrap();
+        assert!(body.get("profile").is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracez_and_slowz_expose_the_flight_recorder() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        let tid = Json::parse(&r.text())
+            .unwrap()
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let r = c.request("GET", "/tracez", &[], b"").unwrap();
+        assert_eq!(r.status, 200);
+        let body = Json::parse(&r.text()).unwrap();
+        assert!(body.get("count").and_then(Json::as_u64).unwrap() >= 1);
+        let traces = body.get("traces").unwrap();
+        let Json::Arr(traces) = traces else {
+            panic!("traces is an array")
+        };
+        assert!(
+            traces
+                .iter()
+                .any(|t| t.get("trace_id").and_then(Json::as_str) == Some(tid.as_str())),
+            "the served request is in /tracez"
+        );
+        // A starved request (X-Fuel: 1 exhausts) lands in /slowz retention.
+        let r = c
+            .request("POST", "/query", &[("X-Fuel", "1")], b"(a|b)* a")
+            .unwrap();
+        assert_eq!(r.status, 422);
+        let errored = Json::parse(&r.text())
+            .unwrap()
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let r = c.request("GET", "/slowz", &[], b"").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        let Some(Json::Arr(traces)) = body.get("traces").cloned() else {
+            panic!("traces is an array")
+        };
+        let kept = traces
+            .iter()
+            .find(|t| t.get("trace_id").and_then(Json::as_str) == Some(errored.as_str()))
+            .expect("errored request retained in /slowz");
+        assert_eq!(
+            kept.get("outcome").and_then(Json::as_str),
+            Some("error[exhausted]")
         );
         server.shutdown();
     }

@@ -13,6 +13,7 @@
 //! rqtool contain-rq <query1.rq> <query2.rq>
 //! rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]
 //! rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]
+//! rqtool explain <graph.txt> <query> [--warm=QUERY] [--threads=N]
 //! rqtool lint <query|file|dir> [--goal=PRED] [--json]
 //! rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--faults=SPEC]
 //! rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]
@@ -42,6 +43,16 @@
 //! latency percentiles (experiment E14). Shed clients honor the
 //! server's `Retry-After` before retrying unless `--no-backoff` is
 //! given.
+//!
+//! `explain` serves one query under a request-scoped trace and prints
+//! the span tree as a per-stage profile: preflight action, cache
+//! disposition, the containment-ladder rung that decided each cache
+//! probe, and the frontier-BFS work of the evaluation — each span
+//! annotated with its fuel and duration, with a per-stage fuel rollup at
+//! the end. `--warm=QUERY` (repeatable) serves warm-up queries untraced
+//! first, so cache hits and subsumptions can be profiled: `rqtool
+//! explain g.txt "p p" --warm="p*"` shows the probe ladder proving
+//! `p p ⊑ p*` and the superset re-evaluation.
 //!
 //! `serve-batch` reads one 2RPQ per line (blank lines and `#` comments
 //! skipped), serves the batch through the `rq-engine` semantic cache, and
@@ -115,6 +126,7 @@ fn main() -> ExitCode {
             || f.starts_with("--timeout-ms=")
             || f.starts_with("--threads=")
             || f.starts_with("--cache-cap=")
+            || f.starts_with("--warm=")
             || f.starts_with("--addr=")
             || f.starts_with("--workers=")
             || f.starts_with("--queue-cap=")
@@ -158,6 +170,7 @@ fn main() -> ExitCode {
             ("stats", [graph, queries]) => {
                 cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::MetricsOnly)
             }
+            ("explain", [graph, query]) => cmd_explain(graph, query, &flags),
             ("lint", [input]) => cmd_lint(input, goal.as_deref(), &limits, want_json),
             ("serve", [graph]) => cmd_serve(graph, &flags, &limits),
             ("bench-serve", [graph]) => cmd_bench_serve(graph, None, &flags, &limits),
@@ -190,6 +203,7 @@ fn usage() -> String {
      rqtool contain-rq <query1.rq> <query2.rq>\n  \
      rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]\n  \
      rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n  \
+     rqtool explain <graph.txt> <query> [--warm=QUERY] [--threads=N]\n  \
      rqtool lint <query|file|dir> [--goal=PRED] [--json]\n  \
      rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--request-fuel=N] [--drain-ms=N] [--faults=SPEC]\n  \
      rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]\n\
@@ -449,6 +463,43 @@ fn cmd_serve_batch(
         }
         print!("{}", regular_queries::metrics::global().render());
     }
+    Ok(())
+}
+
+/// `rqtool explain`: serve one query under a request-scoped trace and
+/// print the rendered span tree (the same per-stage profile the serve
+/// front-end inlines for `{"query": ..., "explain": true}` bodies).
+fn cmd_explain(graph: &str, query: &str, flags: &[&String]) -> Result<(), String> {
+    use regular_queries::metrics::span::{self, TraceContext};
+    let engine = serve_engine(graph, flags)?;
+    // Warm-up queries run untraced, so the traced query can exercise the
+    // cache paths (exact hits, equivalence, probe-ladder subsumption).
+    for f in flags {
+        if let Some(w) = f.strip_prefix("--warm=") {
+            let q = engine
+                .parse(w)
+                .map_err(|e| format!("error[parse]: warm-up query {w:?}: {e}"))?;
+            engine
+                .run(&q)
+                .map_err(|e| format!("warm-up query {w:?} failed: {e}"))?;
+        }
+    }
+    let q = engine.parse(query).map_err(|e| e.to_string())?;
+    let ctx = TraceContext::start();
+    let result = {
+        let _guard = span::install(&ctx, 0);
+        engine.run(&q)
+    };
+    let outcome = match &result {
+        Ok(_) => "ok".to_string(),
+        Err(e) => format!("error: {e}"),
+    };
+    let trace = ctx.finish(&outcome, query);
+    match &result {
+        Ok(r) => println!("{} [{}]: {} pairs\n", query, r.disposition, r.answer.len()),
+        Err(e) => println!("{query}: stopped early: {e}\n"),
+    }
+    println!("{}", trace.render());
     Ok(())
 }
 

@@ -430,4 +430,104 @@ mod chaos {
         let report = server.shutdown();
         assert!(report.metrics.contains("rq_serve_job_panics_total"));
     }
+
+    /// The flight recorder under chaos: a seeded fault storm (panics,
+    /// stalls, fuel starvation) must leave `/tracez` well-formed — every
+    /// entry a JSON object with a parseable trace id and an outcome —
+    /// and `/slowz` must retain the injected-slow and errored requests,
+    /// including a deterministically starved 422 whose echoed trace id
+    /// is findable there afterwards.
+    #[test]
+    fn flight_recorder_stays_well_formed_under_chaos() {
+        use regular_queries::metrics::span::parse_trace_id;
+        quiet_injected_panics();
+        let plan = FaultPlan {
+            seed: 0xABAD1DEA,
+            panic_ppm: 20_000,
+            delay_ppm: 20_000,
+            delay: Duration::from_millis(1),
+            starve_ppm: 20_000,
+        };
+        let server = Server::start(
+            engine_on(40, 160, 47),
+            ServeConfig {
+                workers: 2,
+                quota: TenantQuota {
+                    fuel_per_sec: 1_000_000_000_000,
+                    burst_fuel: 1_000_000_000_000,
+                },
+                faults: plan,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        let mut client = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+        let queries = ["a+", "(a|b)+", "b+", "a b- a"];
+        for i in 0..300 {
+            let q = queries[i % queries.len()];
+            if client.request("POST", "/query", &[], q.as_bytes()).is_err() {
+                while client.reconnect().is_err() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        // One deterministic starvation (no injection needed): X-Fuel: 1
+        // exhausts every attempt, so this request's trace must land in
+        // the slow/errored retention ring.
+        let starved = loop {
+            match client.request("POST", "/query", &[("X-Fuel", "1")], b"(a|b)* a") {
+                Ok(resp) => break resp,
+                Err(_) => {
+                    while client.reconnect().is_err() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        };
+        assert_eq!(starved.status, 422, "{}", starved.text());
+        let starved_tid = Json::parse(&starved.text())
+            .expect("json")
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("422 bodies carry a trace id")
+            .to_string();
+
+        for path in ["/tracez", "/slowz"] {
+            let resp = loop {
+                match client.request("GET", path, &[], b"") {
+                    Ok(resp) => break resp,
+                    Err(_) => {
+                        while client.reconnect().is_err() {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            };
+            assert_eq!(resp.status, 200);
+            let body = Json::parse(&resp.text())
+                .unwrap_or_else(|e| panic!("{path} must stay well-formed under chaos: {e}"));
+            let Some(Json::Arr(traces)) = body.get("traces") else {
+                panic!("{path} carries a traces array");
+            };
+            assert!(!traces.is_empty(), "{path} is non-empty after 300 requests");
+            for t in traces {
+                let tid = t.get("trace_id").and_then(Json::as_str).expect("trace_id");
+                assert!(parse_trace_id(tid).is_some(), "malformed id {tid:?}");
+                assert!(t.get("outcome").and_then(Json::as_str).is_some());
+                assert!(t.get("duration_us").and_then(Json::as_u64).is_some());
+            }
+            if path == "/slowz" {
+                let kept = traces
+                    .iter()
+                    .find(|t| t.get("trace_id").and_then(Json::as_str) == Some(&starved_tid))
+                    .expect("the starved 422 is retained in /slowz");
+                assert_eq!(
+                    kept.get("outcome").and_then(Json::as_str),
+                    Some("error[exhausted]")
+                );
+            }
+        }
+        server.shutdown();
+    }
 }
