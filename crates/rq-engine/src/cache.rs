@@ -24,7 +24,7 @@
 //! small to find out".
 
 use rq_automata::governor::{Governor, Limits};
-use rq_automata::Alphabet;
+use rq_automata::{Alphabet, LabelId};
 use rq_core::canonical::{canonical_key_governed, syntactic_key};
 use rq_core::containment::facade::check_quick_governed;
 use rq_core::containment::Outcome;
@@ -87,6 +87,9 @@ pub struct CacheStats {
     pub probe_exhausted: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Entries evicted because a graph delta touched their alphabet (see
+    /// [`SemanticCache::invalidate`]).
+    pub invalidated: u64,
 }
 
 impl CacheStats {
@@ -111,7 +114,7 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "exact={} equivalent={} subsumed={} misses={} probes={} probe-exhausted={} \
-             evictions={} hit-rate={:.0}%",
+             evictions={} invalidated={} hit-rate={:.0}%",
             self.exact,
             self.equivalent,
             self.subsumed,
@@ -119,6 +122,7 @@ impl fmt::Display for CacheStats {
             self.probes,
             self.probe_exhausted,
             self.evictions,
+            self.invalidated,
             self.hit_rate() * 100.0
         )
     }
@@ -339,6 +343,43 @@ impl SemanticCache {
     pub fn contains_key(&self, key: &str) -> bool {
         self.entries.iter().any(|e| e.key == key)
     }
+
+    /// Delta-driven invalidation: evict exactly the entries whose answers
+    /// a graph mutation could have changed, and keep the rest live.
+    ///
+    /// An entry must go if
+    ///
+    /// * its query's automaton alphabet intersects `touched` — any
+    ///   semipath witnessing a cached pair may traverse a touched label
+    ///   (in either direction: `r` and `r⁻` edges change together); or
+    /// * `added_nodes` and ε ∈ L(Q) — a nullable query answers `(v, v)`
+    ///   for *every* node, including a freshly interned isolated one, so
+    ///   its materialized answer is stale even though no touched label
+    ///   appears in it.
+    ///
+    /// Entries over disjoint labels are provably unaffected: every edge
+    /// their semipaths can traverse is untouched, so `Q(D') = Q(D)`.
+    /// Returns the number of entries evicted.
+    pub fn invalidate(&mut self, touched: &BTreeSet<LabelId>, added_nodes: bool) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            let hit = e
+                .query
+                .regex()
+                .letters()
+                .iter()
+                .any(|l| touched.contains(&l.label))
+                || (added_nodes && e.query.nullable());
+            !hit
+        });
+        let evicted = (before - self.entries.len()) as u64;
+        self.stats.invalidated += evicted;
+        if evicted > 0 {
+            metrics::invalidated(evicted);
+            metrics::entries(self.entries.len());
+        }
+        evicted
+    }
 }
 
 /// Cache-level metrics: lookup dispositions, probe verdicts and the fuel
@@ -416,6 +457,17 @@ mod metrics {
         static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
         CELL.get_or_init(|| global().gauge("rq_cache_entries", "Materialized cache entries"))
             .set(len as u64);
+    }
+
+    pub(super) fn invalidated(n: u64) {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            global().counter(
+                "rq_cache_invalidations_total",
+                "Entries evicted because a graph delta touched their alphabet",
+            )
+        })
+        .add(n);
     }
 }
 
@@ -525,6 +577,49 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.probe_exhausted > 0, "{stats}");
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn invalidate_evicts_only_entries_over_touched_labels() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig::default());
+        let qa = TwoRpq::parse("a+", &mut al).unwrap();
+        let qb = TwoRpq::parse("b b-", &mut al).unwrap();
+        let qab = TwoRpq::parse("a b", &mut al).unwrap();
+        for q in [&qa, &qb, &qab] {
+            let k = cache.key_of(q, &al);
+            cache.insert(k, q, pairs(&db, q));
+        }
+        let touched: BTreeSet<LabelId> = [al.get("a").unwrap()].into_iter().collect();
+        let evicted = cache.invalidate(&touched, false);
+        assert_eq!(evicted, 2, "a+ and `a b` touch label a; `b b-` does not");
+        assert_eq!(cache.len(), 1);
+        let kb = cache.key_of(&qb, &al);
+        assert!(cache.contains_key(&kb), "disjoint-alphabet entry survives");
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn invalidate_evicts_nullable_queries_when_nodes_were_added() {
+        let (db, mut al) = setup();
+        let mut cache = SemanticCache::new(CacheConfig::default());
+        // `b*` is nullable: its answer contains (v, v) for every node, so
+        // interning a new node stales it even if no b-edge changed.
+        let nullable = TwoRpq::parse("b*", &mut al).unwrap();
+        let plain = TwoRpq::parse("b+", &mut al).unwrap();
+        for q in [&nullable, &plain] {
+            let k = cache.key_of(q, &al);
+            cache.insert(k, q, pairs(&db, q));
+        }
+        let touched: BTreeSet<LabelId> = [al.get("a").unwrap()].into_iter().collect();
+        assert_eq!(cache.invalidate(&touched, true), 1);
+        let kp = cache.key_of(&plain, &al);
+        assert!(cache.contains_key(&kp), "non-nullable b+ survives");
+        // Without node additions the nullable entry would have survived.
+        let k = cache.key_of(&nullable, &al);
+        cache.insert(k.clone(), &nullable, pairs(&db, &nullable));
+        assert_eq!(cache.invalidate(&touched, false), 0);
+        assert!(cache.contains_key(&k));
     }
 
     #[test]

@@ -11,15 +11,15 @@
 use crate::cache::{Answer, CacheConfig, CacheStats, Lookup, SemanticCache};
 use crate::pool::WorkerPool;
 use rq_automata::governor::{EngineError, Exhaustion, Governor, Limits, Resource};
-use rq_automata::Alphabet;
+use rq_automata::{Alphabet, LabelId};
 use rq_core::TwoRpq;
-use rq_graph::{GraphDb, NodeId};
+use rq_graph::{Delta, GraphDb, NodeId};
 use rq_metrics::span;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
@@ -176,13 +176,41 @@ struct Shared {
     cache: SemanticCache,
 }
 
-/// A query-serving engine owning an immutable [`GraphDb`].
+/// The outcome of one [`Engine::apply_deltas`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Deltas that changed the graph.
+    pub applied: usize,
+    /// Idempotent no-ops (duplicate adds, removals of absent edges).
+    pub ignored: usize,
+    /// The graph epoch after the batch.
+    pub epoch: u64,
+    /// Cache entries evicted by alphabet-intersection invalidation.
+    pub evicted: u64,
+    /// Whether the batch interned new nodes (which additionally evicts
+    /// nullable cached queries — ε ∈ L(Q) answers `(v, v)` for every
+    /// node, including a fresh isolated one).
+    pub added_nodes: bool,
+}
+
+/// A query-serving engine owning a versioned [`GraphDb`].
 ///
 /// Queries must be parsed through [`Engine::parse`] (or against the
 /// database's own alphabet) so that label identities line up across the
 /// cache's containment probes.
+///
+/// The graph is mutable through [`Engine::apply_deltas`]: the database
+/// lives behind an `RwLock<Arc<_>>`, in-flight evaluations pin the `Arc`
+/// they started with, and each applied batch bumps a monotonically
+/// increasing *graph epoch* used to fence cache writes against concurrent
+/// ingest.
 pub struct Engine {
-    db: Arc<GraphDb>,
+    db: RwLock<Arc<GraphDb>>,
+    /// Bumped once per [`Engine::apply_deltas`] batch that changed the
+    /// graph. A query result computed against epoch `e` is only
+    /// materialized into the cache if the epoch is still `e` at insert
+    /// time.
+    epoch: AtomicU64,
     pool: WorkerPool,
     shared: Mutex<Shared>,
     config: EngineConfig,
@@ -199,7 +227,8 @@ impl Engine {
         db.ensure_indexes();
         let alphabet = db.alphabet().clone();
         Engine {
-            db: Arc::new(db),
+            db: RwLock::new(Arc::new(db)),
+            epoch: AtomicU64::new(0),
             pool: WorkerPool::new(config.threads.clamp(1, config.max_threads.max(1))),
             shared: Mutex::new(Shared {
                 alphabet,
@@ -247,9 +276,27 @@ impl Engine {
         }
     }
 
-    /// The served database.
-    pub fn db(&self) -> &GraphDb {
-        &self.db
+    /// A snapshot of the served database. The returned `Arc` pins the
+    /// graph version current at the moment of the call: a concurrent
+    /// [`Engine::apply_deltas`] copy-on-writes a fresh version rather
+    /// than mutating a pinned snapshot, so the reference stays coherent
+    /// for as long as the caller holds it.
+    pub fn db(&self) -> Arc<GraphDb> {
+        Arc::clone(&self.db.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// The graph epoch: bumped once per [`Engine::apply_deltas`] batch
+    /// that changed the graph.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Seed the epoch counter — serving layers restoring from a
+    /// persistent store call this once at startup (with the store's
+    /// epoch) before queries flow, so epochs stay monotone across
+    /// restarts.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
     }
 
     /// The engine's configuration.
@@ -329,10 +376,10 @@ impl Engine {
         // Degraded (post-recovery) serving: skip all cache traffic — the
         // answer still comes from the graph.
         if self.is_degraded() {
-            let q_eff = {
+            let (q_eff, db) = {
                 let mut shared = self.shared();
                 let Shared { alphabet, .. } = &mut *shared;
-                if self.config.preflight {
+                let q_eff = if self.config.preflight {
                     let p = rq_analyze::preflight(q, alphabet, &self.config.cache.probe_limits);
                     if p.action == rq_analyze::PreflightAction::Empty {
                         return Ok(QueryResult {
@@ -343,16 +390,22 @@ impl Engine {
                     p.query
                 } else {
                     q.clone()
-                }
+                };
+                (q_eff, self.db())
             };
-            let sources: Vec<NodeId> = self.db.nodes().collect();
-            let answer = Arc::new(self.eval_sources(&q_eff, sources, limits, cancel)?);
+            let sources: Vec<NodeId> = db.nodes().collect();
+            let answer = Arc::new(self.eval_sources(&q_eff, &db, sources, limits, cancel)?);
             return Ok(QueryResult {
                 answer,
                 disposition: Disposition::Miss,
             });
         }
-        let (key, lookup, q_eff) = {
+        // The database snapshot and the epoch are captured inside the same
+        // critical section as the cache lookup: `apply_deltas` mutates
+        // graph, epoch, and cache under this very lock, so the triple is
+        // mutually consistent — a Subsumed superset is always filtered
+        // against the graph version it was cached for.
+        let (key, lookup, q_eff, db, epoch_at_lookup) = {
             let mut shared = self.shared();
             let Shared { alphabet, cache } = &mut *shared;
             // Pre-flight (rq-analyze): short-circuit ∅-language queries
@@ -372,7 +425,7 @@ impl Engine {
             };
             let key = cache.key_of(&q_eff, alphabet);
             let lookup = cache.lookup(&q_eff, &key, alphabet);
-            (key, lookup, q_eff)
+            (key, lookup, q_eff, self.db(), self.epoch())
         };
         let q = &q_eff;
         // Graph work happens outside the lock: concurrent callers only
@@ -397,26 +450,101 @@ impl Engine {
                 // re-check.
                 let mut sources: Vec<NodeId> = superset.iter().map(|&(x, _)| x).collect();
                 sources.dedup();
-                let answer = Arc::new(self.eval_sources(q, sources, limits, cancel)?);
+                let answer = Arc::new(self.eval_sources(q, &db, sources, limits, cancel)?);
                 (answer, Disposition::Subsumed)
             }
             Lookup::Miss => {
-                let sources: Vec<NodeId> = self.db.nodes().collect();
-                let answer = Arc::new(self.eval_sources(q, sources, limits, cancel)?);
+                let sources: Vec<NodeId> = db.nodes().collect();
+                let answer = Arc::new(self.eval_sources(q, &db, sources, limits, cancel)?);
                 (answer, Disposition::Miss)
             }
         };
         let mut shared = self.shared();
         // The recovery may have happened mid-request (the poison was
         // observed by this very lock call): don't materialize into a
-        // cache the engine has just stopped trusting.
-        if !self.is_degraded() {
+        // cache the engine has just stopped trusting. Likewise, if a
+        // delta batch landed while we were evaluating, the answer is for
+        // a superseded graph version — correct to *return* (the query
+        // linearizes at lookup time) but wrong to *cache*.
+        if !self.is_degraded() && self.epoch() == epoch_at_lookup {
             shared.cache.insert(key, q, Arc::clone(&answer));
         }
         Ok(QueryResult {
             answer,
             disposition,
         })
+    }
+
+    /// Apply a batch of edge deltas to the served graph, bump the graph
+    /// epoch, and invalidate exactly the cache entries the batch could
+    /// have staled.
+    ///
+    /// Ordering inside the critical section:
+    ///
+    /// 1. every delta label is interned through the *shared* alphabet
+    ///    first, then the database alphabet is aligned to it — so a label
+    ///    first seen in a parsed query and later ingested as data gets
+    ///    the same [`LabelId`] on both paths;
+    /// 2. the graph is patched via [`Arc::make_mut`]: in place when no
+    ///    in-flight evaluation pins the current version, copy-on-write
+    ///    when one does (pinned snapshots never mutate under a reader);
+    /// 3. if anything changed, the epoch is bumped once for the whole
+    ///    batch and [`SemanticCache::invalidate`] evicts entries whose
+    ///    automaton alphabet intersects the touched labels (plus nullable
+    ///    entries when nodes were added). Entries over disjoint labels
+    ///    stay live and keep hitting.
+    ///
+    /// Durability is the caller's concern: persistent serving layers
+    /// append to their store (and fsync) *before* calling this, so a
+    /// delta is never observable by queries unless it would survive a
+    /// crash.
+    pub fn apply_deltas(&self, deltas: &[Delta]) -> DeltaReport {
+        let mut span = span::start("engine.apply_deltas");
+        let mut shared = self.shared();
+        let labels: Vec<LabelId> = deltas
+            .iter()
+            .map(|d| shared.alphabet.intern(d.label_name()))
+            .collect();
+        let mut touched: BTreeSet<LabelId> = BTreeSet::new();
+        let mut applied = 0usize;
+        let added_nodes;
+        {
+            let mut db_guard = self.db.write().unwrap_or_else(|p| p.into_inner());
+            let db = Arc::make_mut(&mut db_guard);
+            db.align_alphabet(&shared.alphabet);
+            let nodes_before = db.num_nodes();
+            for (d, &l) in deltas.iter().zip(&labels) {
+                if db.apply_delta(d) {
+                    applied += 1;
+                    touched.insert(l);
+                }
+            }
+            added_nodes = db.num_nodes() > nodes_before;
+        }
+        let (epoch, evicted) = if applied > 0 || added_nodes {
+            let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            let evicted = shared.cache.invalidate(&touched, added_nodes);
+            (epoch, evicted)
+        } else {
+            (self.epoch(), 0)
+        };
+        drop(shared);
+        let report = DeltaReport {
+            applied,
+            ignored: deltas.len() - applied,
+            epoch,
+            evicted,
+            added_nodes,
+        };
+        metrics::deltas(&report);
+        if span.active() {
+            span.record("applied", applied);
+            span.record("ignored", report.ignored);
+            span.record("touched_labels", touched.len());
+            span.record("evicted", evicted);
+            span.record("epoch", epoch);
+        }
+        report
     }
 
     /// Parse and serve in one step.
@@ -428,13 +556,14 @@ impl Engine {
     /// Governed single-source evaluation (no cache: single-source answers
     /// are not materialized).
     pub fn run_from(&self, q: &TwoRpq, source: NodeId) -> Result<BTreeSet<NodeId>, EngineError> {
-        if source.index() >= self.db.num_nodes() {
+        let db = self.db();
+        if source.index() >= db.num_nodes() {
             return Err(EngineError::InvalidInput {
                 message: format!("source node #{} out of range", source.index()),
             });
         }
         let gov = self.config.limits.governor();
-        Ok(q.evaluate_from_governed(&self.db, source, &gov)?)
+        Ok(q.evaluate_from_governed(&db, source, &gov)?)
     }
 
     /// Serve a batch: queries are deduplicated by cache key, ordered so
@@ -525,6 +654,7 @@ impl Engine {
                 probes: after.probes - stats_before.probes,
                 probe_exhausted: after.probe_exhausted - stats_before.probe_exhausted,
                 evictions: after.evictions - stats_before.evictions,
+                invalidated: after.invalidated - stats_before.invalidated,
             },
         };
         if span.active() {
@@ -545,6 +675,7 @@ impl Engine {
     fn eval_sources(
         &self,
         q: &TwoRpq,
+        db: &Arc<GraphDb>,
         sources: Vec<NodeId>,
         limits: &Limits,
         cancel: Option<Arc<AtomicBool>>,
@@ -565,7 +696,7 @@ impl Engine {
         let peer_cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Result<BTreeSet<(NodeId, NodeId)>, Exhaustion>>();
         for s in 0..stripes {
-            let db = Arc::clone(&self.db);
+            let db = Arc::clone(db);
             let q = q.clone();
             let tx = tx.clone();
             let peer_cancel = Arc::clone(&peer_cancel);
@@ -655,8 +786,8 @@ impl Engine {
 /// `rq_metrics::trace`). The latency histograms observe *traced* so
 /// their exposition buckets carry trace-id exemplars.
 mod metrics {
-    use super::{BatchReport, Disposition, EngineError, QueryResult};
-    use rq_metrics::{fuel_buckets, global, latency_buckets_us, Counter, Histogram};
+    use super::{BatchReport, DeltaReport, Disposition, EngineError, QueryResult};
+    use rq_metrics::{fuel_buckets, global, latency_buckets_us, Counter, Gauge, Histogram};
     use std::sync::{Arc, OnceLock};
     use std::time::Duration;
 
@@ -780,6 +911,37 @@ mod metrics {
         });
         cells[if ok { 0 } else { 1 }].observe(fuel_spent);
     }
+
+    /// One applied delta batch: applied/ignored record counters, the
+    /// cache entries it invalidated, and the resulting graph epoch.
+    pub(super) fn deltas(report: &DeltaReport) {
+        type DeltaCells = (Arc<Counter>, Arc<Counter>, Arc<Counter>, Arc<Gauge>);
+        static CELLS: OnceLock<DeltaCells> = OnceLock::new();
+        let (applied, ignored, invalidated, epoch) = CELLS.get_or_init(|| {
+            (
+                global().counter(
+                    "rq_engine_deltas_applied_total",
+                    "Edge deltas that changed the served graph",
+                ),
+                global().counter(
+                    "rq_engine_deltas_ignored_total",
+                    "Edge deltas that were idempotent no-ops",
+                ),
+                global().counter(
+                    "rq_engine_cache_invalidated_total",
+                    "Cache entries evicted by delta-driven invalidation",
+                ),
+                global().gauge(
+                    "rq_engine_graph_epoch",
+                    "Monotone graph version, bumped once per applied delta batch",
+                ),
+            )
+        });
+        applied.add(report.applied as u64);
+        ignored.add(report.ignored as u64);
+        invalidated.add(report.evicted);
+        epoch.set(report.epoch);
+    }
 }
 
 #[cfg(test)]
@@ -803,7 +965,7 @@ mod tests {
         let eng = engine(3);
         for text in ["a+", "(a|b)*", "a b- a", "b (a|b-)+"] {
             let q = eng.parse(text).unwrap();
-            let expect = q.evaluate(eng.db());
+            let expect = q.evaluate(&eng.db());
             let got = eng.run(&q).unwrap();
             assert_eq!(*got.answer, expect, "{text}");
         }
@@ -826,7 +988,7 @@ mod tests {
         assert_eq!(eng.run(&big).unwrap().disposition, Disposition::Miss);
         let got = eng.run(&small).unwrap();
         assert_eq!(got.disposition, Disposition::Subsumed);
-        assert_eq!(*got.answer, small.evaluate(eng.db()));
+        assert_eq!(*got.answer, small.evaluate(&eng.db()));
     }
 
     #[test]
@@ -843,7 +1005,7 @@ mod tests {
         assert_eq!(report.items[0].disposition, Disposition::Subsumed);
         assert_eq!(report.items[3].disposition, Disposition::Subsumed);
         for (i, item) in report.items.iter().enumerate() {
-            let expect = queries[i].evaluate(eng.db());
+            let expect = queries[i].evaluate(&eng.db());
             assert_eq!(**item.outcome.as_ref().unwrap(), expect, "{}", texts[i]);
         }
         assert_eq!(report.stats.misses, 1);
@@ -894,7 +1056,7 @@ mod tests {
         assert_eq!(got.disposition, Disposition::Exact);
         // And the answers are the full union's answers (the dropped branch
         // was subsumed, so nothing is lost).
-        assert_eq!(*got.answer, unioned.evaluate(eng.db()));
+        assert_eq!(*got.answer, unioned.evaluate(&eng.db()));
     }
 
     #[test]
@@ -934,7 +1096,7 @@ mod tests {
         let got = eng.run(&q).unwrap();
         assert!(eng.is_degraded());
         assert_eq!(got.disposition, Disposition::Miss);
-        assert_eq!(*got.answer, q.evaluate(eng.db()));
+        assert_eq!(*got.answer, q.evaluate(&eng.db()));
         // Degraded mode is sticky until reset; then the (cleared) cache
         // warms back up normally.
         assert_eq!(eng.run(&q).unwrap().disposition, Disposition::Miss);

@@ -43,5 +43,7 @@ pub mod engine;
 pub mod pool;
 
 pub use cache::{Answer, CacheConfig, CacheStats, Lookup, SemanticCache};
-pub use engine::{BatchItem, BatchReport, Disposition, Engine, EngineConfig, QueryResult};
+pub use engine::{
+    BatchItem, BatchReport, DeltaReport, Disposition, Engine, EngineConfig, QueryResult,
+};
 pub use pool::WorkerPool;

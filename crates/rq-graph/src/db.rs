@@ -133,6 +133,111 @@ impl GraphDb {
         true
     }
 
+    /// Remove the edge `label(src, dst)`. Returns whether the edge was
+    /// present — removing an absent edge is a no-op, so a delta log that
+    /// re-removes an edge (or removes one that never committed) replays
+    /// idempotently.
+    pub fn remove_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.ensure_indexes();
+        if !self.edge_set.remove(&(src, label, dst)) {
+            return false;
+        }
+        let out = &mut self.out_edges[src.index()];
+        if let Some(i) = out.iter().position(|&(l, d)| l == label && d == dst) {
+            out.remove(i);
+        }
+        let inn = &mut self.in_edges[dst.index()];
+        if let Some(i) = inn.iter().position(|&(l, s)| l == label && s == src) {
+            inn.remove(i);
+        }
+        let rel = &mut self.edges_by_label[label.index()];
+        if let Some(i) = rel.iter().position(|&(s, d)| s == src && d == dst) {
+            rel.remove(i);
+        }
+        true
+    }
+
+    /// Build a database directly from its serialized columns: the label
+    /// alphabet, the node-name table, and one `(src, dst)` pair list per
+    /// label (indexed by `LabelId`). This is the bulk-load path the
+    /// snapshot loader uses: adjacency is assembled in one pass and the
+    /// hash indexes are rebuilt once, instead of per-edge.
+    ///
+    /// Duplicate pairs within a label are collapsed (a label denotes a
+    /// relation). Panics if a pair references a node out of range or if
+    /// `edges_by_label` is longer than the alphabet.
+    pub fn from_columns(
+        alphabet: Alphabet,
+        node_names: Vec<Option<String>>,
+        mut edges_by_label: Vec<Vec<(NodeId, NodeId)>>,
+    ) -> GraphDb {
+        assert!(
+            edges_by_label.len() <= alphabet.len(),
+            "more edge lists than labels"
+        );
+        edges_by_label.resize(alphabet.len(), Vec::new());
+        let n = node_names.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        let mut edge_set = HashSet::new();
+        for (l, pairs) in edges_by_label.iter_mut().enumerate() {
+            let label = LabelId(l as u32);
+            pairs.retain(|&(s, d)| {
+                assert!(
+                    s.index() < n && d.index() < n,
+                    "edge references node out of range"
+                );
+                edge_set.insert((s, label, d))
+            });
+            for &(s, d) in pairs.iter() {
+                out_edges[s.index()].push((label, d));
+                in_edges[d.index()].push((label, s));
+            }
+        }
+        let mut db = GraphDb {
+            alphabet,
+            node_names,
+            node_index: HashMap::new(),
+            out_edges,
+            in_edges,
+            edges_by_label,
+            edge_set,
+            indexed: false,
+        };
+        db.rebuild_indexes();
+        db
+    }
+
+    /// Extend this database's alphabet to match `superset`, which must
+    /// agree with the current alphabet on every already-interned label (in
+    /// both name and id order). The serving engine calls this before
+    /// applying deltas so that labels interned by parsed queries and
+    /// labels introduced by ingested edges share one id space.
+    ///
+    /// Panics if the alphabets disagree on a common prefix — that would
+    /// mean edges are already stored under the wrong ids.
+    pub fn align_alphabet(&mut self, superset: &Alphabet) {
+        assert!(
+            superset.len() >= self.alphabet.len(),
+            "align_alphabet: superset has fewer labels than the database"
+        );
+        for id in self.alphabet.labels() {
+            assert_eq!(
+                self.alphabet.name(id),
+                superset.name(id),
+                "align_alphabet: label id {} names disagree",
+                id.index()
+            );
+        }
+        if superset.len() > self.alphabet.len() {
+            self.ensure_indexes();
+            self.alphabet = superset.clone();
+            while self.edges_by_label.len() < self.alphabet.len() {
+                self.edges_by_label.push(Vec::new());
+            }
+        }
+    }
+
     /// Whether the edge `label(src, dst)` is present.
     ///
     /// Panics on a database whose indexes are stale (deserialized and not
@@ -372,6 +477,73 @@ mod tests {
         let (mut db, a, b, _, r, _) = tiny();
         make_stale(&mut db);
         let _ = db.has_edge(a, r, b);
+    }
+
+    #[test]
+    fn remove_edge_updates_all_views() {
+        let (mut db, a, b, c, r, _) = tiny();
+        assert!(db.remove_edge(a, r, b));
+        assert!(!db.has_edge(a, r, b));
+        assert_eq!(db.num_edges(), 2);
+        assert_eq!(db.edges(r), &[(b, c)]);
+        assert_eq!(db.step(a, Letter::forward(r)).count(), 0);
+        assert_eq!(db.step(b, Letter::backward(r)).count(), 0);
+        // Removing again is an idempotent no-op.
+        assert!(!db.remove_edge(a, r, b));
+        assert_eq!(db.num_edges(), 2);
+        // Re-adding after removal works.
+        assert!(db.add_edge(a, r, b));
+        assert!(db.has_edge(a, r, b));
+    }
+
+    #[test]
+    fn from_columns_matches_incremental_construction() {
+        let (db, a, b, c, r, s) = tiny();
+        let bulk = GraphDb::from_columns(
+            db.alphabet().clone(),
+            vec![
+                Some("a".to_owned()),
+                Some("b".to_owned()),
+                Some("c".to_owned()),
+            ],
+            vec![vec![(a, b), (b, c), (a, b)], vec![(a, c)]],
+        );
+        assert_eq!(bulk.num_nodes(), 3);
+        assert_eq!(bulk.num_edges(), 3, "duplicate pair collapses");
+        assert_eq!(bulk.edges(r), db.edges(r));
+        assert_eq!(bulk.edges(s), db.edges(s));
+        assert_eq!(bulk.find_node("b"), Some(b));
+        assert!(bulk.has_edge(a, s, c));
+        let fwd: Vec<_> = bulk.step(a, Letter::forward(r)).collect();
+        assert_eq!(fwd, vec![b]);
+    }
+
+    #[test]
+    fn align_alphabet_extends_in_id_order() {
+        let (mut db, a, b, _, r, _) = tiny();
+        let mut superset = db.alphabet().clone();
+        let t = superset.intern("t");
+        db.align_alphabet(&superset);
+        assert_eq!(db.alphabet().len(), 3);
+        assert_eq!(db.alphabet().name(r), "r");
+        assert_eq!(db.alphabet().name(t), "t");
+        // The new label is usable immediately.
+        db.add_edge(a, t, b);
+        assert!(db.has_edge(a, t, b));
+        // Aligning to an equal alphabet is a no-op.
+        let same = db.alphabet().clone();
+        db.align_alphabet(&same);
+        assert_eq!(db.alphabet().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "names disagree")]
+    fn align_alphabet_rejects_conflicting_ids() {
+        let (mut db, ..) = tiny();
+        let mut other = Alphabet::new();
+        other.intern("s");
+        other.intern("r");
+        db.align_alphabet(&other);
     }
 
     #[test]

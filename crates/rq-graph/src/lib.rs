@@ -37,6 +37,7 @@
 //! ```
 
 pub mod db;
+pub mod delta;
 pub mod dot;
 pub mod frontier;
 pub mod generate;
@@ -44,4 +45,5 @@ pub mod semipath;
 pub mod text;
 
 pub use db::{GraphDb, NodeId};
+pub use delta::Delta;
 pub use semipath::Semipath;

@@ -19,8 +19,10 @@ use crate::retry::{decorrelated_jitter, RetryBudget, Rng};
 use rq_analyze::Json;
 use rq_automata::governor::{EngineError, Exhaustion, Limits, Resource};
 use rq_engine::Engine;
+use rq_graph::Delta;
 use rq_metrics::recorder::Recorder;
 use rq_metrics::span::{self, FinishedTrace, TraceContext};
+use rq_storage::StorageHandle;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -126,6 +128,11 @@ pub struct DrainReport {
 struct Inner {
     cfg: ServeConfig,
     engine: Arc<Engine>,
+    /// The persistent store behind `/ingest`, when the server was started
+    /// over one (`rqtool serve --store=DIR`). Deltas are fsync'd here
+    /// *before* they are applied to the engine, so an acknowledged ingest
+    /// survives a crash.
+    store: Option<Mutex<StorageHandle>>,
     /// Bounded flight recorder backing `/tracez`, `/slowz`, and `explain`.
     recorder: Recorder,
     queue: BoundedQueue<Job>,
@@ -157,7 +164,23 @@ impl Server {
     /// Validate `cfg`, bind the listener, and start the accept loop plus
     /// `cfg.workers` serve workers.
     pub fn start(engine: Engine, cfg: ServeConfig) -> Result<Server, ConfigError> {
+        Server::start_with_store(engine, cfg, None)
+    }
+
+    /// [`start`](Server::start), backed by a persistent store: `/ingest`
+    /// appends to the store's delta log (fsync = acknowledgment) before
+    /// patching the live engine, and compacts once the log crosses the
+    /// configured threshold. The engine's epoch is seeded from the store
+    /// so cache keys and metrics line up across restarts.
+    pub fn start_with_store(
+        engine: Engine,
+        cfg: ServeConfig,
+        store: Option<StorageHandle>,
+    ) -> Result<Server, ConfigError> {
         cfg.validate()?;
+        if let Some(store) = &store {
+            engine.set_epoch(store.epoch());
+        }
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| ConfigError {
             message: format!("cannot bind {}: {e}", cfg.addr),
         })?;
@@ -181,6 +204,7 @@ impl Server {
             stopped: AtomicBool::new(false),
             started: Instant::now(),
             engine: Arc::new(engine),
+            store: store.map(Mutex::new),
             cfg,
         });
         let workers = (0..inner.cfg.workers)
@@ -479,6 +503,7 @@ fn dispatch(inner: &Arc<Inner>, req: &Request) -> Resp {
         ("GET", "/poll") => "poll",
         ("POST", "/stream") => "stream",
         ("POST", "/lint") => "lint",
+        ("POST", "/ingest") => "ingest",
         ("GET", "/metrics") => "metrics",
         ("GET", "/tracez") => "tracez",
         ("GET", "/slowz") => "slowz",
@@ -493,6 +518,7 @@ fn dispatch(inner: &Arc<Inner>, req: &Request) -> Resp {
         "poll" => poll(inner, req),
         "stream" => stream(inner, req),
         "lint" => lint(inner, req),
+        "ingest" => ingest(inner, req),
         "metrics" => Resp {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -778,6 +804,98 @@ fn lint(inner: &Arc<Inner>, req: &Request) -> Resp {
     let alphabet = inner.engine.alphabet();
     let report = rq_analyze::lint_two_rpq(&q, &alphabet, &inner.engine.config().cache.probe_limits);
     Resp::json(200, report.to_json().emit())
+}
+
+/// `POST /ingest`: a batch of edge deltas in the text format of
+/// [`Delta::parse_text`] (`add src label dst` / `remove src label dst`,
+/// one per line). When the server runs over a store the batch is fsync'd
+/// to the append log *before* it touches the live engine — the 200 is the
+/// durability acknowledgment — and the log is compacted into a fresh
+/// snapshot once it crosses the configured threshold. The engine applies
+/// the deltas under its shared lock, bumps the graph epoch, and evicts
+/// exactly the cache entries whose alphabet intersects the touched
+/// labels.
+fn ingest(inner: &Arc<Inner>, req: &Request) -> Resp {
+    let mut root = span::start("serve.ingest");
+    if inner.draining.load(Ordering::SeqCst) {
+        metrics::shed("draining");
+        return Resp::json(503, error_body(0, "draining", "server is draining", vec![]));
+    }
+    let text = match req.body_utf8() {
+        Ok(t) => t,
+        Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
+    };
+    let deltas = match Delta::parse_text(text) {
+        Ok(d) => d,
+        Err((line, e)) => {
+            return Resp::json(
+                400,
+                error_body(
+                    0,
+                    "invalid",
+                    &format!("delta line {line}: {e}"),
+                    vec![("line", num(line as u64))],
+                ),
+            )
+        }
+    };
+    if deltas.is_empty() {
+        return Resp::json(
+            400,
+            error_body(0, "invalid", "empty ingest body (no delta lines)", vec![]),
+        );
+    }
+    root.record("deltas", deltas.len() as u64);
+    // Durability first: once append returns, the batch is on disk and a
+    // crash between here and apply_deltas is repaired by log replay on
+    // the next open (apply is idempotent). The store lock is held across
+    // append → apply → compact so a compaction can never truncate a
+    // concurrent batch that is in the log but not yet in the engine.
+    let mut store_guard = inner
+        .store
+        .as_ref()
+        .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()));
+    let mut persisted = false;
+    if let Some(store) = store_guard.as_deref_mut() {
+        if let Err(e) = store.append(&deltas) {
+            return Resp::json(500, error_body(0, "storage", &e.to_string(), vec![]));
+        }
+        persisted = true;
+    }
+    let report = inner.engine.apply_deltas(&deltas);
+    let mut compacted = false;
+    if let Some(store) = store_guard.as_deref_mut() {
+        if store.needs_compaction() {
+            // The engine has applied the batch, so the snapshot written
+            // here covers everything the truncated log held.
+            match store.compact(&inner.engine.db()) {
+                Ok(()) => compacted = true,
+                Err(e) => {
+                    // The data is safe in the log; a failed compaction is
+                    // degraded (the log keeps growing), not lost writes.
+                    root.record("compact_error", e.to_string());
+                }
+            }
+        }
+    }
+    drop(store_guard);
+    metrics::ingested(report.applied as u64, report.ignored as u64);
+    root.record("applied", report.applied as u64);
+    root.record("epoch", report.epoch);
+    Resp::json(
+        200,
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("applied".to_string(), num(report.applied as u64)),
+            ("ignored".to_string(), num(report.ignored as u64)),
+            ("epoch".to_string(), num(report.epoch)),
+            ("evicted".to_string(), num(report.evicted)),
+            ("added_nodes".to_string(), Json::Bool(report.added_nodes)),
+            ("persisted".to_string(), Json::Bool(persisted)),
+            ("compacted".to_string(), Json::Bool(compacted)),
+        ])
+        .emit(),
+    )
 }
 
 /// `/tracez` (recent traces) and `/slowz` (slow/errored retention): a
@@ -1224,10 +1342,10 @@ mod metrics {
     use std::time::Duration;
 
     pub(super) fn request(endpoint: &str) {
-        static CELLS: OnceLock<[Arc<Counter>; 11]> = OnceLock::new();
-        const ENDPOINTS: [&str; 11] = [
-            "query", "submit", "poll", "stream", "lint", "metrics", "tracez", "slowz", "healthz",
-            "drainz", "other",
+        static CELLS: OnceLock<[Arc<Counter>; 12]> = OnceLock::new();
+        const ENDPOINTS: [&str; 12] = [
+            "query", "submit", "poll", "stream", "lint", "ingest", "metrics", "tracez", "slowz",
+            "healthz", "drainz", "other",
         ];
         let cells = CELLS.get_or_init(|| {
             ENDPOINTS.map(|e| {
@@ -1238,8 +1356,23 @@ mod metrics {
                 )
             })
         });
-        let i = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(10);
+        let i = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(11);
         cells[i].inc();
+    }
+
+    pub(super) fn ingested(applied: u64, ignored: u64) {
+        static CELLS: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["applied", "ignored"].map(|d| {
+                global().counter_with(
+                    "rq_serve_ingest_deltas_total",
+                    &[("disposition", d)],
+                    "Deltas received on /ingest, by disposition",
+                )
+            })
+        });
+        cells[0].add(applied);
+        cells[1].add(ignored);
     }
 
     pub(super) fn shed(reason: &str) {
@@ -1379,7 +1512,7 @@ mod tests {
     use super::*;
     use crate::http::Client;
     use rq_engine::EngineConfig;
-    use rq_graph::generate;
+    use rq_graph::{generate, GraphDb};
 
     fn test_server(cfg: ServeConfig) -> Server {
         let db = generate::random_gnm(30, 90, &["a", "b"], 7);
@@ -1395,6 +1528,91 @@ mod tests {
 
     fn client(server: &Server) -> Client {
         Client::connect(&server.addr().to_string(), Duration::from_secs(10)).unwrap()
+    }
+
+    fn temp_store_dir() -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rq-serve-ingest-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ingest_applies_deltas_and_evicts_only_touched_cache_entries() {
+        let server = test_server(ServeConfig::default());
+        let mut c = client(&server);
+        // Warm the cache with one query per label.
+        for q in [&b"a+"[..], &b"b+"[..]] {
+            let r = c.request("POST", "/query", &[], q).unwrap();
+            assert_eq!(r.status, 200, "{}", r.text());
+        }
+        // Ingest an `a`-labeled edge between two brand-new nodes.
+        let r = c.request("POST", "/ingest", &[], b"add x a y\n").unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("applied"), Some(&num(1)));
+        assert_eq!(body.get("epoch"), Some(&num(1)));
+        assert_eq!(body.get("added_nodes"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("persisted"), Some(&Json::Bool(false)));
+        // `a+` was invalidated (and now sees the new edge); `b+` survived.
+        let r = c.request("POST", "/query", &[], b"a+").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("disposition").and_then(Json::as_str), Some("miss"));
+        let r = c.request("POST", "/query", &[], b"b+").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(
+            body.get("disposition").and_then(Json::as_str),
+            Some("exact")
+        );
+        // Malformed delta lines are a structured 400, not a panic.
+        let r = c.request("POST", "/ingest", &[], b"frobnicate\n").unwrap();
+        assert_eq!(r.status, 400);
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("invalid"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_with_store_persists_across_reopen() {
+        use rq_storage::{StorageConfig, StorageHandle};
+        let dir = temp_store_dir();
+        let mut db = GraphDb::new();
+        let (u, v) = (db.node("u"), db.node("v"));
+        let r = db.label("r");
+        db.add_edge(u, r, v);
+        StorageHandle::create(&dir, &db, StorageConfig::default()).unwrap();
+        let (store, db, _) = StorageHandle::open(&dir, StorageConfig::default()).unwrap();
+
+        let engine = Engine::new(db, rq_engine::EngineConfig::default());
+        let server = Server::start_with_store(engine, ServeConfig::default(), Some(store)).unwrap();
+        let mut c = client(&server);
+        let r = c
+            .request("POST", "/ingest", &[], b"add v r w\nremove u r v\n")
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("applied"), Some(&num(2)));
+        assert_eq!(body.get("persisted"), Some(&Json::Bool(true)));
+        // The live engine answers over the patched graph.
+        let r = c.request("POST", "/query", &[], b"r").unwrap();
+        let body = Json::parse(&r.text()).unwrap();
+        assert_eq!(body.get("pairs"), Some(&num(1)));
+        server.shutdown();
+
+        // Reopen: the acknowledged batch was replayed from the log.
+        let (_, db, report) = StorageHandle::open(&dir, StorageConfig::default()).unwrap();
+        assert_eq!(report.replayed, 2);
+        let (v, w) = (db.find_node("v").unwrap(), db.find_node("w").unwrap());
+        let r = db.alphabet().get("r").unwrap();
+        assert_eq!(db.out_edges(v), &[(r, w)]);
+        assert!(db.out_edges(db.find_node("u").unwrap()).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

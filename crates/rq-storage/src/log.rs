@@ -1,0 +1,266 @@
+//! The append-only edge-delta log.
+//!
+//! ```text
+//! magic "RQLOG001"                       8 bytes
+//! per record:
+//!   len u32 LE     (payload length)
+//!   crc u32 LE     (CRC-32 of the payload)
+//!   payload:
+//!     op  u8       (0 = AddEdge, 1 = RemoveEdge)
+//!     src  u32 len + utf8
+//!     label u32 len + utf8
+//!     dst  u32 len + utf8
+//! ```
+//!
+//! Durability contract: [`append`](crate::StorageHandle::append) writes
+//! the framed records and calls `sync_data` before returning — a delta is
+//! *acknowledged* exactly when that call returns. A crash can therefore
+//! leave at most a torn suffix of unacknowledged bytes: the reader treats
+//! "file ends before the framed length" at the tail as a crash artifact
+//! (truncated away by default, reported when
+//! [`tolerate_torn_tail`](crate::StorageConfig::tolerate_torn_tail) is
+//! off), while a CRC mismatch on a fully-framed record — bytes present
+//! but wrong — is always corruption and fails closed.
+
+use crate::{crc32, StorageConfig, StorageError};
+use rq_graph::Delta;
+use std::path::Path;
+
+pub(crate) const MAGIC: &[u8; 8] = b"RQLOG001";
+
+const OP_ADD: u8 = 0;
+const OP_REMOVE: u8 = 1;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Frame one delta as `len | crc | payload`.
+pub(crate) fn encode_record(delta: &Delta) -> Vec<u8> {
+    let (op, src, label, dst) = match delta {
+        Delta::AddEdge { src, label, dst } => (OP_ADD, src, label, dst),
+        Delta::RemoveEdge { src, label, dst } => (OP_REMOVE, src, label, dst),
+    };
+    let mut payload = Vec::with_capacity(1 + 12 + src.len() + label.len() + dst.len());
+    payload.push(op);
+    put_str(&mut payload, src);
+    put_str(&mut payload, label);
+    put_str(&mut payload, dst);
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32::of(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Delta, String> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= payload.len())
+            .ok_or("record payload truncated")?;
+        let s = &payload[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let op = take(&mut pos, 1)?[0];
+    let str_field = |pos: &mut usize| -> Result<String, String> {
+        let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+        String::from_utf8(take(pos, len)?.to_vec()).map_err(|_| "non-utf8 field".to_owned())
+    };
+    let src = str_field(&mut pos)?;
+    let label = str_field(&mut pos)?;
+    let dst = str_field(&mut pos)?;
+    if pos != payload.len() {
+        return Err("trailing bytes in record payload".to_owned());
+    }
+    match op {
+        OP_ADD => Ok(Delta::AddEdge { src, label, dst }),
+        OP_REMOVE => Ok(Delta::RemoveEdge { src, label, dst }),
+        b => Err(format!("unknown record op {b}")),
+    }
+}
+
+/// The outcome of scanning a log image.
+#[derive(Debug)]
+pub(crate) struct LogScan {
+    pub deltas: Vec<Delta>,
+    /// Byte length of the valid prefix (magic + every intact record). If
+    /// shorter than the input, the suffix is a torn tail.
+    pub valid_len: u64,
+    /// Whether a torn (incomplete, never-acknowledged) tail was dropped.
+    pub torn: bool,
+}
+
+/// Scan a full log image, validating frame lengths and CRCs.
+pub(crate) fn scan(
+    bytes: &[u8],
+    path: &Path,
+    config: &StorageConfig,
+) -> Result<LogScan, StorageError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(StorageError::corrupt(
+            path,
+            format!("bad log magic in {}-byte file", bytes.len()),
+        ));
+    }
+    let mut deltas = Vec::new();
+    let mut pos = 8usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(LogScan {
+                deltas,
+                valid_len: pos as u64,
+                torn: false,
+            });
+        }
+        // A frame header (or its payload) that runs past EOF is a torn
+        // tail: the crash landed mid-append, so the record was never
+        // acknowledged.
+        let torn_detail = if pos + 8 > bytes.len() {
+            Some(format!(
+                "{} stray bytes after record {}",
+                bytes.len() - pos,
+                deltas.len()
+            ))
+        } else {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if (pos + 8)
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .is_none()
+            {
+                Some(format!(
+                    "record {} declares {len} payload bytes but only {} remain",
+                    deltas.len(),
+                    bytes.len() - pos - 8
+                ))
+            } else {
+                None
+            }
+        };
+        if let Some(detail) = torn_detail {
+            return if config.tolerate_torn_tail {
+                Ok(LogScan {
+                    deltas,
+                    valid_len: pos as u64,
+                    torn: true,
+                })
+            } else {
+                Err(StorageError::TornLog {
+                    path: path.to_owned(),
+                    detail,
+                })
+            };
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let declared_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let end = pos + 8 + len;
+        let payload = &bytes[pos + 8..end];
+        let actual = crc32::of(payload);
+        if actual != declared_crc {
+            // The full frame is present but the bytes are wrong: this is
+            // corruption, not a crash artifact, regardless of config.
+            return Err(StorageError::corrupt(
+                path,
+                format!(
+                    "log record {} crc mismatch (declared {declared_crc:08x}, computed {actual:08x})",
+                    deltas.len()
+                ),
+            ));
+        }
+        let delta = decode_payload(payload).map_err(|detail| {
+            StorageError::corrupt(path, format!("log record {}: {detail}", deltas.len()))
+        })?;
+        deltas.push(delta);
+        pos = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn image(deltas: &[Delta]) -> Vec<u8> {
+        let mut buf = MAGIC.to_vec();
+        for d in deltas {
+            buf.extend_from_slice(&encode_record(d));
+        }
+        buf
+    }
+
+    #[test]
+    fn scan_roundtrips_records() {
+        let deltas = vec![
+            Delta::add("a", "r", "b"),
+            Delta::remove("a", "r", "b"),
+            Delta::add("b", "s", "c"),
+        ];
+        let scan = scan(
+            &image(&deltas),
+            &PathBuf::from("mem"),
+            &StorageConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(scan.deltas, deltas);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_by_default_but_strict_mode_errors() {
+        let deltas = vec![Delta::add("a", "r", "b"), Delta::add("b", "r", "c")];
+        let full = image(&deltas);
+        let config = StorageConfig::default();
+        // Cut the image mid-final-record at every possible point.
+        let rec2_start = image(&deltas[..1]).len();
+        for cut in rec2_start + 1..full.len() {
+            let scan_ok = scan(&full[..cut], &PathBuf::from("mem"), &config).unwrap();
+            assert_eq!(scan_ok.deltas, deltas[..1], "cut at {cut}");
+            assert!(scan_ok.torn);
+            assert_eq!(scan_ok.valid_len as usize, rec2_start);
+
+            let strict = StorageConfig {
+                tolerate_torn_tail: false,
+                ..StorageConfig::default()
+            };
+            let err = scan(&full[..cut], &PathBuf::from("mem"), &strict).unwrap_err();
+            assert!(
+                err.to_string().starts_with("error[storage]: torn log"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_is_always_corruption() {
+        let deltas = vec![Delta::add("alice", "knows", "bob")];
+        let mut img = image(&deltas);
+        let n = img.len();
+        img[n - 2] ^= 0x01; // flip a payload bit, frame stays complete
+        for tolerate in [true, false] {
+            let config = StorageConfig {
+                tolerate_torn_tail: tolerate,
+                ..StorageConfig::default()
+            };
+            let err = scan(&img, &PathBuf::from("mem"), &config).unwrap_err();
+            assert!(
+                err.to_string().starts_with("error[storage]: corrupt"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let err = scan(
+            b"NOTALOG!",
+            &PathBuf::from("mem"),
+            &StorageConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("bad log magic"));
+    }
+}

@@ -16,8 +16,23 @@
 //! rqtool explain <graph.txt> <query> [--warm=QUERY] [--threads=N]
 //! rqtool lint <query|file|dir> [--goal=PRED] [--json]
 //! rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--faults=SPEC]
-//! rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]
+//! rqtool serve --store=DIR [--addr=H:P] [--workers=N] ...
+//! rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff] [--ingest-every-ms=N]
+//! rqtool convert <graph.txt> <store-dir> [--shards=N]
+//! rqtool compact <store-dir>
+//! rqtool ingest <store-dir> <deltas.txt>
 //! ```
+//!
+//! `convert` writes a graph into the `rq-storage` on-disk format: a
+//! checksummed, sharded snapshot plus an (initially empty) append-only
+//! delta log under `<store-dir>`. Everywhere a `<graph.txt>` is accepted,
+//! a store directory works too — `eval`, `serve`, `bench-serve`, … open
+//! it via snapshot load + log replay instead of the text parser. `ingest`
+//! durably appends `add src label dst` / `remove src label dst` lines to
+//! a store's log (replayed on next open); `compact` folds the log into a
+//! fresh snapshot. `serve --store=DIR` serves over a store and wires
+//! `POST /ingest` to it: each ingest batch is fsync'd to the log before
+//! it patches the live engine, so an acknowledged batch survives a crash.
 //!
 //! `lint` runs the `rq-analyze` passes: over an inline regex, a single
 //! `.dl`/`.cq`/`.rq`/`.batch` file, or a whole directory tree (e.g.
@@ -137,6 +152,10 @@ fn main() -> ExitCode {
             || f.starts_with("--faults=")
             || f.starts_with("--clients=")
             || f.starts_with("--duration-ms=")
+            || f.starts_with("--shards=")
+            || f.starts_with("--store=")
+            || f.starts_with("--compact-threshold=")
+            || f.starts_with("--ingest-every-ms=")
             || f.as_str() == "--no-backoff")
     });
     if flags.iter().any(|f| *f == "--trace") {
@@ -172,7 +191,11 @@ fn main() -> ExitCode {
             }
             ("explain", [graph, query]) => cmd_explain(graph, query, &flags),
             ("lint", [input]) => cmd_lint(input, goal.as_deref(), &limits, want_json),
-            ("serve", [graph]) => cmd_serve(graph, &flags, &limits),
+            ("convert", [graph, dir]) => cmd_convert(graph, dir, &flags),
+            ("compact", [dir]) => cmd_compact(dir, &flags),
+            ("ingest", [dir, deltas]) => cmd_ingest(dir, deltas, &flags),
+            ("serve", []) => cmd_serve(None, &flags, &limits),
+            ("serve", [graph]) => cmd_serve(Some(graph), &flags, &limits),
             ("bench-serve", [graph]) => cmd_bench_serve(graph, None, &flags, &limits),
             ("bench-serve", [graph, queries]) => {
                 cmd_bench_serve(graph, Some(queries), &flags, &limits)
@@ -205,8 +228,12 @@ fn usage() -> String {
      rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n  \
      rqtool explain <graph.txt> <query> [--warm=QUERY] [--threads=N]\n  \
      rqtool lint <query|file|dir> [--goal=PRED] [--json]\n  \
-     rqtool serve <graph.txt> [--addr=H:P] [--workers=N] [--queue-cap=N] [--request-fuel=N] [--drain-ms=N] [--faults=SPEC]\n  \
-     rqtool bench-serve <graph.txt> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff]\n\
+     rqtool serve <graph.txt|store-dir> [--addr=H:P] [--workers=N] [--queue-cap=N] [--request-fuel=N] [--drain-ms=N] [--faults=SPEC]\n  \
+     rqtool serve --store=DIR [--addr=H:P] ... (persistent /ingest)\n  \
+     rqtool bench-serve <graph.txt|store-dir> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff] [--ingest-every-ms=N]\n  \
+     rqtool convert <graph.txt> <store-dir> [--shards=N]\n  \
+     rqtool compact <store-dir>\n  \
+     rqtool ingest <store-dir> <deltas.txt>\n\
      budget flags (contain*, datalog, serve-batch, stats, lint): --fuel=N --timeout-ms=N"
         .to_owned()
 }
@@ -238,9 +265,96 @@ fn print_partial_progress(out: &Outcome) {
     }
 }
 
+/// Load a graph from either source: a directory is an `rq-storage` store
+/// (snapshot load + delta-log replay), anything else the text format.
 fn load_graph(path: &str) -> Result<GraphDb, String> {
+    if std::path::Path::new(path).is_dir() {
+        let (_, db, report) = StorageHandle::open(std::path::Path::new(path), storage_config(&[])?)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "opened store {path}: {} nodes, {} edges, {} replayed deltas in {}us",
+            report.nodes, report.edges, report.replayed, report.open_us
+        );
+        return Ok(db);
+    }
     let content = read_input(path)?;
     text::parse(&content).map_err(|e| format!("error[parse]: {path}: {e}"))
+}
+
+/// Build the [`StorageConfig`] from `--shards=N` / `--compact-threshold=N`.
+fn storage_config(flags: &[&String]) -> Result<StorageConfig, String> {
+    let defaults = StorageConfig::default();
+    let shards = flag_u64(flags, "shards", u64::from(defaults.shards))?;
+    if shards == 0 || shards > 1024 {
+        return Err(format!("--shards must be in 1..=1024, got {shards}"));
+    }
+    Ok(StorageConfig {
+        shards: shards as u32,
+        compact_threshold: flag_u64(flags, "compact-threshold", defaults.compact_threshold)?,
+        ..defaults
+    })
+}
+
+/// `rqtool convert`: write a text graph into the on-disk snapshot + log
+/// format under `dir`.
+fn cmd_convert(graph: &str, dir: &str, flags: &[&String]) -> Result<(), String> {
+    let config = storage_config(flags)?;
+    let content = read_input(graph)?;
+    let db = text::parse(&content).map_err(|e| format!("error[parse]: {graph}: {e}"))?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("error[io]: cannot create {dir}: {e}"))?;
+    let shards = config.shards;
+    StorageHandle::create(std::path::Path::new(dir), &db, config).map_err(|e| e.to_string())?;
+    println!(
+        "converted {graph} -> {dir}: {} nodes, {} labels, {} shards",
+        db.num_nodes(),
+        db.alphabet().len(),
+        shards
+    );
+    Ok(())
+}
+
+/// `rqtool compact`: fold a store's delta log into a fresh snapshot.
+fn cmd_compact(dir: &str, flags: &[&String]) -> Result<(), String> {
+    let (mut handle, db, report) =
+        StorageHandle::open(std::path::Path::new(dir), storage_config(flags)?)
+            .map_err(|e| e.to_string())?;
+    let folded = report.replayed;
+    handle.compact(&db).map_err(|e| e.to_string())?;
+    println!(
+        "compacted {dir}: folded {folded} log deltas into a snapshot of {} nodes at epoch {}",
+        db.num_nodes(),
+        handle.epoch()
+    );
+    Ok(())
+}
+
+/// `rqtool ingest`: durably append a file of `add`/`remove` delta lines
+/// to a store's log. The deltas are replayed into the graph on the next
+/// open; a running `serve --store` ingests via `POST /ingest` instead.
+fn cmd_ingest(dir: &str, deltas_path: &str, flags: &[&String]) -> Result<(), String> {
+    let content = read_input(deltas_path)?;
+    let deltas = Delta::parse_text(&content)
+        .map_err(|(line, e)| format!("error[parse]: {deltas_path}:{line}: {e}"))?;
+    if deltas.is_empty() {
+        return Err(format!("error[io]: no delta lines in {deltas_path}"));
+    }
+    let (mut handle, mut db, _) =
+        StorageHandle::open(std::path::Path::new(dir), storage_config(flags)?)
+            .map_err(|e| e.to_string())?;
+    handle.append(&deltas).map_err(|e| e.to_string())?;
+    let applied = deltas.iter().filter(|d| db.apply_delta(d)).count();
+    let mut compacted = false;
+    if handle.needs_compaction() {
+        handle.compact(&db).map_err(|e| e.to_string())?;
+        compacted = true;
+    }
+    println!(
+        "ingested {} deltas into {dir} ({applied} effective, epoch {}{})",
+        deltas.len(),
+        handle.epoch(),
+        if compacted { ", compacted" } else { "" }
+    );
+    Ok(())
 }
 
 /// Read a file, mapping failures to the structured `error[io]:` form so
@@ -565,17 +679,47 @@ fn serve_engine(graph: &str, flags: &[&String]) -> Result<Engine, String> {
     Ok(Engine::new(db, config))
 }
 
+/// Open the `--store=DIR` flag's store for serving: the engine is built
+/// over the replayed graph and the handle is passed to the server so
+/// `POST /ingest` persists.
+fn open_serve_store(
+    dir: &str,
+    flags: &[&String],
+) -> Result<(Engine, Option<StorageHandle>), String> {
+    let (handle, db, report) =
+        StorageHandle::open(std::path::Path::new(dir), storage_config(flags)?)
+            .map_err(|e| e.to_string())?;
+    eprintln!(
+        "opened store {dir}: {} nodes, {} edges, {} replayed deltas in {}us",
+        report.nodes, report.edges, report.replayed, report.open_us
+    );
+    let config = EngineConfig {
+        threads: flag_u64(flags, "threads", 2)? as usize,
+        ..EngineConfig::default()
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok((Engine::new(db, config), Some(handle)))
+}
+
 /// `rqtool serve`: run the front-end until SIGTERM/SIGINT (or `/drainz`),
 /// then drain gracefully and flush metrics to stderr.
-fn cmd_serve(graph: &str, flags: &[&String], limits: &Limits) -> Result<(), String> {
+fn cmd_serve(graph: Option<&str>, flags: &[&String], limits: &Limits) -> Result<(), String> {
     let addr = flags
         .iter()
         .find_map(|f| f.strip_prefix("--addr="))
         .unwrap_or("127.0.0.1:7878")
         .to_string();
     let cfg = serve_config(flags, limits, addr)?;
-    let engine = serve_engine(graph, flags)?;
-    let server = Server::start(engine, cfg).map_err(|e| e.to_string())?;
+    let store_flag = flags.iter().find_map(|f| f.strip_prefix("--store="));
+    let (engine, store) = match (graph, store_flag) {
+        (Some(g), None) => (serve_engine(g, flags)?, None),
+        (None, Some(dir)) => open_serve_store(dir, flags)?,
+        (Some(_), Some(_)) => {
+            return Err("pass either a graph file or --store=DIR, not both".to_owned())
+        }
+        (None, None) => return Err(usage()),
+    };
+    let server = Server::start_with_store(engine, cfg, store).map_err(|e| e.to_string())?;
     println!(
         "rq-serve listening on {} ({} workers, {} engine threads); SIGTERM or POST /drainz to drain",
         server.addr(),
@@ -634,7 +778,47 @@ fn cmd_bench_serve(
         "bench-serve: {} clients closed-loop for {:?} against {}",
         bench.clients, bench.duration, bench.addr
     );
+    // `--ingest-every-ms=N` arms a background writer that POSTs one
+    // `a`-labeled edge delta every N ms while the clients run — the
+    // ingest-while-serving load of experiment E16. Each batch bumps the
+    // graph epoch and invalidates the cached queries over `a`, so the
+    // bench measures admitted-request latency under continuous
+    // delta-driven cache churn.
+    let ingest_every = flag_u64(flags, "ingest-every-ms", 0)?;
+    let stop_ingest = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ingester = if ingest_every > 0 {
+        let addr = server.addr().to_string();
+        let stop = std::sync::Arc::clone(&stop_ingest);
+        Some(std::thread::spawn(move || {
+            let mut sent = 0u64;
+            let mut client = match regular_queries::serve::Client::connect(
+                &addr,
+                std::time::Duration::from_secs(10),
+            ) {
+                Ok(c) => c,
+                Err(_) => return 0,
+            };
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let body = format!("add ingest_{sent} a ingest_{}\n", sent + 1);
+                if client
+                    .request("POST", "/ingest", &[], body.as_bytes())
+                    .is_ok()
+                {
+                    sent += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(ingest_every));
+            }
+            sent
+        }))
+    } else {
+        None
+    };
     let report = regular_queries::serve::run_bench(&bench);
+    stop_ingest.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(h) = ingester {
+        let sent = h.join().unwrap_or(0);
+        println!("ingest load: {sent} delta batches every {ingest_every}ms");
+    }
     println!("{}", report.summary());
     server.shutdown();
     Ok(())

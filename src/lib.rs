@@ -56,6 +56,7 @@ pub use rq_engine as engine;
 pub use rq_graph as graph;
 pub use rq_metrics as metrics;
 pub use rq_serve as serve;
+pub use rq_storage as storage;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use rq_core::{C2Rpq, Rpq, RqExpr, RqQuery, TwoRpq, Uc2Rpq};
     pub use rq_datalog::{FactDb, Program, Query as DatalogQuery};
     pub use rq_engine::{CacheConfig, CacheStats, Disposition, Engine, EngineConfig};
-    pub use rq_graph::{GraphDb, NodeId, Semipath};
+    pub use rq_graph::{Delta, GraphDb, NodeId, Semipath};
     pub use rq_serve::{FaultPlan, ServeConfig, Server, TenantQuota};
+    pub use rq_storage::{OpenReport, StorageConfig, StorageError, StorageHandle};
 }

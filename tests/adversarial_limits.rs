@@ -188,7 +188,7 @@ fn timeout_mid_subsumption_reevaluation_is_structured() {
     // still a subsumption hit with correct answers.
     let ok = eng.run(&small).expect("ungoverned re-run");
     assert_eq!(ok.disposition, Disposition::Subsumed);
-    assert_eq!(*ok.answer, small.evaluate(eng.db()));
+    assert_eq!(*ok.answer, small.evaluate(&eng.db()));
 }
 
 /// Sustained fuel starvation must drain the serve retry budget and then

@@ -112,7 +112,7 @@ fn subsumed_answers_match_cold_evaluation() {
         if got.disposition == Disposition::Subsumed {
             subsumed += 1;
         }
-        let cold = q1.evaluate(engine.db());
+        let cold = q1.evaluate(&engine.db());
         assert_eq!(
             *got.answer,
             cold,

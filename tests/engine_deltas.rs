@@ -1,0 +1,138 @@
+//! Live delta application on the engine: after `apply_deltas`, every
+//! answer must equal a cold evaluation over the mutated graph, the cache
+//! must evict exactly the entries whose alphabet intersects the touched
+//! labels (plus nullable queries when nodes appeared — ε ∈ L(Q) makes
+//! every node a (v,v) answer), and the graph epoch must advance so no
+//! stale result is ever materialized into the cache.
+
+use regular_queries::graph::{generate, Delta};
+use regular_queries::prelude::*;
+
+fn engine_over(seed: u64) -> Engine {
+    let db = generate::random_gnm(30, 90, &["a", "b"], seed);
+    Engine::new(
+        db,
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+#[test]
+fn post_delta_answers_match_cold_evaluation() {
+    for seed in 0..20u64 {
+        let engine = engine_over(seed);
+        let queries: Vec<TwoRpq> = ["a+", "(a|b)+", "a b- a", "b*"]
+            .iter()
+            .map(|t| engine.parse(t).unwrap())
+            .collect();
+        for q in &queries {
+            engine.run(q).unwrap();
+        }
+        let report = engine.apply_deltas(&[
+            Delta::add("w1", "a", "w2"),
+            Delta::add("w2", "b", "w1"),
+            Delta::remove("w1", "a", "w2"),
+        ]);
+        assert_eq!(report.applied, 3);
+        assert!(report.added_nodes);
+        for q in &queries {
+            let got = engine.run(q).unwrap();
+            let cold = q.evaluate(&engine.db());
+            assert_eq!(
+                *got.answer,
+                cold,
+                "seed {seed}: {:?} diverges from cold evaluation after deltas \
+                 (disposition {})",
+                q.regex(),
+                got.disposition
+            );
+        }
+    }
+}
+
+#[test]
+fn untouched_label_entries_survive_and_hit_exactly() {
+    let engine = engine_over(42);
+    let qa = engine.parse("a+").unwrap();
+    let qb = engine.parse("b+").unwrap();
+    engine.run(&qa).unwrap();
+    engine.run(&qb).unwrap();
+
+    // Touch only label `a`, between two existing (anonymous-node) names —
+    // the delta adds nodes w1/w2, so nullable entries would also go, but
+    // neither a+ nor b+ is nullable.
+    let report = engine.apply_deltas(&[Delta::add("w1", "a", "w2")]);
+    assert_eq!(report.applied, 1);
+    assert_eq!(report.evicted, 1, "only a+ is over the touched label");
+
+    let hit = engine.run(&qb).unwrap();
+    assert_eq!(hit.disposition, Disposition::Exact, "b+ must still hit");
+    assert_eq!(
+        *hit.answer,
+        qb.evaluate(&engine.db()),
+        "the surviving entry answers identically to a cold re-eval"
+    );
+    let miss = engine.run(&qa).unwrap();
+    assert_eq!(miss.disposition, Disposition::Miss, "a+ was evicted");
+}
+
+#[test]
+fn nullable_entries_are_evicted_when_nodes_appear() {
+    let engine = engine_over(5);
+    let nullable = engine.parse("b*").unwrap();
+    let plain = engine.parse("b+").unwrap();
+    engine.run(&nullable).unwrap();
+    engine.run(&plain).unwrap();
+
+    // An `a`-labeled edge between brand-new nodes: b* gains (w1,w1) and
+    // (w2,w2) even though no b-edge changed, so it must go; b+ survives.
+    let report = engine.apply_deltas(&[Delta::add("w1", "a", "w2")]);
+    assert!(report.added_nodes);
+    assert_eq!(engine.run(&plain).unwrap().disposition, Disposition::Exact);
+    let got = engine.run(&nullable).unwrap();
+    assert_eq!(got.disposition, Disposition::Miss);
+    assert_eq!(*got.answer, nullable.evaluate(&engine.db()));
+}
+
+#[test]
+fn epoch_advances_once_per_effective_batch() {
+    let engine = engine_over(8);
+    assert_eq!(engine.epoch(), 0);
+    let r = engine.apply_deltas(&[Delta::add("x", "a", "y"), Delta::add("y", "a", "x")]);
+    assert_eq!(r.epoch, 1);
+    assert_eq!(engine.epoch(), 1);
+    // A no-op batch (removing an edge that does not exist) leaves the
+    // epoch alone — nothing changed, nothing to invalidate.
+    let r = engine.apply_deltas(&[Delta::remove("x", "a", "ghost-dst")]);
+    assert_eq!(r.applied, 0);
+    assert_eq!(r.epoch, 1, "ineffective batches must not bump the epoch");
+    assert_eq!(engine.epoch(), 1);
+    // Re-adding an existing edge is equally ineffective.
+    let r = engine.apply_deltas(&[Delta::add("x", "a", "y")]);
+    assert_eq!(r.applied, 0);
+    assert_eq!(r.ignored, 1);
+    assert_eq!(engine.epoch(), 1);
+}
+
+#[test]
+fn find_node_stays_correct_at_scale() {
+    // Regression guard for the node-name hash index: lookups must stay
+    // exact (and practically O(1)) as the node count grows — including
+    // for names added through the delta path.
+    let mut db = regular_queries::graph::GraphDb::new();
+    for i in 0..10_000 {
+        db.node(&format!("node_{i}"));
+    }
+    let engine = Engine::new(db, EngineConfig::default());
+    engine.apply_deltas(&[Delta::add("node_9999", "fresh", "delta_node")]);
+    let db = engine.db();
+    for i in (0..10_000).step_by(101) {
+        let name = format!("node_{i}");
+        let id = db.find_node(&name).unwrap();
+        assert_eq!(db.node_name(id), Some(name.as_str()));
+    }
+    assert!(db.find_node("delta_node").is_some());
+    assert!(db.find_node("node_10000").is_none());
+}
