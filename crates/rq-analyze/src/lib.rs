@@ -40,7 +40,7 @@ pub use datalog::lint_program;
 pub use diag::{Diagnostic, Report, Severity, Span};
 pub use json::Json;
 pub use normalize::{preflight, Preflight, PreflightAction};
-pub use rpq::lint_two_rpq;
+pub use rpq::{lint_two_rpq, lint_two_rpq_with_source};
 
 /// Static description of one lint rule: identifier, slug, severity, the
 /// query class it applies to, the paper result justifying it, and its
@@ -102,6 +102,22 @@ pub const RULES: &[RuleInfo] = &[
         class: "automata",
         justification: "if L(rᵢ) ⊆ L(rⱼ) (decided via the 2NFA containment ladder, Lemmas 2–4) the branch rᵢ is redundant",
         complexity: "O(k²·c) for k branches",
+    },
+    RuleInfo {
+        id: "RQA006",
+        slug: "simple-fragment",
+        severity: Severity::Info,
+        class: "automata",
+        justification: "the query is in the SCRPQ fragment (Figueira et al. 2020): containment drops from EXPSPACE to polynomial and the ladder's simple rung decides probes without the 2NFA pipeline",
+        complexity: "O(n)",
+    },
+    RuleInfo {
+        id: "RQA007",
+        slug: "non-simple-subterm",
+        severity: Severity::Info,
+        class: "automata",
+        justification: "one subterm excludes the query from the SCRPQ fragment, so containment probes fall back to the exact (EXPSPACE-bound) machinery; the witness pinpoints the offending subterm",
+        complexity: "O(n)",
     },
     RuleInfo {
         id: "RQC001",

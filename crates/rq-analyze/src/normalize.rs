@@ -83,32 +83,47 @@ pub(crate) fn subsumed_branches(
 
 /// Run the pre-flight analysis on a query. Records the outcome in the
 /// `rq_analyze_preflight_total` metric family and opens an
-/// `analyze.preflight` trace span annotated with the action taken (the
-/// ladder probes each dropped-branch decision runs appear as its child
-/// `ladder.*` spans).
+/// `analyze.preflight` trace span annotated with the action taken and,
+/// when a rewrite fired, a `rules` field naming the rule behind it with
+/// its firing count (`RQA001:1` for the empty short-circuit,
+/// `RQA005:<n>` for `n` dropped branches) — so `rqtool explain` shows
+/// *which* rules rewrote a query. The ladder probes each dropped-branch
+/// decision runs appear as its child `ladder.*` spans.
 pub fn preflight(q: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Preflight {
     let mut span = rq_metrics::span::start("analyze.preflight");
-    let mut action = move |a: PreflightAction, query: TwoRpq| {
+    let mut action = move |a: PreflightAction, rules: Option<String>, query: TwoRpq| {
         span.record("action", a.name());
+        if let Some(rules) = rules {
+            span.record("rules", rules);
+        }
         metrics::preflight(a);
         Preflight { query, action: a }
     };
     if q.regex().is_empty_language() {
-        return action(PreflightAction::Empty, q.clone());
+        return action(
+            PreflightAction::Empty,
+            Some("RQA001:1".to_owned()),
+            q.clone(),
+        );
     }
     let Regex::Union(parts) = q.regex() else {
-        return action(PreflightAction::Unchanged, q.clone());
+        return action(PreflightAction::Unchanged, None, q.clone());
     };
     let dropped = subsumed_branches(parts, alphabet, limits);
-    if dropped.iter().all(Option::is_none) {
-        return action(PreflightAction::Unchanged, q.clone());
+    let n_dropped = dropped.iter().filter(|d| d.is_some()).count();
+    if n_dropped == 0 {
+        return action(PreflightAction::Unchanged, None, q.clone());
     }
     let kept = parts
         .iter()
         .zip(&dropped)
         .filter(|(_, d)| d.is_none())
         .map(|(p, _)| p.clone());
-    action(PreflightAction::Rewritten, TwoRpq::new(Regex::union(kept)))
+    action(
+        PreflightAction::Rewritten,
+        Some(format!("RQA005:{n_dropped}")),
+        TwoRpq::new(Regex::union(kept)),
+    )
 }
 
 #[cfg(test)]
@@ -150,6 +165,33 @@ mod tests {
         let p = preflight(&q, &alphabet, &limits);
         assert_eq!(p.action, PreflightAction::Unchanged);
         assert_eq!(p.query.regex(), q.regex());
+    }
+
+    #[test]
+    fn preflight_span_names_the_firing_rules() {
+        use rq_metrics::span;
+        let rules_field = |text: &str| {
+            let ctx = span::TraceContext::start();
+            let (mut alphabet, limits) = setup();
+            let q = parse(&mut alphabet, text);
+            {
+                let _g = span::install(&ctx, 0);
+                preflight(&q, &alphabet, &limits);
+            }
+            let t = ctx.finish("ok", "");
+            let s = t
+                .spans
+                .iter()
+                .find(|s| s.name == "analyze.preflight")
+                .expect("preflight span");
+            s.fields
+                .iter()
+                .find(|(k, _)| *k == "rules")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(rules_field("p | p p- p").as_deref(), Some("RQA005:1"));
+        assert_eq!(rules_field("∅").as_deref(), Some("RQA001:1"));
+        assert_eq!(rules_field("p | q"), None, "no rewrite, no rules field");
     }
 
     #[test]

@@ -1,14 +1,29 @@
 //! Automata-level lints on RPQs and 2RPQs (rule ids `RQA…`).
 
 use crate::diag;
-use crate::diag::Report;
+use crate::diag::{Report, Span};
 use crate::normalize::subsumed_branches;
+use rq_automata::regex::parse_with_spans;
+use rq_automata::simple::classify;
 use rq_automata::{Alphabet, LabelId, Letter, Limits, Nfa, Regex};
 use rq_core::TwoRpq;
 
 /// Lint one (2)RPQ. `limits` governs the containment probes behind
 /// `RQA005` (subsumed union branches).
 pub fn lint_two_rpq(q: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Report {
+    lint_two_rpq_with_source(q, None, alphabet, limits)
+}
+
+/// [`lint_two_rpq`] with the query's source text, when the caller still
+/// has it. The text is only used to attach source spans to diagnostics
+/// whose witness is a subterm — currently `RQA007`, whose offending
+/// subterm is located by re-parsing `source` with a span trace.
+pub fn lint_two_rpq_with_source(
+    q: &TwoRpq,
+    source: Option<&str>,
+    alphabet: &Alphabet,
+    limits: &Limits,
+) -> Report {
     let mut report = Report::new();
     let regex = q.regex();
 
@@ -32,6 +47,7 @@ pub fn lint_two_rpq(q: &TwoRpq, alphabet: &Alphabet, limits: &Limits) -> Report 
     dead_occurrences(regex, alphabet, &mut report);
     fold_redundant_inverses(regex, alphabet, &mut report);
     subsumed_union_branches(regex, alphabet, limits, &mut report);
+    simple_fragment(regex, source, alphabet, &mut report);
     report
 }
 
@@ -185,6 +201,59 @@ fn subsumed_union_branches(e: &Regex, alphabet: &Alphabet, limits: &Limits, repo
     }
 }
 
+/// RQA006 / RQA007 — membership in the simple (SCRPQ) fragment. Info
+/// either way: RQA006 announces that the polynomial containment fast
+/// paths apply; RQA007 pinpoints the first subterm that forces probes
+/// back onto the exact (EXPSPACE-bound) machinery. Runs on the query as
+/// written, which is also what lets the witness subterm be located in
+/// `source` when the caller still has the text.
+fn simple_fragment(e: &Regex, source: Option<&str>, alphabet: &Alphabet, report: &mut Report) {
+    match classify(e) {
+        Ok(s) => {
+            report.push(diag(
+                "RQA006",
+                format!(
+                    "query is in the simple fragment ({}) — containment/boundedness fast \
+                     paths apply",
+                    s.display(alphabet)
+                ),
+            ));
+        }
+        Err(v) => {
+            let mut d = diag(
+                "RQA007",
+                format!(
+                    "query is outside the simple fragment: {}",
+                    v.display(alphabet)
+                ),
+            )
+            .with_note(
+                "containment probes for this query escalate past the ladder's polynomial \
+                 simple rung to the exact 2NFA checker",
+            );
+            if let Some(span) = source.and_then(|src| locate_subterm(src, &v.subterm, alphabet)) {
+                d = d.with_span(span);
+            }
+            report.push(d);
+        }
+    }
+}
+
+/// Find the narrowest source span whose parse result equals `subterm`,
+/// by re-parsing `source` with a span trace against a scratch copy of
+/// the alphabet (existing labels keep their ids, so structural equality
+/// is meaningful). Byte offsets become 1-based columns on line 1; batch
+/// front-ends rebase the line.
+fn locate_subterm(source: &str, subterm: &Regex, alphabet: &Alphabet) -> Option<Span> {
+    let mut scratch = alphabet.clone();
+    let (_, trace) = parse_with_spans(source, &mut scratch).ok()?;
+    trace
+        .iter()
+        .filter(|(sub, _, _)| sub == subterm)
+        .min_by_key(|(_, start, end)| end - start)
+        .map(|(_, start, _)| Span::new(1, start + 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,11 +273,65 @@ mod tests {
     }
 
     #[test]
-    fn clean_queries_stay_clean() {
+    fn clean_queries_draw_only_fragment_info() {
+        // No warning-or-worse finding; the only diagnostics are the
+        // always-on RQA006/RQA007 fragment classification (info).
         for text in ["a", "(a|b)*", "a b- a*", "a+ (b | a b)"] {
             let r = lint_text(text);
-            assert!(r.is_clean(), "{text}: {:?}", r.diagnostics);
+            assert!(
+                r.diagnostics
+                    .iter()
+                    .all(|d| d.severity == crate::Severity::Info),
+                "{text}: {:?}",
+                r.diagnostics
+            );
+            assert!(
+                r.diagnostics
+                    .iter()
+                    .all(|d| d.rule == "RQA006" || d.rule == "RQA007"),
+                "{text}: {:?}",
+                r.diagnostics
+            );
         }
+    }
+
+    #[test]
+    fn simple_fragment_fires_rqa006_with_the_atom_decomposition() {
+        let r = lint_text("a (a|b)*");
+        assert_eq!(rules(&r), ["RQA006"]);
+        assert!(
+            r.diagnostics[0].message.contains("D(a)·St(a+b)"),
+            "{}",
+            r.diagnostics[0].message
+        );
+    }
+
+    #[test]
+    fn non_simple_query_fires_rqa007_with_a_witness_span() {
+        let (mut alphabet, limits) = setup();
+        let source = "a (b c)* a";
+        let q = TwoRpq::parse(source, &mut alphabet).unwrap();
+        let r = lint_two_rpq_with_source(&q, Some(source), &alphabet, &limits);
+        assert_eq!(rules(&r), ["RQA007"]);
+        let d = &r.diagnostics[0];
+        // The offending subterm is the star's body `b c`, which starts
+        // at byte 3 → column 4.
+        assert_eq!(d.span, Some(Span::new(1, 4)), "{:?}", d);
+        assert!(d.message.contains("repetition"), "{}", d.message);
+        // Without source text the diagnostic still fires, just span-less.
+        let r = lint_two_rpq(&q, &alphabet, &limits);
+        assert_eq!(r.diagnostics[0].span, None);
+    }
+
+    #[test]
+    fn inverse_letters_exclude_the_simple_fragment() {
+        let r = lint_text("a b- a*");
+        assert_eq!(rules(&r), ["RQA007"]);
+        assert!(
+            r.diagnostics[0].message.contains("inverse"),
+            "{}",
+            r.diagnostics[0].message
+        );
     }
 
     #[test]
@@ -237,23 +360,23 @@ mod tests {
     #[test]
     fn fold_detour_fires_rqa004() {
         let r = lint_text("a a- a");
-        assert_eq!(rules(&r), ["RQA004"]);
+        assert_eq!(rules(&r), ["RQA004", "RQA007"]);
         assert!(r.diagnostics[0].notes[0].contains("Lemma 2"));
         // Nested occurrence is found too.
         let r = lint_text("b (a a- a)+");
-        assert_eq!(rules(&r), ["RQA004"]);
+        assert_eq!(rules(&r), ["RQA004", "RQA007"]);
     }
 
     #[test]
     fn subsumed_branch_fires_rqa005() {
         // a ⊑ a? — branch 0 is subsumed (a? also matches ε).
         let r = lint_text("a | a?");
-        assert_eq!(rules(&r), ["RQA005"]);
+        assert_eq!(rules(&r), ["RQA005", "RQA007"]);
         assert!(r.diagnostics[0].message.contains("branch #0"));
         // Fold subsumption through the ladder: a ⊑ a a- a. The detour
         // branch itself also (correctly) draws the RQA004 fold warning.
         let r = lint_text("a | a a- a");
-        assert_eq!(rules(&r), ["RQA004", "RQA005"]);
+        assert_eq!(rules(&r), ["RQA004", "RQA005", "RQA007"]);
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod simplify;
 use crate::alphabet::{Alphabet, Letter};
 use std::collections::BTreeSet;
 
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_with_spans, ParseError};
 pub use simplify::simplify;
 
 /// A regular expression over letters of Σ±.

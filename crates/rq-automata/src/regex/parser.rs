@@ -41,10 +41,38 @@ impl std::error::Error for ParseError {}
 /// Parse `input` as a regular expression over `alphabet`, interning any new
 /// labels it mentions.
 pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    run(input, alphabet, false).map(|(e, _)| e)
+}
+
+/// Like [`parse`], but also returns a trace of every grammar node the
+/// parser built, as `(subterm, start, end)` byte offsets into `input`.
+///
+/// The recorded subterms are the *lowered* results of the smart
+/// constructors, so a consumer holding some subexpression of the parsed
+/// regex (e.g. a classifier witness) can look up where it came from by
+/// structural equality; when several trace entries match, the narrowest
+/// span is the tightest source location. Trailing whitespace is trimmed
+/// from every recorded span.
+pub fn parse_with_spans(
+    input: &str,
+    alphabet: &mut Alphabet,
+) -> Result<(Regex, Trace), ParseError> {
+    run(input, alphabet, true).map(|(e, t)| (e, t.unwrap_or_default()))
+}
+
+/// The span trace [`parse_with_spans`] returns: `(subterm, start, end)`.
+pub type Trace = Vec<(Regex, usize, usize)>;
+
+fn run(
+    input: &str,
+    alphabet: &mut Alphabet,
+    tracing: bool,
+) -> Result<(Regex, Option<Trace>), ParseError> {
     let mut p = Parser {
         input,
         pos: 0,
         alphabet,
+        trace: if tracing { Some(Vec::new()) } else { None },
     };
     p.skip_ws();
     if p.at_end() {
@@ -55,13 +83,14 @@ pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> 
     if !p.at_end() {
         return Err(p.error("trailing input"));
     }
-    Ok(e)
+    Ok((e, p.trace))
 }
 
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
     alphabet: &'a mut Alphabet,
+    trace: Option<Trace>,
 }
 
 impl<'a> Parser<'a> {
@@ -109,19 +138,34 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Record `(e, start, pos)` in the span trace, trimming trailing
+    /// whitespace the concat/repeat loops may have skipped past.
+    fn record(&mut self, start: usize, e: &Regex) {
+        if let Some(trace) = self.trace.as_mut() {
+            let end = start + self.input[start..self.pos].trim_end().len();
+            trace.push((e.clone(), start, end));
+        }
+    }
+
     fn parse_union(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
         let mut parts = vec![self.parse_concat()?];
         loop {
             self.skip_ws();
             if self.eat('|') {
                 parts.push(self.parse_concat()?);
             } else {
-                return Ok(Regex::union(parts));
+                let e = Regex::union(parts);
+                self.record(start, &e);
+                return Ok(e);
             }
         }
     }
 
     fn parse_concat(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
         let mut parts = vec![self.parse_repeat()?];
         loop {
             self.skip_ws();
@@ -132,13 +176,18 @@ impl<'a> Parser<'a> {
                     parts.push(self.parse_repeat()?);
                 }
                 Some(c) if starts_atom(c) => parts.push(self.parse_repeat()?),
-                _ => return Ok(Regex::concat(parts)),
+                _ => {
+                    let e = Regex::concat(parts);
+                    self.record(start, &e);
+                    return Ok(e);
+                }
             }
         }
     }
 
     fn parse_repeat(&mut self) -> Result<Regex, ParseError> {
         self.skip_ws();
+        let start = self.pos;
         let mut e = self.parse_atom()?;
         loop {
             self.skip_ws();
@@ -146,14 +195,17 @@ impl<'a> Parser<'a> {
                 Some('*') => {
                     self.bump();
                     e = e.star();
+                    self.record(start, &e);
                 }
                 Some('+') => {
                     self.bump();
                     e = e.plus();
+                    self.record(start, &e);
                 }
                 Some('?') => {
                     self.bump();
                     e = e.optional();
+                    self.record(start, &e);
                 }
                 _ => return Ok(e),
             }
@@ -162,33 +214,37 @@ impl<'a> Parser<'a> {
 
     fn parse_atom(&mut self) -> Result<Regex, ParseError> {
         self.skip_ws();
-        match self.peek() {
-            None => Err(self.error("expected an atom, found end of input")),
+        let start = self.pos;
+        let e = match self.peek() {
+            None => return Err(self.error("expected an atom, found end of input")),
             Some('(') => {
                 self.bump();
                 self.skip_ws();
                 if self.eat(')') {
                     // `()` is an ASCII spelling of ε.
-                    return Ok(Regex::Epsilon);
+                    Regex::Epsilon
+                } else {
+                    let e = self.parse_union()?;
+                    self.skip_ws();
+                    if !self.eat(')') {
+                        return Err(self.error("expected ')'"));
+                    }
+                    e
                 }
-                let e = self.parse_union()?;
-                self.skip_ws();
-                if !self.eat(')') {
-                    return Err(self.error("expected ')'"));
-                }
-                Ok(e)
             }
             Some('ε') => {
                 self.bump();
-                Ok(Regex::Epsilon)
+                Regex::Epsilon
             }
             Some('∅') => {
                 self.bump();
-                Ok(Regex::Empty)
+                Regex::Empty
             }
-            Some(c) if is_ident_start(c) => self.parse_letter(),
-            Some(c) => Err(self.error(format!("unexpected character {c:?}"))),
-        }
+            Some(c) if is_ident_start(c) => self.parse_letter()?,
+            Some(c) => return Err(self.error(format!("unexpected character {c:?}"))),
+        };
+        self.record(start, &e);
+        Ok(e)
     }
 
     fn parse_letter(&mut self) -> Result<Regex, ParseError> {
@@ -335,6 +391,55 @@ mod tests {
             let e2 = parse(&printed, &mut al2).unwrap();
             assert_eq!(e, e2, "roundtrip failed for {s} -> {printed}");
         }
+    }
+
+    #[test]
+    fn span_trace_locates_subterms() {
+        let mut a = Alphabet::new();
+        let input = "a (b c)* d";
+        let (e, trace) = parse_with_spans(input, &mut a).unwrap();
+        assert_eq!(e, parse(input, &mut Alphabet::new()).unwrap());
+        // The starred group is recorded with its exact source extent.
+        let mut a2 = a.clone();
+        let needle = parse("(b c)*", &mut a2).unwrap();
+        let (_, start, end) = trace
+            .iter()
+            .filter(|(sub, _, _)| *sub == needle)
+            .min_by_key(|(_, s, e)| e - s)
+            .expect("starred group recorded");
+        assert_eq!(&input[*start..*end], "(b c)*");
+        // Single letters are recorded too, at their own offsets.
+        let letter_d = parse("d", &mut a.clone()).unwrap();
+        assert!(trace
+            .iter()
+            .any(|(sub, s, e)| *sub == letter_d && &input[*s..*e] == "d"));
+    }
+
+    #[test]
+    fn span_trace_trims_trailing_whitespace() {
+        let mut a = Alphabet::new();
+        let input = "a | b c ";
+        let (_, trace) = parse_with_spans(input, &mut a).unwrap();
+        for (_, start, end) in &trace {
+            assert_eq!(
+                input[*start..*end].trim(),
+                &input[*start..*end],
+                "span [{start}, {end}) not trimmed"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_parse_records_no_trace() {
+        let mut a = Alphabet::new();
+        let (_, trace) = parse_with_spans("a", &mut a).unwrap();
+        assert!(!trace.is_empty());
+        // And parse() agrees with parse_with_spans() on the result.
+        let mut a2 = Alphabet::new();
+        assert_eq!(
+            parse("a(b|c)*", &mut a2).unwrap(),
+            parse_with_spans("a(b|c)*", &mut Alphabet::new()).unwrap().0
+        );
     }
 
     #[test]

@@ -141,7 +141,11 @@ fn main() {
                     // label) while the graph stays the same size, so the
                     // with-ingest runs serve the same workload as the
                     // baseline.
-                    let verb = if sent.is_multiple_of(2) { "add" } else { "remove" };
+                    let verb = if sent.is_multiple_of(2) {
+                        "add"
+                    } else {
+                        "remove"
+                    };
                     let body = format!("{verb} ingest_u {ingest_label} ingest_v\n");
                     if client
                         .request("POST", "/ingest", &[], body.as_bytes())

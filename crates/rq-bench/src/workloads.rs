@@ -428,6 +428,37 @@ pub fn e13_empty_queries() -> Vec<TwoRpq> {
 }
 
 // ---------------------------------------------------------------------
+// E17: simple-fragment ladder workloads
+// ---------------------------------------------------------------------
+
+/// A simple-heavy serving batch: `count` 2RPQ strings over `{a, b}` that
+/// all sit inside the SCRPQ fragment (forward letters, letter
+/// disjunctions, starred/plus'd disjunctions — no inverses, optionals,
+/// or starred concatenations). The pool leads with the broad `(a|b)*`
+/// superset so later entries are answered by subsumption, and the
+/// resulting cache probes are simple-vs-simple pairs the ladder's
+/// polynomial rung decides without ever reaching the exact 2NFA stage.
+pub fn e17_simple_batch(count: usize) -> Vec<String> {
+    const POOL: [&str; 12] = [
+        "(a|b)*",
+        "a*",
+        "b*",
+        "a (a|b)*",
+        "a+ b*",
+        "a b",
+        "a a",
+        "(a|b)+ a",
+        "b (a|b)*",
+        "a* b*",
+        "b+",
+        "a (a|b)+ b",
+    ];
+    (0..count)
+        .map(|i| POOL[i % POOL.len()].to_string())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // E14: front-end overload workloads
 // ---------------------------------------------------------------------
 

@@ -9,18 +9,23 @@
 //! 2. empty left-hand language (`∅ ⊑ Q` always — [`Certificate::EmptyLeft`]);
 //! 3. canonical-key equality (same minimal DFA ⟹ same word language ⟹
 //!    containment both ways), metered;
-//! 4. the exact fold-based checker, metered.
+//! 4. the polynomial simple-fragment checker ([`super::simple`]), when
+//!    both sides classify into the SCRPQ fragment — exact in both
+//!    directions, never `Unknown` (it declines oversized instances
+//!    instead, falling through);
+//! 5. the exact fold-based checker, metered.
 //!
 //! Every rung runs under the caller's [`Limits`]; a budget tripped anywhere
 //! surfaces as [`Outcome::Unknown`], which cache callers treat as "no
 //! subsumption found" — the cache degrades to exact-match instead of
 //! stalling the request.
 
-use super::{two_rpq, Certificate, Outcome};
+use super::{simple, two_rpq, Certificate, Outcome};
 use crate::canonical::canonical_key_governed;
 use crate::rpq::TwoRpq;
 use rq_automata::governor::{Governor, Limits};
 use rq_automata::regex::simplify;
+use rq_automata::simple::classify;
 use rq_automata::Alphabet;
 use rq_metrics::span;
 
@@ -54,9 +59,10 @@ pub fn check_quick_governed(
         }
         s.record("verdict", "pass");
     }
+    let r2 = simplify(q2.regex());
     {
         let mut s = span::start("ladder.syntactic_eq");
-        if r1 == simplify(q2.regex()) {
+        if r1 == r2 {
             s.record("verdict", "contained");
             metrics::ladder_stage(metrics::Stage::SyntacticEq);
             return Outcome::Contained(Certificate::LanguageContainment { states_explored: 0 });
@@ -85,6 +91,42 @@ pub fn check_quick_governed(
                 return Outcome::exhausted(e);
             }
             _ => s.record("verdict", "pass"),
+        }
+    }
+    {
+        // The polynomial SCRPQ rung: exact (never Unknown) when both
+        // sides classify simple; declines — rather than guesses — when
+        // an instance is outside the fragment or over the size caps.
+        // Unmetered: its work is bounded by the simple checker's own
+        // state cap, not the caller's fuel budget.
+        let mut s = span::start("ladder.simple");
+        match (classify(&r1), classify(&r2)) {
+            (Ok(sl), Ok(sr)) => match simple::check_simple(&sl, &sr, alphabet) {
+                Some((outcome, states)) => {
+                    s.record("states", states);
+                    s.record(
+                        "verdict",
+                        if outcome.is_contained() {
+                            "contained"
+                        } else {
+                            "not_contained"
+                        },
+                    );
+                    metrics::ladder_stage(metrics::Stage::Simple);
+                    metrics::simple_result(outcome.is_contained());
+                    return outcome;
+                }
+                None => {
+                    s.record("verdict", "pass");
+                    s.record("reason", "capped");
+                    metrics::simple_skipped(true);
+                }
+            },
+            _ => {
+                s.record("verdict", "pass");
+                s.record("reason", "not_simple");
+                metrics::simple_skipped(false);
+            }
         }
     }
     let mut s = span::start("ladder.full_check");
@@ -116,8 +158,8 @@ pub fn check_quick_governed(
 
 /// Which rung of the cheap-first ladder settled each `check_quick` call:
 /// the language-level fast paths (`empty_left`, `syntactic_eq`,
-/// `canonical_key`), the full fold/2NFA pipeline (`full_check`), or a
-/// tripped budget (`exhausted`).
+/// `canonical_key`), the polynomial SCRPQ rung (`simple`), the full
+/// fold/2NFA pipeline (`full_check`), or a tripped budget (`exhausted`).
 mod metrics {
     use rq_metrics::{global, Counter};
     use std::sync::{Arc, OnceLock};
@@ -127,17 +169,19 @@ mod metrics {
         EmptyLeft = 0,
         SyntacticEq = 1,
         CanonicalKey = 2,
-        FullCheck = 3,
-        Exhausted = 4,
+        Simple = 3,
+        FullCheck = 4,
+        Exhausted = 5,
     }
 
     pub(super) fn ladder_stage(stage: Stage) {
-        static CELLS: OnceLock<[Arc<Counter>; 5]> = OnceLock::new();
+        static CELLS: OnceLock<[Arc<Counter>; 6]> = OnceLock::new();
         let cells = CELLS.get_or_init(|| {
             [
                 "empty_left",
                 "syntactic_eq",
                 "canonical_key",
+                "simple",
                 "full_check",
                 "exhausted",
             ]
@@ -150,6 +194,37 @@ mod metrics {
             })
         });
         cells[stage as usize].inc();
+    }
+
+    /// Verdicts produced by the simple-fragment rung.
+    pub(super) fn simple_result(contained: bool) {
+        static CELLS: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["contained", "not_contained"].map(|s| {
+                global().counter_with(
+                    "rq_containment_simple_total",
+                    &[("result", s)],
+                    "simple-fragment fast-path verdicts, by result",
+                )
+            })
+        });
+        cells[if contained { 0 } else { 1 }].inc();
+    }
+
+    /// Checks the simple rung passed on: the pair was outside the
+    /// fragment, or the checker declined at its size caps.
+    pub(super) fn simple_skipped(capped: bool) {
+        static CELLS: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+        let cells = CELLS.get_or_init(|| {
+            ["not_simple", "capped"].map(|s| {
+                global().counter_with(
+                    "rq_containment_simple_skipped_total",
+                    &[("reason", s)],
+                    "simple-fragment rung pass-throughs, by reason",
+                )
+            })
+        });
+        cells[if capped { 1 } else { 0 }].inc();
     }
 }
 
@@ -229,6 +304,76 @@ mod tests {
             !t.spans.iter().any(|s| s.name == "ladder.full_check"),
             "decided at rung 3 — the exact checker never ran"
         );
+    }
+
+    #[test]
+    fn simple_pairs_decide_before_the_exact_checker() {
+        let ctx = span::TraceContext::start();
+        let mut al = Alphabet::new();
+        let q = TwoRpq::parse("a a", &mut al).unwrap();
+        let star = TwoRpq::parse("a*", &mut al).unwrap();
+        {
+            let _g = span::install(&ctx, 0);
+            // Containment needs more than key equality, but both sides
+            // are simple — rung 4 decides without the 2NFA pipeline.
+            assert!(check_quick(&q, &star, &al, &Limits::unlimited()).is_contained());
+        }
+        let t = ctx.finish("ok", "");
+        let simple = t
+            .spans
+            .iter()
+            .find(|s| s.name == "ladder.simple")
+            .expect("simple rung opened a span");
+        let field = |k: &str| {
+            simple
+                .fields
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("verdict").as_deref(), Some("contained"));
+        assert!(field("states").is_some(), "rung records its state count");
+        assert!(
+            !t.spans.iter().any(|s| s.name == "ladder.full_check"),
+            "decided at the simple rung — the exact checker never ran"
+        );
+    }
+
+    #[test]
+    fn non_simple_pairs_fall_through_with_a_reason() {
+        let ctx = span::TraceContext::start();
+        let mut al = Alphabet::new();
+        let p = TwoRpq::parse("p", &mut al).unwrap();
+        let zigzag = TwoRpq::parse("p p- p", &mut al).unwrap();
+        {
+            let _g = span::install(&ctx, 0);
+            assert!(check_quick(&p, &zigzag, &al, &Limits::unlimited()).is_contained());
+        }
+        let t = ctx.finish("ok", "");
+        let simple = t
+            .spans
+            .iter()
+            .find(|s| s.name == "ladder.simple")
+            .expect("simple rung opened a span");
+        assert!(simple
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "reason" && v == "not_simple"));
+        assert!(
+            t.spans.iter().any(|s| s.name == "ladder.full_check"),
+            "the inverse letter forces the exact checker"
+        );
+    }
+
+    #[test]
+    fn simple_rung_refutes_with_a_checkable_witness() {
+        let mut al = Alphabet::new();
+        let star = TwoRpq::parse("a*", &mut al).unwrap();
+        let q = TwoRpq::parse("a a", &mut al).unwrap();
+        let out = check_quick(&star, &q, &al, &Limits::unlimited());
+        let w = out.witness().expect("a* ⋢ a a");
+        assert!(star.contains_pair(&w.db, w.tuple[0], w.tuple[1]));
+        assert!(!q.contains_pair(&w.db, w.tuple[0], w.tuple[1]));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod facade;
 pub mod rpq;
 pub mod rq;
+pub mod simple;
 pub mod two_rpq;
 pub mod uc2rpq;
 

@@ -1,0 +1,375 @@
+//! Polynomial containment for the simple-RPQ (SCRPQ) fragment.
+//!
+//! For queries classified into the simple fragment by
+//! [`rq_automata::simple::classify`] — concatenations of letter
+//! disjunctions `D(S)` and starred disjunctions `St(S)`, forward letters
+//! only (Figueira et al. 2020, arXiv:2003.04411) — query containment
+//! coincides with word-language containment (the Lemma 1 reduction for
+//! forward RPQs), so `Q1 ⊑ Q2` can be decided on the *expressions*
+//! without ever building the fold/2NFA machinery of
+//! [`super::two_rpq`]. This module is the fast rung the `check_quick`
+//! ladder inserts before the exact stage.
+//!
+//! ## Procedure
+//!
+//! A simple expression with `n` atoms is an NFA over its *boundary
+//! states* `0..=n`: state `k` means "the first `k` atoms are matched".
+//! From `k`, letter `x` moves to `k+1` when atom `k+1 = D(S)` with
+//! `x ∈ S`, loops at `k` when atom `k+1 = St(S)` with `x ∈ S`, and an
+//! ε-move skips a starred atom (`k → k+1` when atom `k+1` is `St`).
+//! State `k` accepts when every atom after it is starred.
+//!
+//! Inclusion `L(Q1) ⊆ L(Q2)` is then a product search: explore pairs
+//! `(l, R)` of one left boundary state and the *set* of right boundary
+//! states (a `u64` bitmask, kept ε-closed) reachable on the same word.
+//! A pair with `l` accepting and `R` disjoint from the right accept set
+//! yields a counterexample word, materialized as a [`Witness`] over its
+//! semipath database (sound in *both* directions precisely because the
+//! fragment is forward-only: on a directed-path database the only walk
+//! between the endpoints spells the word itself). Exploration is pruned
+//! with the antichain rule — a pair `(l, R')` is subsumed by a visited
+//! `(l, R)` with `R ⊆ R'`, since the step function is monotone in `R`
+//! and any counterexample from the superset is one from the subset.
+//!
+//! The checker never returns [`Outcome::Unknown`]: either it decides,
+//! or it *declines* (`None`) when an expression exceeds [`MAX_ATOMS`]
+//! boundary states or the pair search exceeds [`DEFAULT_STATE_CAP`]
+//! visited pairs — the ladder then falls through to the exact checker,
+//! so declining costs completeness nothing.
+
+use super::{semipath_db, Certificate, Outcome, Witness};
+use rq_automata::simple::{SimpleAtom, SimpleRe};
+use rq_automata::{Alphabet, LabelId, Letter};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Largest per-side atom count the checker accepts: right boundary
+/// states `0..=n` must fit a `u64` bitmask.
+pub const MAX_ATOMS: usize = 63;
+
+/// Default cap on visited `(left state, right set)` pairs before the
+/// checker declines. The product has at most `(n+1) · 2^(m+1)` pairs in
+/// theory, but the antichain keeps real workloads far below this.
+pub const DEFAULT_STATE_CAP: usize = 4096;
+
+/// Decide `left ⊑ right` as word languages (= as queries, for this
+/// forward-only fragment). Returns the verdict and the number of
+/// explored product pairs, or `None` when the instance is declined
+/// (too many atoms, or the [`DEFAULT_STATE_CAP`] pair cap tripped).
+/// Never returns [`Outcome::Unknown`].
+pub fn check_simple(
+    left: &SimpleRe,
+    right: &SimpleRe,
+    alphabet: &Alphabet,
+) -> Option<(Outcome, usize)> {
+    check_simple_capped(left, right, alphabet, DEFAULT_STATE_CAP)
+}
+
+/// [`check_simple`] with an explicit visited-pair cap (for tests).
+pub fn check_simple_capped(
+    left: &SimpleRe,
+    right: &SimpleRe,
+    alphabet: &Alphabet,
+    cap: usize,
+) -> Option<(Outcome, usize)> {
+    if left.atoms.len() > MAX_ATOMS || right.atoms.len() > MAX_ATOMS {
+        return None;
+    }
+    let lm = Boundaries::new(&left.atoms);
+    let rm = RightSets::new(&right.atoms);
+
+    // BFS over (left boundary state, ε-closed right state set), with
+    // parent pointers for counterexample reconstruction.
+    struct Node {
+        left: usize,
+        right: u64,
+        parent: usize,
+        letter: Option<LabelId>,
+    }
+    let mut nodes: Vec<Node> = vec![Node {
+        left: 0,
+        right: rm.closure[0],
+        parent: usize::MAX,
+        letter: None,
+    }];
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    // Antichain of visited right sets per left state: a new pair is
+    // subsumed when some visited set is a subset of its right set.
+    let mut seen: HashMap<usize, Vec<u64>> = HashMap::new();
+    seen.insert(0, vec![rm.closure[0]]);
+
+    while let Some(idx) = queue.pop_front() {
+        let (l, r) = (nodes[idx].left, nodes[idx].right);
+        if lm.accepts(l) && r & rm.accept_mask == 0 {
+            // Reconstruct the separating word from the parent chain.
+            let mut word = Vec::new();
+            let mut cur = idx;
+            while let Some(label) = nodes[cur].letter {
+                word.push(Letter::forward(label));
+                cur = nodes[cur].parent;
+            }
+            word.reverse();
+            let (db, src, dst) = semipath_db(&word, alphabet);
+            let description = format!(
+                "word `{}` matches Q1 but not Q2 (simple-fragment checker)",
+                if word.is_empty() {
+                    "ε".to_owned()
+                } else {
+                    alphabet.word_to_string(&word)
+                }
+            );
+            let witness = Witness {
+                db,
+                tuple: vec![src, dst],
+                description,
+            };
+            return Some((Outcome::NotContained(Box::new(witness)), nodes.len()));
+        }
+        // Only letters the left side can actually read extend a potential
+        // counterexample; anything else kills the left run.
+        for &x in &lm.candidates(l) {
+            let r_next = rm.step(r, x);
+            for l_next in lm.successors(l, x) {
+                let masks = seen.entry(l_next).or_default();
+                if masks.iter().any(|&m| m | r_next == r_next) {
+                    continue; // subsumed by a visited subset
+                }
+                masks.retain(|&m| m & r_next != r_next); // drop strict supersets
+                masks.push(r_next);
+                if nodes.len() >= cap {
+                    return None;
+                }
+                nodes.push(Node {
+                    left: l_next,
+                    right: r_next,
+                    parent: idx,
+                    letter: Some(x),
+                });
+                queue.push_back(nodes.len() - 1);
+            }
+        }
+    }
+    let states_explored = nodes.len();
+    Some((
+        Outcome::Contained(Certificate::LanguageContainment { states_explored }),
+        states_explored,
+    ))
+}
+
+/// The left side's boundary-state NFA, explored state-by-state.
+struct Boundaries<'a> {
+    atoms: &'a [SimpleAtom],
+    /// `close_end[k]`: the last boundary state reachable from `k` by
+    /// ε-moves alone (skipping the maximal run of starred atoms).
+    close_end: Vec<usize>,
+}
+
+impl<'a> Boundaries<'a> {
+    fn new(atoms: &'a [SimpleAtom]) -> Boundaries<'a> {
+        let n = atoms.len();
+        let mut close_end = vec![0; n + 1];
+        close_end[n] = n;
+        for k in (0..n).rev() {
+            close_end[k] = if atoms[k].nullable() {
+                close_end[k + 1]
+            } else {
+                k
+            };
+        }
+        Boundaries { atoms, close_end }
+    }
+
+    /// `k` accepts iff every remaining atom is starred.
+    fn accepts(&self, k: usize) -> bool {
+        self.close_end[k] == self.atoms.len()
+    }
+
+    /// Letters that progress the left run from `k` (through ε-closure).
+    fn candidates(&self, k: usize) -> BTreeSet<LabelId> {
+        (k..=self.close_end[k])
+            .filter(|&i| i < self.atoms.len())
+            .flat_map(|i| self.atoms[i].labels().iter().copied())
+            .collect()
+    }
+
+    /// Successor boundary states on letter `x` (through ε-closure).
+    fn successors(&self, k: usize, x: LabelId) -> Vec<usize> {
+        let mut out = Vec::new();
+        for i in k..=self.close_end[k] {
+            if i >= self.atoms.len() || !self.atoms[i].labels().contains(&x) {
+                continue;
+            }
+            let next = match self.atoms[i] {
+                SimpleAtom::Disj(_) => i + 1,
+                SimpleAtom::Star(_) => i,
+            };
+            if !out.contains(&next) {
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// The right side's boundary NFA, determinized on the fly into ε-closed
+/// `u64` state sets.
+struct RightSets<'a> {
+    atoms: &'a [SimpleAtom],
+    /// `closure[k]`: bitmask of the ε-closure of state `k`.
+    closure: Vec<u64>,
+    /// Accepting states; any ε-closed set intersecting it accepts.
+    accept_mask: u64,
+}
+
+impl<'a> RightSets<'a> {
+    fn new(atoms: &'a [SimpleAtom]) -> RightSets<'a> {
+        let n = atoms.len();
+        let mut closure = vec![0u64; n + 1];
+        closure[n] = 1 << n;
+        for k in (0..n).rev() {
+            closure[k] = (1 << k)
+                | if atoms[k].nullable() {
+                    closure[k + 1]
+                } else {
+                    0
+                };
+        }
+        // A state accepts iff its ε-closure reaches the final boundary,
+        // so on ε-closed sets the final bit alone detects acceptance.
+        RightSets {
+            atoms,
+            closure,
+            accept_mask: 1 << n,
+        }
+    }
+
+    /// One letter step on an ε-closed set; the result is ε-closed.
+    fn step(&self, set: u64, x: LabelId) -> u64 {
+        let mut out = 0u64;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if set & (1 << i) == 0 || !atom.labels().contains(&x) {
+                continue;
+            }
+            out |= match atom {
+                SimpleAtom::Disj(_) => self.closure[i + 1],
+                SimpleAtom::Star(_) => self.closure[i],
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::two_rpq;
+    use crate::rpq::TwoRpq;
+    use rq_automata::simple::classify;
+
+    fn run(l: &str, r: &str) -> Option<(Outcome, usize)> {
+        let mut al = Alphabet::from_names(["a", "b", "c"]);
+        let lq = rq_automata::regex::parse(l, &mut al).unwrap();
+        let rq = rq_automata::regex::parse(r, &mut al).unwrap();
+        check_simple(&classify(&lq).unwrap(), &classify(&rq).unwrap(), &al)
+    }
+
+    fn verdict(l: &str, r: &str) -> bool {
+        run(l, r).unwrap().0.is_contained()
+    }
+
+    #[test]
+    fn textbook_inclusions_hold() {
+        assert!(verdict("a", "a"));
+        assert!(verdict("a", "a*"));
+        assert!(verdict("a a", "a*"));
+        assert!(verdict("a a*", "a* a")); // the classic NFA-overlap case
+        assert!(verdict("a* a", "a a*"));
+        assert!(verdict("(a|b)", "(a|b)*"));
+        assert!(verdict("a (a|b)* b", "(a|b)*"));
+        assert!(verdict("a+ b", "a a* b"));
+        assert!(verdict("ε", "a*"));
+    }
+
+    #[test]
+    fn textbook_non_inclusions_fail_with_witnesses() {
+        for (l, r) in [
+            ("a*", "a"),
+            ("a", "b"),
+            ("(a|b)*", "a*"),
+            ("a b", "a a"),
+            ("a*", "a* b"),
+            ("ε", "a"),
+        ] {
+            let (out, _) = run(l, r).unwrap();
+            let w = out
+                .witness()
+                .unwrap_or_else(|| panic!("{l} ⊑ {r} decided wrong"));
+            // Re-verify the counterexample by evaluation, both directions.
+            let mut al = Alphabet::from_names(["a", "b", "c"]);
+            let lq = TwoRpq::parse(l, &mut al).unwrap();
+            let rq = TwoRpq::parse(r, &mut al).unwrap();
+            assert!(
+                lq.contains_pair(&w.db, w.tuple[0], w.tuple[1]),
+                "{l} ⊑ {r}: witness not in Q1"
+            );
+            assert!(
+                !rq.contains_pair(&w.db, w.tuple[0], w.tuple[1]),
+                "{l} ⊑ {r}: witness in Q2"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_word_counterexample_uses_a_single_node() {
+        let (out, _) = run("a*", "a a*").unwrap();
+        let w = out.witness().expect("ε separates a* from a⁺");
+        assert_eq!(w.tuple[0], w.tuple[1]);
+        assert_eq!(w.db.num_nodes(), 1);
+    }
+
+    #[test]
+    fn agrees_with_the_exact_checker_on_handpicked_pairs() {
+        let pairs = [
+            ("a (a|b)*", "(a|b)*"),
+            ("(a|b)* a", "(a|b)+"),
+            ("a* b a*", "(a|b)*"),
+            ("(a|b)+", "(a|b)* b"),
+            ("a b* c", "a (b|c)*"),
+            ("a+ b+", "a* b*"),
+        ];
+        let al = Alphabet::from_names(["a", "b", "c"]);
+        for (l, r) in pairs {
+            let mut al2 = al.clone();
+            let lq = TwoRpq::parse(l, &mut al2).unwrap();
+            let rq = TwoRpq::parse(r, &mut al2).unwrap();
+            let exact = two_rpq::check(&lq, &rq, &al2);
+            let fast = run(l, r).expect("in-fragment pair declined");
+            assert_eq!(
+                fast.0.decided(),
+                exact.decided(),
+                "{l} ⊑ {r}: fast {} vs exact {exact}",
+                fast.0
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_instances_are_declined_not_guessed() {
+        let atoms = vec![SimpleAtom::Disj(BTreeSet::from([LabelId(0)])); 64];
+        let big = SimpleRe { atoms };
+        let small = SimpleRe {
+            atoms: vec![SimpleAtom::Star(BTreeSet::from([LabelId(0)]))],
+        };
+        let al = Alphabet::from_names(["a"]);
+        assert!(check_simple(&big, &small, &al).is_none());
+        assert!(check_simple(&small, &big, &al).is_none());
+    }
+
+    #[test]
+    fn tiny_cap_declines_instead_of_answering() {
+        let mut al = Alphabet::from_names(["a", "b"]);
+        let l =
+            classify(&rq_automata::regex::parse("(a|b) (a|b) (a|b)", &mut al).unwrap()).unwrap();
+        let r = classify(&rq_automata::regex::parse("a (a|b)*", &mut al).unwrap()).unwrap();
+        assert!(check_simple_capped(&l, &r, &al, 1).is_none());
+    }
+}

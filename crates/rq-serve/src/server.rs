@@ -802,7 +802,12 @@ fn lint(inner: &Arc<Inner>, req: &Request) -> Resp {
         Err(e) => return Resp::json(400, error_body(0, "invalid", &e.to_string(), vec![])),
     };
     let alphabet = inner.engine.alphabet();
-    let report = rq_analyze::lint_two_rpq(&q, &alphabet, &inner.engine.config().cache.probe_limits);
+    let report = rq_analyze::lint_two_rpq_with_source(
+        &q,
+        Some(text),
+        &alphabet,
+        &inner.engine.config().cache.probe_limits,
+    );
     Resp::json(200, report.to_json().emit())
 }
 

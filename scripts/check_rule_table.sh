@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Verify that the lint-rule table in docs/ALGORITHMS.md and the
+# `rq_analyze::RULES` const list exactly the same rule ids — both ways.
+# The golden suite already pins severity and firing behavior per rule;
+# this guards the *documentation* from drifting when a rule is added or
+# removed. Run from the repo root (CI runs it in the lint smoke job).
+set -eu
+
+rules_src="crates/rq-analyze/src/lib.rs"
+doc="docs/ALGORITHMS.md"
+
+code_ids=$(grep -o 'id: "RQ[A-Z][0-9]*"' "$rules_src" | grep -o 'RQ[A-Z][0-9]*' | sort -u)
+doc_ids=$(grep -o '^| RQ[A-Z][0-9]* |' "$doc" | grep -o 'RQ[A-Z][0-9]*' | sort -u)
+
+[ -n "$code_ids" ] || { echo "error: no rule ids found in $rules_src" >&2; exit 1; }
+[ -n "$doc_ids" ] || { echo "error: no rule-table rows found in $doc" >&2; exit 1; }
+
+status=0
+for id in $code_ids; do
+    if ! echo "$doc_ids" | grep -qx "$id"; then
+        echo "error: $id is in $rules_src but missing from the $doc rule table" >&2
+        status=1
+    fi
+done
+for id in $doc_ids; do
+    if ! echo "$code_ids" | grep -qx "$id"; then
+        echo "error: $id is documented in $doc but absent from $rules_src" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    n=$(echo "$code_ids" | wc -l | tr -d ' ')
+    echo "rule table in sync: $n rules"
+fi
+exit "$status"

@@ -130,11 +130,13 @@ fn main() -> ExitCode {
     // A typo'd budget flag silently running an unbounded search would
     // defeat the point of having budgets; reject anything unrecognized.
     let want_json = flags.iter().any(|f| *f == "--json");
+    let deny_warnings = flags.iter().any(|f| *f == "--deny-warnings");
     let unknown = flags.iter().find(|f| {
         !(***f == "--dot"
             || ***f == "--metrics"
             || ***f == "--trace"
             || ***f == "--json"
+            || ***f == "--deny-warnings"
             || f.starts_with("--from=")
             || f.starts_with("--goal=")
             || f.starts_with("--fuel=")
@@ -190,7 +192,9 @@ fn main() -> ExitCode {
                 cmd_serve_batch(graph, queries, &flags, &limits, ServeOutput::MetricsOnly)
             }
             ("explain", [graph, query]) => cmd_explain(graph, query, &flags),
-            ("lint", [input]) => cmd_lint(input, goal.as_deref(), &limits, want_json),
+            ("lint", [input]) => {
+                cmd_lint(input, goal.as_deref(), &limits, want_json, deny_warnings)
+            }
             ("convert", [graph, dir]) => cmd_convert(graph, dir, &flags),
             ("compact", [dir]) => cmd_compact(dir, &flags),
             ("ingest", [dir, deltas]) => cmd_ingest(dir, deltas, &flags),
@@ -227,7 +231,7 @@ fn usage() -> String {
      rqtool serve-batch <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N] [--metrics] [--trace]\n  \
      rqtool stats <graph.txt> <queries.txt> [--threads=N] [--cache-cap=N]\n  \
      rqtool explain <graph.txt> <query> [--warm=QUERY] [--threads=N]\n  \
-     rqtool lint <query|file|dir> [--goal=PRED] [--json]\n  \
+     rqtool lint <query|file|dir> [--goal=PRED] [--json] [--deny-warnings]\n  \
      rqtool serve <graph.txt|store-dir> [--addr=H:P] [--workers=N] [--queue-cap=N] [--request-fuel=N] [--drain-ms=N] [--faults=SPEC]\n  \
      rqtool serve --store=DIR [--addr=H:P] ... (persistent /ingest)\n  \
      rqtool bench-serve <graph.txt|store-dir> [queries.txt] [--clients=N] [--duration-ms=N] [--no-backoff] [--ingest-every-ms=N]\n  \
@@ -910,7 +914,17 @@ fn cmd_contain_rq(p1: &str, p2: &str, limits: &Limits) -> Result<(), String> {
 
 /// `rqtool lint`: run the `rq-analyze` passes over an inline 2RPQ, a
 /// single file, or every lintable file under a directory.
-fn cmd_lint(input: &str, goal: Option<&str>, limits: &Limits, json: bool) -> Result<(), String> {
+///
+/// Exit is nonzero on any error-level finding, on parse/IO failures,
+/// and — under `--deny-warnings` — on any warning-level finding, so
+/// lint can gate CI pipelines. Info-level findings never fail the run.
+fn cmd_lint(
+    input: &str,
+    goal: Option<&str>,
+    limits: &Limits,
+    json: bool,
+    deny_warnings: bool,
+) -> Result<(), String> {
     let path = std::path::Path::new(input);
     let mut entries: Vec<(String, Report)> = Vec::new();
     if path.is_dir() {
@@ -933,7 +947,7 @@ fn cmd_lint(input: &str, goal: Option<&str>, limits: &Limits, json: bool) -> Res
         // Not a path on disk: treat the argument as an inline 2RPQ.
         let mut al = Alphabet::new();
         let q = TwoRpq::parse(input, &mut al).map_err(|e| format!("error[parse]: <query>: {e}"))?;
-        let mut report = lint_two_rpq(&q, &al, limits);
+        let mut report = lint_two_rpq_with_source(&q, Some(input), &al, limits);
         report.sort();
         entries.push(("<query>".to_owned(), report));
     }
@@ -943,6 +957,11 @@ fn cmd_lint(input: &str, goal: Option<&str>, limits: &Limits, json: bool) -> Res
         .iter()
         .flat_map(|(_, r)| &r.diagnostics)
         .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings: usize = entries
+        .iter()
+        .flat_map(|(_, r)| &r.diagnostics)
+        .filter(|d| d.severity == Severity::Warning)
         .count();
     if json {
         let arr = Json::Arr(
@@ -971,6 +990,10 @@ fn cmd_lint(input: &str, goal: Option<&str>, limits: &Limits, json: bool) -> Res
     }
     if errors > 0 {
         Err(format!("error[lint]: {errors} error-level finding(s)"))
+    } else if deny_warnings && warnings > 0 {
+        Err(format!(
+            "error[lint]: {warnings} warning-level finding(s) (--deny-warnings)"
+        ))
     } else {
         Ok(())
     }
@@ -1043,11 +1066,15 @@ fn lint_file(path: &str, goal: Option<&str>, limits: &Limits) -> Result<Report, 
                 }
                 let q = TwoRpq::parse(line, &mut al)
                     .map_err(|e| format!("error[parse]: {path}:{}: {e}", i + 1))?;
-                let mut lr = lint_two_rpq(&q, &al, limits);
+                let mut lr = lint_two_rpq_with_source(&q, Some(line), &al, limits);
+                // Single-query spans are relative to the trimmed line
+                // text; rebase them onto this line of the batch file.
+                let indent = raw.len() - raw.trim_start().len();
                 for d in &mut lr.diagnostics {
-                    if d.span.is_none() {
-                        d.span = Some(Span::new(i + 1, 1));
-                    }
+                    d.span = Some(match d.span {
+                        Some(s) => Span::new(i + 1, s.column + indent),
+                        None => Span::new(i + 1, 1),
+                    });
                 }
                 r.merge(lr);
             }

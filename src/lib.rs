@@ -60,7 +60,10 @@ pub use rq_storage as storage;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
-    pub use rq_analyze::{lint_program, lint_two_rpq, lint_uc2rpq, preflight, Report, Severity};
+    pub use rq_analyze::{
+        lint_program, lint_two_rpq, lint_two_rpq_with_source, lint_uc2rpq, preflight, Report,
+        Severity,
+    };
     pub use rq_automata::{
         Alphabet, Counters, EngineError, Exhaustion, Governor, LabelId, Letter, Limits, Nfa, Regex,
         Resource,

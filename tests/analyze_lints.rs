@@ -52,6 +52,8 @@ fn golden_reports() -> Vec<(&'static str, Report)> {
         ("RQA003", raw_vacuous),
         ("RQA004", lint_rpq("a a- a")),
         ("RQA005", lint_rpq("a | a?")),
+        ("RQA006", lint_rpq("a (a|b)*")),
+        ("RQA007", lint_rpq("(a b)*")),
         ("RQC001", lint_cq("Q(x, y) :- [a ∅](x, y).")),
         ("RQC002", lint_cq("Q(x, z) :- [a](x, y), [b](z, w).")),
         (
@@ -195,6 +197,9 @@ fn preflight_normalization_preserves_equivalence_on_random_queries() {
 #[test]
 fn lint_clean_queries_are_normalizer_fixed_points() {
     // Hand-picked lint-clean queries, including paper shapes (§2.1–§2.2).
+    // "Clean" means no warning-or-worse finding: the info-level
+    // RQA006/RQA007 fragment classification fires on every query by
+    // design and never implies a rewrite.
     let mut al = Alphabet::from_names(["a", "b"]);
     for text in [
         "a",
@@ -206,7 +211,14 @@ fn lint_clean_queries_are_normalizer_fixed_points() {
     ] {
         let q = TwoRpq::parse(text, &mut al).unwrap();
         let report = lint_two_rpq(&q, &al, &Limits::default());
-        assert!(report.is_clean(), "{text}: {:?}", report.diagnostics);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.severity == Severity::Info),
+            "{text}: {:?}",
+            report.diagnostics
+        );
         let p = preflight(&q, &al, &Limits::default());
         assert_eq!(p.action, PreflightAction::Unchanged, "{text}");
         assert_eq!(p.query.regex(), q.regex(), "{text}");

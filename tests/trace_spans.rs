@@ -80,23 +80,28 @@ fn subsumed_query_traces_every_stage() {
     assert_eq!(contained_probe.parent, Some(lookup.id));
     assert!(field(contained_probe, "fuel").is_some());
 
-    // …whose deciding ladder rung (the exact checker — `p p ⊑ p*` is
-    // invisible to the syntactic/canonical fast paths) is a child span
-    // annotated with verdict and fuel.
-    let full_check = trace
+    // …whose deciding ladder rung (the polynomial simple rung — both
+    // `p p` and `p*` are in the SCRPQ fragment, so the probe never
+    // reaches the exact 2NFA stage) is a child span annotated with
+    // verdict and explored state count.
+    let simple = trace
         .spans
         .iter()
         .find(|s| {
-            s.name == "ladder.full_check"
+            s.name == "ladder.simple"
                 && s.parent == Some(contained_probe.id)
                 && field(s, "verdict") == Some("contained")
         })
-        .expect("the full checker decided the probe");
+        .expect("the simple rung decided the probe");
     assert!(
-        field(full_check, "fuel")
+        field(simple, "states")
             .and_then(|f| f.parse::<u64>().ok())
             .is_some(),
-        "deciding rung is metered"
+        "deciding rung records its explored states"
+    );
+    assert!(
+        !trace.spans.iter().any(|s| s.name == "ladder.full_check"),
+        "a simple-fragment probe never escalates to the exact checker"
     );
 
     // The superset re-evaluation shows up as eval → stripe → BFS spans
@@ -122,7 +127,7 @@ fn subsumed_query_traces_every_stage() {
         "analyze.preflight",
         "disposition=subsumed",
         "cache.probe",
-        "ladder.full_check",
+        "ladder.simple",
         "frontier.bfs",
         "fuel by stage:",
         "µs",
